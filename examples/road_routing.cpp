@@ -1,0 +1,52 @@
+// Road-network routing: single-source shortest paths and widest
+// (maximum-bottleneck) paths on a grid-shaped road network — the deep,
+// high-diameter topology where "start late" pays off most, since every
+// intersection is re-relaxed many times by a plain Bellman-Ford-style
+// engine.
+//
+// Scenario: a logistics service wants, from one depot, (a) the fastest
+// route cost to every intersection and (b) the widest route (max vehicle
+// size limited by the narrowest road segment).
+
+#include <cstdio>
+
+#include "slfe/apps/sssp.h"
+#include "slfe/apps/wp.h"
+#include "slfe/graph/generators.h"
+
+int main() {
+  // City grid: 200 x 200 intersections, weighted segments (travel cost
+  // also serves as road width in this demo).
+  constexpr slfe::VertexId kSide = 200;
+  slfe::EdgeList roads =
+      slfe::GenerateGrid(kSide, kSide, /*weighted=*/true, /*seed=*/2026,
+                         /*max_weight=*/64.0f);
+  slfe::Graph city = slfe::Graph::FromEdges(roads);
+  std::printf("road network: %u intersections, %llu segments\n",
+              city.num_vertices(),
+              static_cast<unsigned long long>(city.num_edges()));
+
+  slfe::AppConfig config;
+  config.num_nodes = 4;
+  config.root = 0;  // the depot at the grid corner
+
+  for (bool rr : {false, true}) {
+    config.enable_rr = rr;
+    slfe::SsspResult routes = slfe::RunSssp(city, config);
+    slfe::WpResult widths = slfe::RunWp(city, config);
+
+    // Route quality to the far corner of the city.
+    slfe::VertexId far_corner = kSide * kSide - 1;
+    std::printf(
+        "[%s] cost(depot -> far corner)=%.0f  width=%.0f  "
+        "sssp: %llu computations in %llu supersteps (%.4f s)\n",
+        rr ? "SLFE " : "plain",
+        routes.dist[far_corner], widths.width[far_corner],
+        static_cast<unsigned long long>(routes.info.stats.computations),
+        static_cast<unsigned long long>(routes.info.supersteps),
+        routes.info.stats.RuntimeSeconds());
+  }
+  std::printf("note: on deep road-like graphs SLFE bypasses most of the\n"
+              "intermediate re-relaxations (compare computation counts).\n");
+  return 0;
+}

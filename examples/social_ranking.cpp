@@ -1,0 +1,66 @@
+// Social influence ranking: PageRank and TunkRank over a synthetic social
+// network (power-law follower graph), demonstrating "finish early":
+// most accounts' scores stabilize long before global convergence, and
+// SLFE's multi-Ruler freezes them instead of recomputing every round.
+//
+// Scenario: a platform ranks accounts for a "who to follow" module and
+// re-runs the job on the same follower graph many times per day — the
+// redundancy-reduction guidance is generated once and reused.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "slfe/apps/pr.h"
+#include "slfe/apps/tr.h"
+#include "slfe/graph/generators.h"
+
+int main() {
+  slfe::RmatOptions opt;
+  opt.num_vertices = 1 << 15;  // 32k accounts
+  opt.num_edges = 1 << 19;     // 512k follows
+  opt.seed = 99;
+  slfe::EdgeList follows = slfe::GenerateRmat(opt);
+  follows.Deduplicate();
+  slfe::Graph network = slfe::Graph::FromEdges(follows);
+  std::printf("social graph: %u accounts, %llu follow edges\n",
+              network.num_vertices(),
+              static_cast<unsigned long long>(network.num_edges()));
+
+  slfe::AppConfig config;
+  config.num_nodes = 4;
+  config.max_iters = 150;  // run to (near) convergence
+  config.epsilon = 1e-7;
+
+  for (bool rr : {false, true}) {
+    config.enable_rr = rr;
+    slfe::PrResult pr = slfe::RunPr(network, config);
+    slfe::TrResult tr = slfe::RunTr(network, config);
+    std::printf("[%s] PR: %llu computations, %.4f s, EC=%llu (%.1f%%)  "
+                "TR: %.4f s\n",
+                rr ? "SLFE " : "plain",
+                static_cast<unsigned long long>(pr.info.stats.computations),
+                pr.info.stats.RuntimeSeconds(),
+                static_cast<unsigned long long>(pr.info.ec_vertices),
+                100.0 * static_cast<double>(pr.info.ec_vertices) /
+                    network.num_vertices(),
+                tr.info.stats.RuntimeSeconds());
+
+    if (rr) {
+      // Top influencers per the final run.
+      std::vector<slfe::VertexId> order(network.num_vertices());
+      std::iota(order.begin(), order.end(), 0u);
+      std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                        [&](slfe::VertexId a, slfe::VertexId b) {
+                          return pr.ranks[a] > pr.ranks[b];
+                        });
+      std::printf("top-5 accounts by PageRank:");
+      for (int i = 0; i < 5; ++i) {
+        std::printf(" #%u(%.2f)", order[i], pr.ranks[order[i]]);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

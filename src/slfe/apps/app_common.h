@@ -1,0 +1,57 @@
+#ifndef SLFE_APPS_APP_COMMON_H_
+#define SLFE_APPS_APP_COMMON_H_
+
+#include <cstdint>
+
+#include "slfe/core/rr_guidance.h"
+#include "slfe/engine/dist_engine.h"
+#include "slfe/graph/types.h"
+#include "slfe/sim/comm.h"
+
+namespace slfe {
+
+/// Shared configuration for all applications: how large the simulated
+/// cluster is, whether SLFE's redundancy reduction is active, and the
+/// knobs the paper's ablations toggle.
+struct AppConfig {
+  int num_nodes = 1;
+  int threads_per_node = 1;
+  /// false = the Gemini baseline (same engine, no guidance).
+  bool enable_rr = false;
+  bool enable_stealing = true;
+  sim::CostModel cost_model;
+  /// Arithmetic apps: iteration cap and L1 convergence threshold.
+  uint32_t max_iters = 100;
+  double epsilon = 1e-9;
+  /// Single-source apps: query root.
+  VertexId root = 0;
+  /// Overrides the engine's dense/sparse switch threshold.
+  double dense_fraction = 0.05;
+};
+
+/// Builds EngineOptions from an AppConfig (mode policy is set per app).
+inline EngineOptions MakeEngineOptions(const AppConfig& config) {
+  EngineOptions opt;
+  opt.enable_work_stealing = config.enable_stealing;
+  opt.cost_model = config.cost_model;
+  opt.dense_fraction = config.dense_fraction;
+  return opt;
+}
+
+/// Common result bundle: engine statistics plus preprocessing cost.
+struct AppRunInfo {
+  EngineStats stats;
+  uint64_t supersteps = 0;
+  /// RRG generation wall time; 0 in baseline mode (Fig. 8 numerator).
+  double guidance_seconds = 0;
+  /// Guidance sweep depth (diagnostics).
+  uint32_t guidance_depth = 0;
+  /// Safety-sweep updates (min/max apps; 0 means guidance was exact).
+  uint64_t safety_sweep_updates = 0;
+  /// Early-converged vertices at termination (arith apps, Fig. 2).
+  uint64_t ec_vertices = 0;
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_APP_COMMON_H_

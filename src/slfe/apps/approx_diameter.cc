@@ -1,0 +1,47 @@
+#include "slfe/apps/approx_diameter.h"
+
+#include <algorithm>
+
+#include "slfe/apps/bfs.h"
+#include "slfe/common/random.h"
+
+namespace slfe {
+
+ApproxDiameterResult RunApproxDiameter(const Graph& graph,
+                                       const AppConfig& config,
+                                       uint32_t num_probes, uint64_t seed) {
+  ApproxDiameterResult result;
+  if (graph.num_vertices() == 0) return result;
+  Random rng(seed);
+  for (uint32_t probe = 0; probe < num_probes; ++probe) {
+    AppConfig probe_config = config;
+    // Probe from a random vertex with outgoing edges so the BFS can expand.
+    VertexId root = static_cast<VertexId>(rng.Uniform(graph.num_vertices()));
+    for (VertexId tries = 0;
+         graph.out_degree(root) == 0 && tries < graph.num_vertices();
+         ++tries) {
+      root = (root + 1) % graph.num_vertices();
+    }
+    probe_config.root = root;
+    BfsResult bfs = RunBfs(graph, probe_config);
+    for (uint32_t level : bfs.levels) {
+      if (level != UINT32_MAX) {
+        result.diameter_lower_bound =
+            std::max(result.diameter_lower_bound, level);
+      }
+    }
+    // Aggregate run info across probes.
+    result.info.supersteps += bfs.info.supersteps;
+    result.info.guidance_seconds += bfs.info.guidance_seconds;
+    result.info.safety_sweep_updates += bfs.info.safety_sweep_updates;
+    result.info.stats.computations += bfs.info.stats.computations;
+    result.info.stats.updates += bfs.info.stats.updates;
+    result.info.stats.skipped += bfs.info.stats.skipped;
+    result.info.stats.pull_seconds += bfs.info.stats.pull_seconds;
+    result.info.stats.push_seconds += bfs.info.stats.push_seconds;
+    result.info.stats.comm_seconds += bfs.info.stats.comm_seconds;
+  }
+  return result;
+}
+
+}  // namespace slfe

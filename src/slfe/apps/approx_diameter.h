@@ -1,0 +1,26 @@
+#ifndef SLFE_APPS_APPROX_DIAMETER_H_
+#define SLFE_APPS_APPROX_DIAMETER_H_
+
+#include <cstdint>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// Approximate diameter via multi-probe BFS: runs BFS from `num_probes`
+/// sampled vertices and reports the largest finite eccentricity seen — a
+/// lower bound on the true diameter. A min/max-class app (paper Table 1).
+struct ApproxDiameterResult {
+  uint32_t diameter_lower_bound = 0;
+  AppRunInfo info;  ///< aggregated over all probes
+};
+
+ApproxDiameterResult RunApproxDiameter(const Graph& graph,
+                                       const AppConfig& config,
+                                       uint32_t num_probes = 4,
+                                       uint64_t seed = 42);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_APPROX_DIAMETER_H_

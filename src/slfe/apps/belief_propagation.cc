@@ -1,0 +1,55 @@
+#include "slfe/apps/belief_propagation.h"
+
+#include <cmath>
+
+#include "slfe/common/logging.h"
+#include "slfe/core/roots.h"
+#include "slfe/core/rr_runners.h"
+#include "slfe/sim/cluster.h"
+
+namespace slfe {
+
+BeliefPropagationResult RunBeliefPropagation(const Graph& graph,
+                                             const std::vector<float>& prior,
+                                             const AppConfig& config,
+                                             float coupling, float damping) {
+  VertexId n = graph.num_vertices();
+  SLFE_CHECK_EQ(prior.size(), n);
+  BeliefPropagationResult result;
+  result.belief = prior;
+
+  DistGraph dg = DistGraph::Build(graph, config.num_nodes);
+
+  RRGuidance guidance;
+  if (config.enable_rr) {
+    guidance = RRGuidance::Generate(graph, SelectSourceRoots(graph));
+    result.info.guidance_seconds = guidance.generation_seconds();
+    result.info.guidance_depth = guidance.depth();
+  }
+
+  DistEngine<float> engine(dg, MakeEngineOptions(config));
+  ArithRunner<float> runner(&engine, config.enable_rr ? &guidance : nullptr);
+
+  std::vector<float>& belief = result.belief;
+  auto gather = [&belief](float acc, VertexId src, Weight) {
+    return acc + std::tanh(belief[src]);
+  };
+  auto commit = [&prior, &belief, coupling, damping](VertexId v, float acc) {
+    float target = prior[v] + coupling * acc;
+    return (1.0f - damping) * belief[v] + damping * target;
+  };
+
+  sim::Cluster cluster(config.num_nodes, config.threads_per_node);
+  cluster.Run([&](sim::NodeContext& ctx) {
+    auto run = runner.Run(ctx, &belief, 0.0f, gather, commit,
+                          config.max_iters, config.epsilon);
+    if (ctx.rank == 0) {
+      result.info.stats = run.stats;
+      result.info.supersteps = run.supersteps;
+      result.info.ec_vertices = run.ec_vertices;
+    }
+  });
+  return result;
+}
+
+}  // namespace slfe

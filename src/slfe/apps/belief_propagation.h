@@ -1,0 +1,31 @@
+#ifndef SLFE_APPS_BELIEF_PROPAGATION_H_
+#define SLFE_APPS_BELIEF_PROPAGATION_H_
+
+#include <vector>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// Loopy belief propagation for a binary pairwise Markov random field
+/// (paper Table 1, arithmetic category), in the damped mean-field form
+/// commonly used for vertex-centric engines: each vertex holds the
+/// log-odds b(v) of being in state 1 and iterates
+///   b'(v) = prior(v) + coupling * sum_in tanh(b(src))
+/// with damping. Arithmetic app: always pull; RR freezes vertices whose
+/// belief stabilized.
+struct BeliefPropagationResult {
+  /// Final log-odds per vertex; sign gives the MAP state.
+  std::vector<float> belief;
+  AppRunInfo info;
+};
+
+/// `prior` must have |V| entries (log-odds evidence; 0 = no evidence).
+BeliefPropagationResult RunBeliefPropagation(
+    const Graph& graph, const std::vector<float>& prior,
+    const AppConfig& config, float coupling = 0.2f, float damping = 0.5f);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_BELIEF_PROPAGATION_H_

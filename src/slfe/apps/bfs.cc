@@ -1,0 +1,61 @@
+#include "slfe/apps/bfs.h"
+
+#include <cstdint>
+
+#include "slfe/core/rr_runners.h"
+#include "slfe/engine/atomic_ops.h"
+#include "slfe/sim/cluster.h"
+
+namespace slfe {
+
+BfsResult RunBfs(const Graph& graph, const AppConfig& config) {
+  BfsResult result;
+  result.levels.assign(graph.num_vertices(), UINT32_MAX);
+  result.levels[config.root] = 0;
+
+  DistGraph dg = DistGraph::Build(graph, config.num_nodes);
+
+  RRGuidance guidance;
+  if (config.enable_rr) {
+    guidance = RRGuidance::Generate(graph, {config.root});
+    result.info.guidance_seconds = guidance.generation_seconds();
+    result.info.guidance_depth = guidance.depth();
+  }
+
+  DistEngine<uint32_t> engine(dg, MakeEngineOptions(config));
+  MinMaxRunner<uint32_t> runner(&engine,
+                                config.enable_rr ? &guidance : nullptr);
+
+  std::vector<uint32_t>& levels = result.levels;
+  auto gather = [&levels](uint32_t acc, VertexId src, Weight) {
+    uint32_t lv = AtomicLoad(&levels[src]);
+    uint32_t candidate = lv == UINT32_MAX ? UINT32_MAX : lv + 1;
+    return candidate < acc ? candidate : acc;
+  };
+  auto apply = [&levels](VertexId dst, uint32_t acc) {
+    if (acc < levels[dst]) {
+      levels[dst] = acc;
+      return true;
+    }
+    return false;
+  };
+  auto scatter = [&levels](VertexId src, VertexId dst, Weight) {
+    uint32_t lv = AtomicLoad(&levels[src]);
+    if (lv == UINT32_MAX) return false;
+    return AtomicMin(&levels[dst], lv + 1);
+  };
+
+  sim::Cluster cluster(config.num_nodes, config.threads_per_node);
+  cluster.Run([&](sim::NodeContext& ctx) {
+    auto run =
+        runner.Run(ctx, {config.root}, UINT32_MAX, gather, apply, scatter);
+    if (ctx.rank == 0) {
+      result.info.stats = run.stats;
+      result.info.supersteps = run.supersteps;
+      result.info.safety_sweep_updates = run.safety_sweep_updates;
+    }
+  });
+  return result;
+}
+
+}  // namespace slfe

@@ -1,0 +1,24 @@
+#ifndef SLFE_APPS_BFS_H_
+#define SLFE_APPS_BFS_H_
+
+#include <vector>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// Breadth-first search: levels[v] is the minimum hop count from the root
+/// (UINT32_MAX when unreachable). A min() aggregation app; functionally
+/// SSSP with unit weights, kept separate because its guidance equals its
+/// own answer (the adversarial best case for "start late").
+struct BfsResult {
+  std::vector<uint32_t> levels;
+  AppRunInfo info;
+};
+
+BfsResult RunBfs(const Graph& graph, const AppConfig& config);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_BFS_H_

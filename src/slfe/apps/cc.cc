@@ -1,0 +1,60 @@
+#include "slfe/apps/cc.h"
+
+#include <numeric>
+
+#include "slfe/core/roots.h"
+#include "slfe/core/rr_runners.h"
+#include "slfe/engine/atomic_ops.h"
+#include "slfe/sim/cluster.h"
+
+namespace slfe {
+
+CcResult RunCc(const Graph& graph, const AppConfig& config) {
+  CcResult result;
+  result.labels.resize(graph.num_vertices());
+  std::iota(result.labels.begin(), result.labels.end(), 0u);
+
+  DistGraph dg = DistGraph::Build(graph, config.num_nodes);
+
+  RRGuidance guidance;
+  std::vector<VertexId> seeds(graph.num_vertices());
+  std::iota(seeds.begin(), seeds.end(), 0u);
+  if (config.enable_rr) {
+    guidance = RRGuidance::Generate(graph, SelectLocalMinimaRoots(graph));
+    result.info.guidance_seconds = guidance.generation_seconds();
+    result.info.guidance_depth = guidance.depth();
+  }
+
+  DistEngine<uint32_t> engine(dg, MakeEngineOptions(config));
+  MinMaxRunner<uint32_t> runner(&engine,
+                                config.enable_rr ? &guidance : nullptr);
+
+  std::vector<uint32_t>& labels = result.labels;
+  auto gather = [&labels](uint32_t acc, VertexId src, Weight) {
+    uint32_t candidate = AtomicLoad(&labels[src]);
+    return candidate < acc ? candidate : acc;
+  };
+  auto apply = [&labels](VertexId dst, uint32_t acc) {
+    if (acc < labels[dst]) {
+      labels[dst] = acc;
+      return true;
+    }
+    return false;
+  };
+  auto scatter = [&labels](VertexId src, VertexId dst, Weight) {
+    return AtomicMin(&labels[dst], AtomicLoad(&labels[src]));
+  };
+
+  sim::Cluster cluster(config.num_nodes, config.threads_per_node);
+  cluster.Run([&](sim::NodeContext& ctx) {
+    auto run = runner.Run(ctx, seeds, UINT32_MAX, gather, apply, scatter);
+    if (ctx.rank == 0) {
+      result.info.stats = run.stats;
+      result.info.supersteps = run.supersteps;
+      result.info.safety_sweep_updates = run.safety_sweep_updates;
+    }
+  });
+  return result;
+}
+
+}  // namespace slfe

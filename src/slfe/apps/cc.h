@@ -1,0 +1,27 @@
+#ifndef SLFE_APPS_CC_H_
+#define SLFE_APPS_CC_H_
+
+#include <vector>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// Connected Components via minimum-label propagation. labels[v] is the
+/// smallest vertex id in v's (weakly) connected component. The input graph
+/// must be symmetric (EdgeList::Symmetrize before building) for the labels
+/// to mean weak connectivity.
+struct CcResult {
+  std::vector<uint32_t> labels;
+  AppRunInfo info;
+};
+
+/// Runs CC. With RR enabled, guidance is generated from the graph's local
+/// label minima (SelectLocalMinimaRoots) and the "start late" schedule
+/// skips a vertex until its last propagation level.
+CcResult RunCc(const Graph& graph, const AppConfig& config);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_CC_H_

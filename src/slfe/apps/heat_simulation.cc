@@ -1,0 +1,57 @@
+#include "slfe/apps/heat_simulation.h"
+
+#include "slfe/common/logging.h"
+#include "slfe/core/roots.h"
+#include "slfe/core/rr_runners.h"
+#include "slfe/sim/cluster.h"
+
+namespace slfe {
+
+HeatSimulationResult RunHeatSimulation(const Graph& graph,
+                                       const std::vector<float>& initial,
+                                       const AppConfig& config, float alpha) {
+  VertexId n = graph.num_vertices();
+  SLFE_CHECK_EQ(initial.size(), n);
+  HeatSimulationResult result;
+  result.heat = initial;
+
+  DistGraph dg = DistGraph::Build(graph, config.num_nodes);
+
+  RRGuidance guidance;
+  if (config.enable_rr) {
+    guidance = RRGuidance::Generate(graph, SelectSourceRoots(graph));
+    result.info.guidance_seconds = guidance.generation_seconds();
+    result.info.guidance_depth = guidance.depth();
+  }
+
+  DistEngine<float> engine(dg, MakeEngineOptions(config));
+  ArithRunner<float> runner(&engine, config.enable_rr ? &guidance : nullptr);
+
+  std::vector<float>& heat = result.heat;
+  auto gather = [&heat](float acc, VertexId src, Weight) {
+    return acc + heat[src];
+  };
+  // The runner commits the returned value into `heat` itself; the vertex
+  // function only derives it (heat[v] still holds the previous-iteration
+  // temperature at this point).
+  auto commit = [&graph, &heat, alpha](VertexId v, float acc) {
+    VertexId in_deg = graph.in_degree(v);
+    if (in_deg == 0) return heat[v];  // boundary source holds temperature
+    float avg = acc / static_cast<float>(in_deg);
+    return (1.0f - alpha) * heat[v] + alpha * avg;
+  };
+
+  sim::Cluster cluster(config.num_nodes, config.threads_per_node);
+  cluster.Run([&](sim::NodeContext& ctx) {
+    auto run = runner.Run(ctx, &heat, 0.0f, gather, commit, config.max_iters,
+                          config.epsilon);
+    if (ctx.rank == 0) {
+      result.info.stats = run.stats;
+      result.info.supersteps = run.supersteps;
+      result.info.ec_vertices = run.ec_vertices;
+    }
+  });
+  return result;
+}
+
+}  // namespace slfe

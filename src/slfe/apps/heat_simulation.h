@@ -1,0 +1,32 @@
+#ifndef SLFE_APPS_HEAT_SIMULATION_H_
+#define SLFE_APPS_HEAT_SIMULATION_H_
+
+#include <vector>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// Heat simulation (paper Table 1, arithmetic category): Jacobi-style
+/// diffusion where each vertex relaxes toward the mean of its
+/// in-neighbors,
+///   heat'(v) = (1 - alpha) * heat(v) + alpha * avg_in(heat)
+/// Vertices with no in-edges hold their temperature (heat sources at the
+/// boundary). An arithmetic app: always pull; with RR, vertices whose
+/// temperature stabilized freeze early ("finish early").
+struct HeatSimulationResult {
+  std::vector<float> heat;
+  AppRunInfo info;
+};
+
+/// `initial` must have |V| entries (e.g., hot spots at sources, 0
+/// elsewhere). alpha in (0, 1].
+HeatSimulationResult RunHeatSimulation(const Graph& graph,
+                                       const std::vector<float>& initial,
+                                       const AppConfig& config,
+                                       float alpha = 0.5f);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_HEAT_SIMULATION_H_

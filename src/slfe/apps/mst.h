@@ -1,0 +1,32 @@
+#ifndef SLFE_APPS_MST_H_
+#define SLFE_APPS_MST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// Minimum spanning tree / forest via parallel Boruvka rounds (paper
+/// Table 1, min/max category): each round every component selects its
+/// minimum-weight outgoing edge (a min() aggregation over component
+/// boundaries) and components merge along the selected edges. The input
+/// must be symmetric (undirected); ties are broken by (weight, src, dst)
+/// so the forest is unique.
+struct MstResult {
+  /// Total weight of the spanning forest.
+  double total_weight = 0;
+  /// Number of edges selected (|V| - #components).
+  uint64_t tree_edges = 0;
+  /// Boruvka rounds executed.
+  uint32_t rounds = 0;
+  AppRunInfo info;
+};
+
+MstResult RunMst(const Graph& graph, const AppConfig& config);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_MST_H_

@@ -1,0 +1,55 @@
+#include "slfe/apps/numpaths.h"
+
+#include "slfe/core/rr_runners.h"
+#include "slfe/sim/cluster.h"
+
+namespace slfe {
+
+NumPathsResult RunNumPaths(const Graph& graph, const AppConfig& config,
+                           uint32_t max_length) {
+  VertexId n = graph.num_vertices();
+  NumPathsResult result;
+
+  DistGraph dg = DistGraph::Build(graph, config.num_nodes);
+
+  RRGuidance guidance;
+  if (config.enable_rr) {
+    guidance = RRGuidance::Generate(graph, {config.root});
+    result.info.guidance_seconds = guidance.generation_seconds();
+    result.info.guidance_depth = guidance.depth();
+  }
+
+  DistEngine<double> engine(dg, MakeEngineOptions(config));
+  ArithRunner<double> runner(&engine,
+                             config.enable_rr ? &guidance : nullptr);
+
+  // walks[v] accumulates the number of root->v walks found so far;
+  // `frontier_count` holds walks of exactly the current length.
+  std::vector<double> walks(n, 0.0);
+  std::vector<double> frontier_count(n, 0.0);
+  frontier_count[config.root] = 1.0;
+  walks[config.root] = 1.0;
+
+  auto gather = [&frontier_count](double acc, VertexId src, Weight) {
+    return acc + frontier_count[src];
+  };
+  auto vertex_fn = [&walks](VertexId v, double acc) {
+    walks[v] += acc;
+    return acc;  // becomes the next frontier count for v
+  };
+
+  sim::Cluster cluster(config.num_nodes, config.threads_per_node);
+  cluster.Run([&](sim::NodeContext& ctx) {
+    auto run = runner.Run(ctx, &frontier_count, 0.0, gather, vertex_fn,
+                          max_length, /*epsilon=*/1e-12);
+    if (ctx.rank == 0) {
+      result.info.stats = run.stats;
+      result.info.supersteps = run.supersteps;
+      result.info.ec_vertices = run.ec_vertices;
+    }
+  });
+  result.paths = walks;
+  return result;
+}
+
+}  // namespace slfe

@@ -1,0 +1,25 @@
+#ifndef SLFE_APPS_NUMPATHS_H_
+#define SLFE_APPS_NUMPATHS_H_
+
+#include <vector>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// NumPaths: counts walks of length <= k from the root to every vertex
+/// (on DAGs with large k this converges to the number of distinct paths).
+/// An arithmetic sum() aggregation app (paper Table 1). Counts are stored
+/// as double to tolerate combinatorial growth.
+struct NumPathsResult {
+  std::vector<double> paths;
+  AppRunInfo info;
+};
+
+NumPathsResult RunNumPaths(const Graph& graph, const AppConfig& config,
+                           uint32_t max_length = 16);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_NUMPATHS_H_

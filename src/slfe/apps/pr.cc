@@ -1,0 +1,60 @@
+#include "slfe/apps/pr.h"
+
+#include "slfe/core/roots.h"
+#include "slfe/core/rr_runners.h"
+#include "slfe/sim/cluster.h"
+
+namespace slfe {
+
+PrResult RunPr(const Graph& graph, const AppConfig& config) {
+  VertexId n = graph.num_vertices();
+  PrResult result;
+  result.ranks.assign(n, 1.0f);
+
+  DistGraph dg = DistGraph::Build(graph, config.num_nodes);
+
+  RRGuidance guidance;
+  if (config.enable_rr) {
+    guidance = RRGuidance::Generate(graph, SelectSourceRoots(graph));
+    result.info.guidance_seconds = guidance.generation_seconds();
+    result.info.guidance_depth = guidance.depth();
+  }
+
+  DistEngine<float> engine(dg, MakeEngineOptions(config));
+  ArithRunner<float> runner(&engine, config.enable_rr ? &guidance : nullptr);
+
+  // The propagated property is the out-contribution rank/out_degree (what a
+  // successor gathers); `ranks` keeps the displayed damped rank.
+  std::vector<float> contrib(n);
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId od = graph.out_degree(v);
+    contrib[v] = od > 0 ? 1.0f / static_cast<float>(od) : 1.0f;
+  }
+  std::vector<float>& ranks = result.ranks;
+
+  auto gather = [&contrib](float acc, VertexId src, Weight) {
+    return acc + contrib[src];
+  };
+  // vertexUpdate (the paper's vOp): damp, record the rank, and commit the
+  // next out-contribution as the propagated value.
+  auto vertex_fn = [&graph, &ranks](VertexId v, float acc) {
+    float rank = 0.15f + 0.85f * acc;
+    ranks[v] = rank;
+    VertexId od = graph.out_degree(v);
+    return od > 0 ? rank / static_cast<float>(od) : rank;
+  };
+
+  sim::Cluster cluster(config.num_nodes, config.threads_per_node);
+  cluster.Run([&](sim::NodeContext& ctx) {
+    auto run = runner.Run(ctx, &contrib, 0.0f, gather, vertex_fn,
+                          config.max_iters, config.epsilon);
+    if (ctx.rank == 0) {
+      result.info.stats = run.stats;
+      result.info.supersteps = run.supersteps;
+      result.info.ec_vertices = run.ec_vertices;
+    }
+  });
+  return result;
+}
+
+}  // namespace slfe

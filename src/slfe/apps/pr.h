@@ -1,0 +1,24 @@
+#ifndef SLFE_APPS_PR_H_
+#define SLFE_APPS_PR_H_
+
+#include <vector>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// PageRank with damping 0.85 (paper Algorithm 5). ranks[v] is the damped
+/// rank after the run; sums of contributions propagate along in-edges each
+/// iteration. An arithmetic-aggregation app: always pull mode; with RR the
+/// "finish early" multi-Ruler freezes early-converged vertices.
+struct PrResult {
+  std::vector<float> ranks;
+  AppRunInfo info;
+};
+
+PrResult RunPr(const Graph& graph, const AppConfig& config);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_PR_H_

@@ -1,0 +1,299 @@
+#include "slfe/apps/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <tuple>
+#include <limits>
+#include <queue>
+
+namespace slfe {
+
+std::vector<float> ReferenceSssp(const Graph& graph, VertexId root) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  std::vector<float> dist(graph.num_vertices(), kInf);
+  dist[root] = 0.0f;
+  using Entry = std::pair<float, VertexId>;  // (distance, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  pq.push({0.0f, root});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    graph.out().ForEachNeighbor(v, [&](VertexId u, Weight w) {
+      float nd = d + w;
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        pq.push({nd, u});
+      }
+    });
+  }
+  return dist;
+}
+
+std::vector<uint32_t> ReferenceBfs(const Graph& graph, VertexId root) {
+  std::vector<uint32_t> level(graph.num_vertices(), UINT32_MAX);
+  level[root] = 0;
+  std::queue<VertexId> q;
+  q.push(root);
+  while (!q.empty()) {
+    VertexId v = q.front();
+    q.pop();
+    graph.out().ForEachNeighbor(v, [&](VertexId u, Weight) {
+      if (level[u] == UINT32_MAX) {
+        level[u] = level[v] + 1;
+        q.push(u);
+      }
+    });
+  }
+  return level;
+}
+
+std::vector<uint32_t> ReferenceCc(const Graph& graph) {
+  VertexId n = graph.num_vertices();
+  std::vector<uint32_t> label(n, UINT32_MAX);
+  for (VertexId s = 0; s < n; ++s) {
+    if (label[s] != UINT32_MAX) continue;
+    // BFS over the undirected closure; s is the smallest unvisited id, so
+    // it is its component's minimum label.
+    label[s] = s;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      VertexId v = q.front();
+      q.pop();
+      auto visit = [&](VertexId u, Weight) {
+        if (label[u] == UINT32_MAX) {
+          label[u] = s;
+          q.push(u);
+        }
+      };
+      graph.out().ForEachNeighbor(v, visit);
+      graph.in().ForEachNeighbor(v, visit);
+    }
+  }
+  return label;
+}
+
+std::vector<float> ReferenceWp(const Graph& graph, VertexId root) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  std::vector<float> width(graph.num_vertices(), 0.0f);
+  width[root] = kInf;
+  using Entry = std::pair<float, VertexId>;  // (width, vertex), max-first
+  std::priority_queue<Entry> pq;
+  pq.push({kInf, root});
+  while (!pq.empty()) {
+    auto [wd, v] = pq.top();
+    pq.pop();
+    if (wd < width[v]) continue;
+    graph.out().ForEachNeighbor(v, [&](VertexId u, Weight w) {
+      float nw = std::min(wd, w);
+      if (nw > width[u]) {
+        width[u] = nw;
+        pq.push({nw, u});
+      }
+    });
+  }
+  return width;
+}
+
+std::vector<float> ReferencePr(const Graph& graph, uint32_t iterations) {
+  VertexId n = graph.num_vertices();
+  std::vector<float> rank(n, 1.0f);
+  std::vector<float> contrib(n);
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId od = graph.out_degree(v);
+    contrib[v] = od > 0 ? 1.0f / static_cast<float>(od) : 1.0f;
+  }
+  for (uint32_t it = 0; it < iterations; ++it) {
+    for (VertexId v = 0; v < n; ++v) {
+      float acc = 0.0f;
+      graph.in().ForEachNeighbor(
+          v, [&](VertexId u, Weight) { acc += contrib[u]; });
+      rank[v] = 0.15f + 0.85f * acc;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      VertexId od = graph.out_degree(v);
+      contrib[v] = od > 0 ? rank[v] / static_cast<float>(od) : rank[v];
+    }
+  }
+  return rank;
+}
+
+std::vector<float> ReferenceTr(const Graph& graph, uint32_t iterations,
+                               float p) {
+  VertexId n = graph.num_vertices();
+  std::vector<float> influence(n, 1.0f);
+  std::vector<float> contrib(n);
+  auto refresh = [&] {
+    for (VertexId v = 0; v < n; ++v) {
+      VertexId od = graph.out_degree(v);
+      contrib[v] =
+          od > 0 ? (1.0f + p * influence[v]) / static_cast<float>(od) : 0.0f;
+    }
+  };
+  refresh();
+  for (uint32_t it = 0; it < iterations; ++it) {
+    for (VertexId v = 0; v < n; ++v) {
+      float acc = 0.0f;
+      graph.in().ForEachNeighbor(
+          v, [&](VertexId u, Weight) { acc += contrib[u]; });
+      influence[v] = acc;
+    }
+    refresh();
+  }
+  return influence;
+}
+
+std::vector<float> ReferenceSpmv(const Graph& graph,
+                                 const std::vector<float>& x, uint32_t k) {
+  VertexId n = graph.num_vertices();
+  std::vector<float> cur = x;
+  std::vector<float> next(n);
+  for (uint32_t it = 0; it < k; ++it) {
+    for (VertexId v = 0; v < n; ++v) {
+      float acc = 0.0f;
+      graph.in().ForEachNeighbor(
+          v, [&](VertexId u, Weight w) { acc += cur[u] * w; });
+      next[v] = acc;
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+std::vector<double> ReferenceNumPaths(const Graph& graph, VertexId root,
+                                      uint32_t k) {
+  VertexId n = graph.num_vertices();
+  std::vector<double> walks(n, 0.0), frontier(n, 0.0), next(n, 0.0);
+  frontier[root] = 1.0;
+  walks[root] = 1.0;
+  for (uint32_t it = 0; it < k; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      double acc = 0.0;
+      graph.in().ForEachNeighbor(
+          v, [&](VertexId u, Weight) { acc += frontier[u]; });
+      next[v] = acc;
+      walks[v] += acc;
+    }
+    frontier.swap(next);
+  }
+  return walks;
+}
+
+}  // namespace slfe
+
+namespace slfe {
+
+uint64_t ReferenceTriangleCount(const Graph& graph) {
+  VertexId n = graph.num_vertices();
+  // Undirected adjacency as sorted unique neighbor sets.
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId v = 0; v < n; ++v) {
+    graph.out().ForEachNeighbor(v, [&](VertexId u, Weight) {
+      if (u != v) {
+        adj[v].push_back(u);
+        adj[u].push_back(v);
+      }
+    });
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  auto connected = [&](VertexId a, VertexId b) {
+    return std::binary_search(adj[a].begin(), adj[a].end(), b);
+  };
+  uint64_t count = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    for (size_t i = 0; i < adj[v].size(); ++i) {
+      VertexId u = adj[v][i];
+      if (u < v) continue;
+      for (size_t j = i + 1; j < adj[v].size(); ++j) {
+        VertexId w = adj[v][j];
+        if (w < v) continue;
+        if (connected(u, w)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<float> ReferenceHeatSimulation(const Graph& graph,
+                                           const std::vector<float>& initial,
+                                           uint32_t iterations, float alpha) {
+  VertexId n = graph.num_vertices();
+  std::vector<float> cur = initial, next(n);
+  for (uint32_t it = 0; it < iterations; ++it) {
+    for (VertexId v = 0; v < n; ++v) {
+      VertexId in_deg = graph.in_degree(v);
+      if (in_deg == 0) {
+        next[v] = cur[v];
+        continue;
+      }
+      float sum = 0;
+      graph.in().ForEachNeighbor(v,
+                                 [&](VertexId u, Weight) { sum += cur[u]; });
+      float avg = sum / static_cast<float>(in_deg);
+      next[v] = (1.0f - alpha) * cur[v] + alpha * avg;
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+std::vector<float> ReferenceBeliefPropagation(const Graph& graph,
+                                              const std::vector<float>& prior,
+                                              uint32_t iterations,
+                                              float coupling, float damping) {
+  VertexId n = graph.num_vertices();
+  std::vector<float> cur = prior, next(n);
+  for (uint32_t it = 0; it < iterations; ++it) {
+    for (VertexId v = 0; v < n; ++v) {
+      float sum = 0;
+      graph.in().ForEachNeighbor(
+          v, [&](VertexId u, Weight) { sum += std::tanh(cur[u]); });
+      float target = prior[v] + coupling * sum;
+      next[v] = (1.0f - damping) * cur[v] + damping * target;
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+double ReferenceMstWeight(const Graph& graph) {
+  struct KEdge {
+    float w;
+    VertexId s, d;
+  };
+  std::vector<KEdge> edges;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    graph.out().ForEachNeighbor(v, [&](VertexId u, Weight w) {
+      if (u != v) edges.push_back({w, v, u});
+    });
+  }
+  std::sort(edges.begin(), edges.end(), [](const KEdge& a, const KEdge& b) {
+    return std::tie(a.w, a.s, a.d) < std::tie(b.w, b.s, b.d);
+  });
+  std::vector<VertexId> parent(graph.num_vertices());
+  std::iota(parent.begin(), parent.end(), 0u);
+  std::function<VertexId(VertexId)> find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  double total = 0;
+  for (const KEdge& e : edges) {
+    VertexId a = find(e.s), b = find(e.d);
+    if (a == b) continue;
+    parent[a] = b;
+    total += e.w;
+  }
+  return total;
+}
+
+}  // namespace slfe

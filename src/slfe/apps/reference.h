@@ -1,0 +1,67 @@
+#ifndef SLFE_APPS_REFERENCE_H_
+#define SLFE_APPS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "slfe/graph/graph.h"
+#include "slfe/graph/types.h"
+
+namespace slfe {
+
+/// Sequential, textbook reference implementations used as ground truth by
+/// the test suite (paper Theorem 1: every engine mode must converge to the
+/// same values these produce).
+
+/// Dijkstra from `root`; infinity for unreachable vertices.
+std::vector<float> ReferenceSssp(const Graph& graph, VertexId root);
+
+/// BFS hop counts from `root`; UINT32_MAX for unreachable vertices.
+std::vector<uint32_t> ReferenceBfs(const Graph& graph, VertexId root);
+
+/// Weakly connected components as minimum-vertex-id labels. The graph is
+/// treated as undirected (both adjacency directions scanned).
+std::vector<uint32_t> ReferenceCc(const Graph& graph);
+
+/// Maximum-bottleneck (widest) path widths from `root`; +infinity at the
+/// root, 0 for unreachable vertices.
+std::vector<float> ReferenceWp(const Graph& graph, VertexId root);
+
+/// Damped PageRank, `iterations` synchronous power iterations starting
+/// from rank 1 (contribution model identical to RunPr).
+std::vector<float> ReferencePr(const Graph& graph, uint32_t iterations);
+
+/// TunkRank reference matching RunTr.
+std::vector<float> ReferenceTr(const Graph& graph, uint32_t iterations,
+                               float retweet_probability = 0.5f);
+
+/// y = (A^T)^k x reference matching RunSpmv.
+std::vector<float> ReferenceSpmv(const Graph& graph,
+                                 const std::vector<float>& x, uint32_t k);
+
+/// Walk counts of length <= k from root, matching RunNumPaths.
+std::vector<double> ReferenceNumPaths(const Graph& graph, VertexId root,
+                                      uint32_t k);
+
+/// Brute-force triangle count over the undirected closure (O(V * d^2));
+/// use small graphs only.
+uint64_t ReferenceTriangleCount(const Graph& graph);
+
+/// Jacobi heat diffusion matching RunHeatSimulation, `iterations` rounds.
+std::vector<float> ReferenceHeatSimulation(const Graph& graph,
+                                           const std::vector<float>& initial,
+                                           uint32_t iterations, float alpha);
+
+/// Damped mean-field BP matching RunBeliefPropagation.
+std::vector<float> ReferenceBeliefPropagation(const Graph& graph,
+                                              const std::vector<float>& prior,
+                                              uint32_t iterations,
+                                              float coupling, float damping);
+
+/// Kruskal MST/forest weight over the undirected closure with
+/// (weight, src, dst) tie-breaking, matching RunMst's selection.
+double ReferenceMstWeight(const Graph& graph);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_REFERENCE_H_

@@ -1,0 +1,48 @@
+#include "slfe/apps/spmv.h"
+
+#include "slfe/common/logging.h"
+#include "slfe/core/roots.h"
+#include "slfe/core/rr_runners.h"
+#include "slfe/sim/cluster.h"
+
+namespace slfe {
+
+SpmvResult RunSpmv(const Graph& graph, const std::vector<float>& x,
+                   const AppConfig& config, uint32_t iterations) {
+  VertexId n = graph.num_vertices();
+  SLFE_CHECK_EQ(x.size(), n);
+  SpmvResult result;
+
+  DistGraph dg = DistGraph::Build(graph, config.num_nodes);
+
+  RRGuidance guidance;
+  if (config.enable_rr) {
+    guidance = RRGuidance::Generate(graph, SelectSourceRoots(graph));
+    result.info.guidance_seconds = guidance.generation_seconds();
+    result.info.guidance_depth = guidance.depth();
+  }
+
+  DistEngine<float> engine(dg, MakeEngineOptions(config));
+  ArithRunner<float> runner(&engine, config.enable_rr ? &guidance : nullptr);
+
+  std::vector<float> values = x;  // the propagated vector
+  auto gather = [&values](float acc, VertexId src, Weight w) {
+    return acc + values[src] * w;
+  };
+  auto vertex_fn = [](VertexId, float acc) { return acc; };
+
+  sim::Cluster cluster(config.num_nodes, config.threads_per_node);
+  cluster.Run([&](sim::NodeContext& ctx) {
+    auto run = runner.Run(ctx, &values, 0.0f, gather, vertex_fn, iterations,
+                          /*epsilon=*/0.0);
+    if (ctx.rank == 0) {
+      result.info.stats = run.stats;
+      result.info.supersteps = run.supersteps;
+      result.info.ec_vertices = run.ec_vertices;
+    }
+  });
+  result.y = values;
+  return result;
+}
+
+}  // namespace slfe

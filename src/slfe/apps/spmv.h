@@ -1,0 +1,26 @@
+#ifndef SLFE_APPS_SPMV_H_
+#define SLFE_APPS_SPMV_H_
+
+#include <vector>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// Sparse matrix-vector multiply chain: y = (A^T)^k x where A is the
+/// weighted adjacency matrix (entry w for edge src->dst) and x the input
+/// vector. One of the arithmetic-aggregation apps in paper Table 1.
+struct SpmvResult {
+  std::vector<float> y;
+  AppRunInfo info;
+};
+
+/// `iterations` chains k multiplies (values renormalized each round to
+/// avoid overflow on long chains).
+SpmvResult RunSpmv(const Graph& graph, const std::vector<float>& x,
+                   const AppConfig& config, uint32_t iterations = 1);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_SPMV_H_

@@ -1,0 +1,59 @@
+#include "slfe/apps/sssp.h"
+
+#include <limits>
+
+#include "slfe/core/rr_runners.h"
+#include "slfe/engine/atomic_ops.h"
+#include "slfe/sim/cluster.h"
+
+namespace slfe {
+
+SsspResult RunSssp(const Graph& graph, const AppConfig& config) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  SsspResult result;
+  result.dist.assign(graph.num_vertices(), kInf);
+  result.dist[config.root] = 0.0f;
+
+  DistGraph dg = DistGraph::Build(graph, config.num_nodes);
+
+  RRGuidance guidance;
+  if (config.enable_rr) {
+    guidance = RRGuidance::Generate(graph, {config.root});
+    result.info.guidance_seconds = guidance.generation_seconds();
+    result.info.guidance_depth = guidance.depth();
+  }
+
+  DistEngine<float> engine(dg, MakeEngineOptions(config));
+  MinMaxRunner<float> runner(&engine,
+                             config.enable_rr ? &guidance : nullptr);
+
+  std::vector<float>& dist = result.dist;
+  auto gather = [&dist](float acc, VertexId src, Weight w) {
+    float candidate = AtomicLoad(&dist[src]) + w;
+    return candidate < acc ? candidate : acc;
+  };
+  auto apply = [&dist](VertexId dst, float acc) {
+    if (acc < dist[dst]) {
+      dist[dst] = acc;  // dst is rank-local; no atomics needed in pull
+      return true;
+    }
+    return false;
+  };
+  auto scatter = [&dist](VertexId src, VertexId dst, Weight w) {
+    float candidate = AtomicLoad(&dist[src]) + w;
+    return AtomicMin(&dist[dst], candidate);
+  };
+
+  sim::Cluster cluster(config.num_nodes, config.threads_per_node);
+  cluster.Run([&](sim::NodeContext& ctx) {
+    auto run = runner.Run(ctx, {config.root}, kInf, gather, apply, scatter);
+    if (ctx.rank == 0) {
+      result.info.stats = run.stats;
+      result.info.supersteps = run.supersteps;
+      result.info.safety_sweep_updates = run.safety_sweep_updates;
+    }
+  });
+  return result;
+}
+
+}  // namespace slfe

@@ -1,0 +1,25 @@
+#ifndef SLFE_APPS_SSSP_H_
+#define SLFE_APPS_SSSP_H_
+
+#include <vector>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// Single-Source Shortest Path result: dist[v] is the minimum path weight
+/// from the root (infinity when unreachable).
+struct SsspResult {
+  std::vector<float> dist;
+  AppRunInfo info;
+};
+
+/// Runs SSSP (paper Algorithm 4) on the simulated cluster described by
+/// `config`. With config.enable_rr the "start late" single-Ruler schedule
+/// is applied; otherwise this is the Gemini-style baseline.
+SsspResult RunSssp(const Graph& graph, const AppConfig& config);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_SSSP_H_

@@ -1,0 +1,60 @@
+#include "slfe/apps/tr.h"
+
+#include "slfe/core/roots.h"
+#include "slfe/core/rr_runners.h"
+#include "slfe/sim/cluster.h"
+
+namespace slfe {
+
+TrResult RunTr(const Graph& graph, const AppConfig& config,
+               float retweet_probability) {
+  VertexId n = graph.num_vertices();
+  TrResult result;
+  result.influence.assign(n, 1.0f);
+
+  DistGraph dg = DistGraph::Build(graph, config.num_nodes);
+
+  RRGuidance guidance;
+  if (config.enable_rr) {
+    guidance = RRGuidance::Generate(graph, SelectSourceRoots(graph));
+    result.info.guidance_seconds = guidance.generation_seconds();
+    result.info.guidance_depth = guidance.depth();
+  }
+
+  DistEngine<float> engine(dg, MakeEngineOptions(config));
+  ArithRunner<float> runner(&engine, config.enable_rr ? &guidance : nullptr);
+
+  // Propagated value: (1 + p*influence(u)) / following(u), precomputed per
+  // follower u so the gather is a plain sum.
+  std::vector<float> contrib(n);
+  std::vector<float>& influence = result.influence;
+  const float p = retweet_probability;
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId od = graph.out_degree(v);
+    contrib[v] = od > 0 ? (1.0f + p * influence[v]) / static_cast<float>(od)
+                        : 0.0f;
+  }
+
+  auto gather = [&contrib](float acc, VertexId src, Weight) {
+    return acc + contrib[src];
+  };
+  auto vertex_fn = [&graph, &influence, p](VertexId v, float acc) {
+    influence[v] = acc;
+    VertexId od = graph.out_degree(v);
+    return od > 0 ? (1.0f + p * acc) / static_cast<float>(od) : 0.0f;
+  };
+
+  sim::Cluster cluster(config.num_nodes, config.threads_per_node);
+  cluster.Run([&](sim::NodeContext& ctx) {
+    auto run = runner.Run(ctx, &contrib, 0.0f, gather, vertex_fn,
+                          config.max_iters, config.epsilon);
+    if (ctx.rank == 0) {
+      result.info.stats = run.stats;
+      result.info.supersteps = run.supersteps;
+      result.info.ec_vertices = run.ec_vertices;
+    }
+  });
+  return result;
+}
+
+}  // namespace slfe

@@ -1,0 +1,25 @@
+#ifndef SLFE_APPS_TR_H_
+#define SLFE_APPS_TR_H_
+
+#include <vector>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// TunkRank (Twitter-style influence): the influence of v aggregates
+/// (1 + p * influence(u)) / following(u) over v's followers u, where an
+/// edge u -> v means "u follows v". p is the retweet probability. An
+/// arithmetic-aggregation app like PageRank (paper Table 1).
+struct TrResult {
+  std::vector<float> influence;
+  AppRunInfo info;
+};
+
+TrResult RunTr(const Graph& graph, const AppConfig& config,
+               float retweet_probability = 0.5f);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_TR_H_

@@ -1,0 +1,25 @@
+#ifndef SLFE_APPS_TRIANGLE_COUNT_H_
+#define SLFE_APPS_TRIANGLE_COUNT_H_
+
+#include <cstdint>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// Triangle counting (paper Table 1, arithmetic category). The input is
+/// treated as undirected: an unordered pair {u, v} is adjacent if either
+/// direction is present. Counting uses the standard degree-ordered
+/// intersection algorithm parallelized over the cluster's vertex ranges.
+struct TriangleCountResult {
+  uint64_t triangles = 0;
+  AppRunInfo info;
+};
+
+TriangleCountResult RunTriangleCount(const Graph& graph,
+                                     const AppConfig& config);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_TRIANGLE_COUNT_H_

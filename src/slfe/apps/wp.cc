@@ -1,0 +1,60 @@
+#include "slfe/apps/wp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "slfe/core/rr_runners.h"
+#include "slfe/engine/atomic_ops.h"
+#include "slfe/sim/cluster.h"
+
+namespace slfe {
+
+WpResult RunWp(const Graph& graph, const AppConfig& config) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  WpResult result;
+  result.width.assign(graph.num_vertices(), 0.0f);
+  result.width[config.root] = kInf;
+
+  DistGraph dg = DistGraph::Build(graph, config.num_nodes);
+
+  RRGuidance guidance;
+  if (config.enable_rr) {
+    guidance = RRGuidance::Generate(graph, {config.root});
+    result.info.guidance_seconds = guidance.generation_seconds();
+    result.info.guidance_depth = guidance.depth();
+  }
+
+  DistEngine<float> engine(dg, MakeEngineOptions(config));
+  MinMaxRunner<float> runner(&engine,
+                             config.enable_rr ? &guidance : nullptr);
+
+  std::vector<float>& width = result.width;
+  auto gather = [&width](float acc, VertexId src, Weight w) {
+    float candidate = std::min(AtomicLoad(&width[src]), w);
+    return candidate > acc ? candidate : acc;
+  };
+  auto apply = [&width](VertexId dst, float acc) {
+    if (acc > width[dst]) {
+      width[dst] = acc;
+      return true;
+    }
+    return false;
+  };
+  auto scatter = [&width](VertexId src, VertexId dst, Weight w) {
+    float candidate = std::min(AtomicLoad(&width[src]), w);
+    return AtomicMax(&width[dst], candidate);
+  };
+
+  sim::Cluster cluster(config.num_nodes, config.threads_per_node);
+  cluster.Run([&](sim::NodeContext& ctx) {
+    auto run = runner.Run(ctx, {config.root}, 0.0f, gather, apply, scatter);
+    if (ctx.rank == 0) {
+      result.info.stats = run.stats;
+      result.info.supersteps = run.supersteps;
+      result.info.safety_sweep_updates = run.safety_sweep_updates;
+    }
+  });
+  return result;
+}
+
+}  // namespace slfe

@@ -1,0 +1,23 @@
+#ifndef SLFE_APPS_WP_H_
+#define SLFE_APPS_WP_H_
+
+#include <vector>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+
+/// Widest Path (maximum-bottleneck path): width[v] is the maximum over all
+/// root->v paths of the minimum edge weight along the path. A max()
+/// aggregation app (paper Table 1). width[root] = +inf, unreachable = 0.
+struct WpResult {
+  std::vector<float> width;
+  AppRunInfo info;
+};
+
+WpResult RunWp(const Graph& graph, const AppConfig& config);
+
+}  // namespace slfe
+
+#endif  // SLFE_APPS_WP_H_

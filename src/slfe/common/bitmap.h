@@ -1,0 +1,133 @@
+#ifndef SLFE_COMMON_BITMAP_H_
+#define SLFE_COMMON_BITMAP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "slfe/common/logging.h"
+
+namespace slfe {
+
+/// Fixed-size bitmap with atomic set/reset, used for vertex active sets.
+/// Concurrent `SetBit`/`TestBit` are safe; `Resize`/`Clear`/`Fill` must not
+/// race with readers.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t size) { Resize(size); }
+
+  Bitmap(const Bitmap& other) { CopyFrom(other); }
+  Bitmap& operator=(const Bitmap& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  /// Number of addressable bits.
+  size_t size() const { return size_; }
+
+  /// Resizes to `size` bits, clearing all of them.
+  void Resize(size_t size) {
+    size_ = size;
+    words_.assign(WordCount(size), Word{0});
+  }
+
+  /// Clears all bits.
+  void Clear() {
+    for (auto& w : words_) w.v.store(0, std::memory_order_relaxed);
+  }
+
+  /// Sets all bits in [0, size).
+  void Fill() {
+    size_t full_words = size_ / 64;
+    for (size_t i = 0; i < full_words; ++i)
+      words_[i].v.store(~uint64_t{0}, std::memory_order_relaxed);
+    size_t rem = size_ % 64;
+    if (rem != 0) {
+      words_[full_words].v.store((uint64_t{1} << rem) - 1,
+                                 std::memory_order_relaxed);
+    }
+  }
+
+  bool TestBit(size_t i) const {
+    SLFE_CHECK_LT(i, size_);
+    return (words_[i / 64].v.load(std::memory_order_relaxed) >>
+            (i % 64)) & 1;
+  }
+
+  /// Atomically sets bit i. Returns true iff this call changed it 0 -> 1.
+  bool SetBit(size_t i) {
+    SLFE_CHECK_LT(i, size_);
+    uint64_t mask = uint64_t{1} << (i % 64);
+    uint64_t old =
+        words_[i / 64].v.fetch_or(mask, std::memory_order_relaxed);
+    return (old & mask) == 0;
+  }
+
+  /// Atomically clears bit i. Returns true iff this call changed it 1 -> 0.
+  bool ResetBit(size_t i) {
+    SLFE_CHECK_LT(i, size_);
+    uint64_t mask = uint64_t{1} << (i % 64);
+    uint64_t old =
+        words_[i / 64].v.fetch_and(~mask, std::memory_order_relaxed);
+    return (old & mask) != 0;
+  }
+
+  /// Population count over the whole bitmap.
+  size_t CountOnes() const {
+    size_t n = 0;
+    for (const auto& w : words_)
+      n += static_cast<size_t>(
+          __builtin_popcountll(w.v.load(std::memory_order_relaxed)));
+    return n;
+  }
+
+  /// Invokes fn(i) for every set bit i, in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi].v.load(std::memory_order_relaxed);
+      while (w != 0) {
+        int b = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Raw 64-bit word (for bulk scans); word w covers bits [64w, 64w+63].
+  uint64_t Word64(size_t w) const {
+    return words_[w].v.load(std::memory_order_relaxed);
+  }
+  size_t WordCount() const { return words_.size(); }
+
+ private:
+  // std::atomic<uint64_t> is neither copyable nor movable; wrapping it lets
+  // us keep the words in a std::vector.
+  struct Word {
+    Word() = default;
+    explicit Word(uint64_t init) : v(init) {}
+    Word(const Word& o) : v(o.v.load(std::memory_order_relaxed)) {}
+    Word& operator=(const Word& o) {
+      v.store(o.v.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+      return *this;
+    }
+    std::atomic<uint64_t> v{0};
+  };
+
+  static size_t WordCount(size_t bits) { return (bits + 63) / 64; }
+
+  void CopyFrom(const Bitmap& other) {
+    size_ = other.size_;
+    words_ = other.words_;
+  }
+
+  size_t size_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_COMMON_BITMAP_H_

@@ -1,0 +1,66 @@
+#include "slfe/common/logging.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace slfe {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex& EmitMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < GetLogLevel()) return;
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
+          << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  {
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace slfe

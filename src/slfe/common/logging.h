@@ -1,0 +1,82 @@
+#ifndef SLFE_COMMON_LOGGING_H_
+#define SLFE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace slfe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo; set to kWarning in benches to keep output clean.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it (thread-safely) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Emits the message and aborts the process. Used by SLFE_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define SLFE_LOG(level)                                                  \
+  ::slfe::internal_logging::LogMessage(::slfe::LogLevel::k##level,       \
+                                       __FILE__, __LINE__)
+
+/// Invariant check that stays on in release builds. On failure logs the
+/// condition plus any streamed context and aborts.
+#define SLFE_CHECK(cond)                                                 \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::slfe::internal_logging::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define SLFE_CHECK_EQ(a, b) SLFE_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SLFE_CHECK_NE(a, b) SLFE_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SLFE_CHECK_LT(a, b) SLFE_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SLFE_CHECK_LE(a, b) SLFE_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SLFE_CHECK_GT(a, b) SLFE_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SLFE_CHECK_GE(a, b) SLFE_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+}  // namespace slfe
+
+#endif  // SLFE_COMMON_LOGGING_H_

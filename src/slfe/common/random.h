@@ -1,0 +1,54 @@
+#ifndef SLFE_COMMON_RANDOM_H_
+#define SLFE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace slfe {
+
+/// Deterministic xorshift128+ generator. Used by the graph generators so
+/// that every benchmark graph is reproducible from a fixed seed across
+/// platforms (std::mt19937 distributions are not guaranteed portable).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to avoid weak low-entropy states.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform value in [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_COMMON_RANDOM_H_

@@ -1,0 +1,131 @@
+#ifndef SLFE_COMMON_STATUS_H_
+#define SLFE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace slfe {
+
+/// Error codes used across the SLFE library. The library does not throw
+/// exceptions; every fallible operation returns a Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+  kFailedPrecondition,
+};
+
+/// Returns a human-readable name for a status code ("Ok", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, modelled after the RocksDB/Abseil
+/// Status idiom. Cheap to copy in the OK case (no message allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Use `ok()` before `value()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse: `return 42;` or `return Status::IOError(...)`.
+  Result(T value) : data_(std::move(value)) {}            // NOLINT
+  Result(Status status) : data_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Error status; OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::move(std::get<T>(data_)); }
+
+  /// Returns the held value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SLFE_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::slfe::Status _s = (expr);                   \
+    if (!_s.ok()) return _s;                      \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value to `lhs` or
+/// returning the error status.
+#define SLFE_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto SLFE_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!SLFE_CONCAT_(_res_, __LINE__).ok())        \
+    return SLFE_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(SLFE_CONCAT_(_res_, __LINE__)).value()
+
+#define SLFE_CONCAT_INNER_(a, b) a##b
+#define SLFE_CONCAT_(a, b) SLFE_CONCAT_INNER_(a, b)
+
+}  // namespace slfe
+
+#endif  // SLFE_COMMON_STATUS_H_

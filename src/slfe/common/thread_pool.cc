@@ -1,0 +1,75 @@
+#include "slfe/common/thread_pool.h"
+
+#include "slfe/common/logging.h"
+
+namespace slfe {
+
+ThreadPool::ThreadPool(size_t num_threads) : num_threads_(num_threads) {
+  SLFE_CHECK_GE(num_threads, 1u);
+  threads_.reserve(num_threads - 1);
+  for (size_t i = 1; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::ParallelRun(const std::function<void(size_t)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    pending_ = num_threads_ - 1;
+    ++job_epoch_;
+  }
+  cv_job_.notify_all();
+  fn(0);  // The caller doubles as worker 0.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::ParallelFor(
+    size_t begin, size_t end,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  size_t n = end > begin ? end - begin : 0;
+  size_t per = (n + num_threads_ - 1) / num_threads_;
+  ParallelRun([&](size_t w) {
+    size_t lo = begin + w * per;
+    size_t hi = lo + per < end ? lo + per : end;
+    if (lo < hi) fn(w, lo, hi);
+  });
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_job_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace slfe

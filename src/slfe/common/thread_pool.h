@@ -1,0 +1,57 @@
+#ifndef SLFE_COMMON_THREAD_POOL_H_
+#define SLFE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slfe {
+
+/// A fixed-size pool that executes "parallel-for" style jobs: every worker
+/// invokes the same callable with its worker index, and ParallelRun returns
+/// once all workers finish. This is the execution substrate for one
+/// simulated cluster node; thread 0 is the caller itself so a pool of size 1
+/// adds no threading overhead.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` logical workers (num_threads - 1 OS threads plus
+  /// the calling thread). Precondition: num_threads >= 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(worker_index) on every worker and blocks until all complete.
+  /// Not reentrant: do not call ParallelRun from inside a job.
+  void ParallelRun(const std::function<void(size_t)>& fn);
+
+  /// Convenience: splits [begin, end) into per-worker contiguous slices and
+  /// runs fn(worker, slice_begin, slice_end) on each.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop(size_t index);
+
+  size_t num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  uint64_t job_epoch_ = 0;
+  size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,52 @@
+#ifndef SLFE_COMMON_TIMER_H_
+#define SLFE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace slfe {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals — used to split
+/// engine runtime into pull-mode vs push-mode shares (paper Fig. 4).
+class AccumTimer {
+ public:
+  void Start() { t_.Reset(); running_ = true; }
+  void Stop() {
+    if (running_) {
+      total_ += t_.Seconds();
+      running_ = false;
+    }
+  }
+  void Reset() { total_ = 0; running_ = false; }
+  double Seconds() const { return total_; }
+
+ private:
+  Timer t_;
+  double total_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_COMMON_TIMER_H_

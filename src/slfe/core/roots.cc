@@ -1,0 +1,27 @@
+#include "slfe/core/roots.h"
+
+namespace slfe {
+
+std::vector<VertexId> SelectLocalMinimaRoots(const Graph& graph) {
+  std::vector<VertexId> roots;
+  const Csr& in = graph.in();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    bool is_min = true;
+    for (EdgeId e = in.begin(v); e < in.end(v) && is_min; ++e) {
+      if (in.neighbor(e) < v) is_min = false;
+    }
+    if (is_min) roots.push_back(v);
+  }
+  return roots;
+}
+
+std::vector<VertexId> SelectSourceRoots(const Graph& graph) {
+  std::vector<VertexId> roots;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.in_degree(v) == 0) roots.push_back(v);
+  }
+  if (roots.empty() && graph.num_vertices() > 0) roots.push_back(0);
+  return roots;
+}
+
+}  // namespace slfe

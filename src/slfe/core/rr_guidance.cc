@@ -1,0 +1,72 @@
+#include "slfe/core/rr_guidance.h"
+
+#include <vector>
+
+#include "slfe/common/logging.h"
+#include "slfe/common/timer.h"
+
+namespace slfe {
+
+RRGuidance RRGuidance::Generate(const Graph& graph,
+                                const std::vector<VertexId>& roots) {
+  Timer timer;
+  RRGuidance rrg;
+  VertexId n = graph.num_vertices();
+  rrg.guidance_.assign(n, VertexGuidance{});
+
+  // Algorithm 1, frontier form. `frontier` holds vertices first visited in
+  // the previous iteration (the "active" set); every out-edge of a frontier
+  // vertex bumps the destination's last_iter to the current level, and the
+  // first visit fixes the destination's unweighted distance and activates
+  // it. Each edge is traversed exactly once, so the sweep is O(|E|) — the
+  // "negligible overhead" property the paper claims.
+  std::vector<VertexId> frontier;
+  frontier.reserve(roots.size());
+  for (VertexId r : roots) {
+    SLFE_CHECK_LT(r, n);
+    if (!rrg.guidance_[r].visited) {
+      rrg.guidance_[r].visited = true;
+      frontier.push_back(r);
+    }
+  }
+
+  const Csr& out = graph.out();
+  std::vector<VertexId> next;
+  uint32_t iter = 0;
+  uint32_t deepest = 0;  // last level at which any lastIter was assigned
+  while (!frontier.empty()) {
+    ++iter;
+    next.clear();
+    for (VertexId src : frontier) {
+      for (EdgeId e = out.begin(src); e < out.end(src); ++e) {
+        VertexId dst = out.neighbor(e);
+        // Iterations increase monotonically, so assignment implements the
+        // paper's `if lastIter < Iter then lastIter = Iter`.
+        rrg.guidance_[dst].last_iter = iter;
+        deepest = iter;
+        if (!rrg.guidance_[dst].visited) {
+          rrg.guidance_[dst].visited = true;
+          next.push_back(dst);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  rrg.depth_ = deepest;
+  rrg.generation_seconds_ = timer.Seconds();
+  return rrg;
+}
+
+RRGuidance RRGuidance::GenerateAllRoots(const Graph& graph) {
+  // Natural propagation sources: vertices nothing points at. If the graph
+  // is one big cycle-bound component (no such vertices), fall back to
+  // vertex 0 so the sweep still measures a propagation depth.
+  std::vector<VertexId> roots;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.in_degree(v) == 0) roots.push_back(v);
+  }
+  if (roots.empty() && graph.num_vertices() > 0) roots.push_back(0);
+  return Generate(graph, roots);
+}
+
+}  // namespace slfe

@@ -1,0 +1,71 @@
+#ifndef SLFE_CORE_RR_GUIDANCE_H_
+#define SLFE_CORE_RR_GUIDANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "slfe/common/timer.h"
+#include "slfe/graph/graph.h"
+#include "slfe/graph/types.h"
+
+namespace slfe {
+
+/// Redundancy-reduction guidance for one vertex (the paper's `struct inf`):
+/// `last_iter` is the last propagation level at which the vertex can
+/// receive an update from an active predecessor in an unweighted
+/// label-propagation sweep; `visited` marks reachability from any root.
+struct VertexGuidance {
+  uint32_t last_iter = 0;
+  bool visited = false;
+};
+
+/// Result of the preprocessing stage (paper Algorithm 1): per-vertex
+/// propagation guidance plus the cost of producing it (Fig. 8 overhead).
+class RRGuidance {
+ public:
+  RRGuidance() = default;
+
+  /// Generates guidance for `graph` with the given root set. All edge
+  /// weights are treated as 1 so the sweep captures pure topology; the
+  /// `visited` flag limits each vertex to one distance computation, which
+  /// is what makes the preprocessing "extremely low overhead" (§3.2).
+  ///
+  /// For single-source apps (SSSP/WP) pass the query root. For
+  /// all-vertices apps (CC/PR/TR) pass an empty vector: every vertex with
+  /// no unvisited predecessor contribution starts as a root, matching the
+  /// "fill_source initializes all roots" step.
+  static RRGuidance Generate(const Graph& graph,
+                             const std::vector<VertexId>& roots);
+
+  /// Convenience: every vertex is a root (CC/PR-style propagation, where
+  /// all vertices start active).
+  static RRGuidance GenerateAllRoots(const Graph& graph);
+
+  bool empty() const { return guidance_.empty(); }
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(guidance_.size());
+  }
+
+  uint32_t last_iter(VertexId v) const { return guidance_[v].last_iter; }
+  bool visited(VertexId v) const { return guidance_[v].visited; }
+
+  /// Number of label-propagation iterations the sweep took.
+  uint32_t depth() const { return depth_; }
+
+  /// Wall time spent generating the guidance (Fig. 8 numerator).
+  double generation_seconds() const { return generation_seconds_; }
+
+  /// The guidance is reusable across applications on the same graph
+  /// (paper §4.4: Facebook runs ~8.7 jobs per graph); callers cache it by
+  /// (graph, roots) key at the application layer.
+  const std::vector<VertexGuidance>& raw() const { return guidance_; }
+
+ private:
+  std::vector<VertexGuidance> guidance_;
+  uint32_t depth_ = 0;
+  double generation_seconds_ = 0;
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_CORE_RR_GUIDANCE_H_

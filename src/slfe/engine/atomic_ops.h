@@ -1,0 +1,80 @@
+#ifndef SLFE_ENGINE_ATOMIC_OPS_H_
+#define SLFE_ENGINE_ATOMIC_OPS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace slfe {
+
+/// Lock-free read-modify-write helpers for vertex property arrays. Push
+/// mode lets many source vertices race on one destination, so all
+/// destination writes in push mode go through these CAS loops.
+
+/// Atomically sets *target = min(*target, value). Returns true iff the
+/// stored value decreased (i.e., this call won the update).
+template <typename T>
+bool AtomicMin(T* target, T value) {
+  std::atomic_ref<T> ref(*target);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically sets *target = max(*target, value). Returns true iff the
+/// stored value increased.
+template <typename T>
+bool AtomicMax(T* target, T value) {
+  std::atomic_ref<T> ref(*target);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (value > cur) {
+    if (ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically adds `value` to *target (works for floating point, where
+/// fetch_add is not available pre-C++20 on all targets).
+template <typename T>
+void AtomicAdd(T* target, T value) {
+  std::atomic_ref<T> ref(*target);
+  if constexpr (std::is_integral_v<T>) {
+    ref.fetch_add(value, std::memory_order_relaxed);
+  } else {
+    T cur = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(cur, cur + value,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+}
+
+/// Atomic compare-and-swap convenience wrapper.
+template <typename T>
+bool AtomicCas(T* target, T expected, T desired) {
+  std::atomic_ref<T> ref(*target);
+  return ref.compare_exchange_strong(expected, desired,
+                                     std::memory_order_relaxed);
+}
+
+/// Plain atomic load/store with relaxed ordering.
+template <typename T>
+T AtomicLoad(const T* target) {
+  std::atomic_ref<const T> ref(*target);
+  return ref.load(std::memory_order_relaxed);
+}
+
+template <typename T>
+void AtomicStore(T* target, T value) {
+  std::atomic_ref<T> ref(*target);
+  ref.store(value, std::memory_order_relaxed);
+}
+
+}  // namespace slfe
+
+#endif  // SLFE_ENGINE_ATOMIC_OPS_H_

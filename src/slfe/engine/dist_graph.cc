@@ -1,0 +1,46 @@
+#include "slfe/engine/dist_graph.h"
+
+#include "slfe/common/logging.h"
+
+namespace slfe {
+
+DistGraph DistGraph::Build(const Graph& graph, int num_nodes) {
+  SLFE_CHECK_GE(num_nodes, 1);
+  DistGraph dg;
+  dg.graph_ = &graph;
+  ChunkPartitioner partitioner;
+  dg.ranges_ = partitioner.Partition(graph, static_cast<size_t>(num_nodes));
+
+  VertexId n = graph.num_vertices();
+  dg.mirror_count_.assign(n, 0);
+  dg.node_out_edges_.assign(num_nodes, 0);
+  dg.node_in_edges_.assign(num_nodes, 0);
+
+  // Mirror index: for each master v, count distinct non-owner nodes that
+  // own at least one out-neighbor. Out-neighbors are not sorted by owner,
+  // so mark nodes in a small stamp array (num_nodes <= 255).
+  std::vector<uint32_t> stamp(num_nodes, UINT32_MAX);
+  for (VertexId v = 0; v < n; ++v) {
+    int owner = dg.OwnerOf(v);
+    int mirrors = 0;
+    graph.out().ForEachNeighbor(v, [&](VertexId u, Weight) {
+      int uo = dg.OwnerOf(u);
+      if (uo != owner && stamp[uo] != v) {
+        stamp[uo] = v;
+        ++mirrors;
+      }
+    });
+    dg.mirror_count_[v] = static_cast<uint8_t>(mirrors);
+  }
+
+  for (int p = 0; p < num_nodes; ++p) {
+    const VertexRange& r = dg.ranges_[p];
+    for (VertexId v = r.begin; v < r.end; ++v) {
+      dg.node_out_edges_[p] += graph.out_degree(v);
+      dg.node_in_edges_[p] += graph.in_degree(v);
+    }
+  }
+  return dg;
+}
+
+}  // namespace slfe

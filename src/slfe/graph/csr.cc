@@ -1,0 +1,38 @@
+#include "slfe/graph/csr.h"
+
+namespace slfe {
+
+Csr Csr::FromEdgesBySource(const EdgeList& edges) {
+  return Build(edges, /*by_source=*/true);
+}
+
+Csr Csr::FromEdgesByDestination(const EdgeList& edges) {
+  return Build(edges, /*by_source=*/false);
+}
+
+Csr Csr::Build(const EdgeList& edges, bool by_source) {
+  Csr csr;
+  VertexId n = edges.num_vertices();
+  csr.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  csr.neighbors_.resize(edges.num_edges());
+  csr.weights_.resize(edges.num_edges());
+
+  // Counting sort by row key: two passes over the edge list.
+  for (const Edge& e : edges.edges()) {
+    VertexId key = by_source ? e.src : e.dst;
+    ++csr.offsets_[key + 1];
+  }
+  for (size_t v = 0; v < n; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
+
+  std::vector<EdgeId> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    VertexId key = by_source ? e.src : e.dst;
+    VertexId other = by_source ? e.dst : e.src;
+    EdgeId slot = cursor[key]++;
+    csr.neighbors_[slot] = other;
+    csr.weights_[slot] = e.weight;
+  }
+  return csr;
+}
+
+}  // namespace slfe

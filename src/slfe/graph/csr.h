@@ -1,0 +1,60 @@
+#ifndef SLFE_GRAPH_CSR_H_
+#define SLFE_GRAPH_CSR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "slfe/common/status.h"
+#include "slfe/graph/edge_list.h"
+#include "slfe/graph/types.h"
+
+namespace slfe {
+
+/// Compressed sparse row adjacency: for vertex v, its neighbors (and edge
+/// weights) live at indices [offsets[v], offsets[v+1]). Depending on how it
+/// was built this stores out-neighbors (CSR proper) or in-neighbors (CSC).
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds out-neighbor adjacency (row = src) from an edge list.
+  static Csr FromEdgesBySource(const EdgeList& edges);
+
+  /// Builds in-neighbor adjacency (row = dst) from an edge list.
+  static Csr FromEdgesByDestination(const EdgeList& edges);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeId num_edges() const { return offsets_.empty() ? 0 : offsets_.back(); }
+
+  EdgeId begin(VertexId v) const { return offsets_[v]; }
+  EdgeId end(VertexId v) const { return offsets_[v + 1]; }
+  VertexId degree(VertexId v) const {
+    return static_cast<VertexId>(end(v) - begin(v));
+  }
+
+  VertexId neighbor(EdgeId e) const { return neighbors_[e]; }
+  Weight weight(EdgeId e) const { return weights_[e]; }
+
+  /// Invokes fn(neighbor, weight) for each adjacent edge of v.
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, Fn&& fn) const {
+    for (EdgeId e = begin(v); e < end(v); ++e) fn(neighbors_[e], weights_[e]);
+  }
+
+  const std::vector<EdgeId>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& neighbors() const { return neighbors_; }
+  const std::vector<Weight>& weights() const { return weights_; }
+
+ private:
+  static Csr Build(const EdgeList& edges, bool by_source);
+
+  std::vector<EdgeId> offsets_;      // size |V|+1
+  std::vector<VertexId> neighbors_;  // size |E|
+  std::vector<Weight> weights_;      // size |E|
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_GRAPH_CSR_H_

@@ -1,0 +1,39 @@
+#include "slfe/graph/degree_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace slfe {
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  if (stats.num_vertices == 0) return stats;
+
+  std::vector<VertexId> out_degrees(stats.num_vertices);
+  for (VertexId v = 0; v < stats.num_vertices; ++v) {
+    VertexId od = graph.out_degree(v);
+    VertexId id = graph.in_degree(v);
+    out_degrees[v] = od;
+    stats.max_out_degree = std::max(stats.max_out_degree, od);
+    stats.max_in_degree = std::max(stats.max_in_degree, id);
+    if (od == 0) ++stats.zero_out_degree;
+    if (id == 0) ++stats.zero_in_degree;
+  }
+  stats.avg_out_degree = static_cast<double>(stats.num_edges) /
+                         static_cast<double>(stats.num_vertices);
+
+  std::sort(out_degrees.begin(), out_degrees.end(),
+            std::greater<VertexId>());
+  size_t top = std::max<size_t>(1, out_degrees.size() / 100);
+  EdgeId top_edges = 0;
+  for (size_t i = 0; i < top; ++i) top_edges += out_degrees[i];
+  if (stats.num_edges > 0) {
+    stats.top1pct_edge_share =
+        static_cast<double>(top_edges) / static_cast<double>(stats.num_edges);
+  }
+  return stats;
+}
+
+}  // namespace slfe

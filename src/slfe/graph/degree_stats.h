@@ -1,0 +1,32 @@
+#ifndef SLFE_GRAPH_DEGREE_STATS_H_
+#define SLFE_GRAPH_DEGREE_STATS_H_
+
+#include <cstdint>
+
+#include "slfe/graph/graph.h"
+#include "slfe/graph/types.h"
+
+namespace slfe {
+
+/// Degree distribution summary for a graph — used by the dataset
+/// generators' sanity tests and by the hybrid-cut (PowerLyra-style)
+/// partitioner's high-degree threshold selection.
+struct DegreeStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  double avg_out_degree = 0;
+  VertexId max_out_degree = 0;
+  VertexId max_in_degree = 0;
+  VertexId zero_out_degree = 0;  ///< sink count
+  VertexId zero_in_degree = 0;   ///< source count
+  /// Fraction of edges incident to the top 1% highest-out-degree vertices —
+  /// a cheap skewness proxy (power-law graphs score far above uniform).
+  double top1pct_edge_share = 0;
+};
+
+/// Computes the summary in O(|V| log |V|).
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+}  // namespace slfe
+
+#endif  // SLFE_GRAPH_DEGREE_STATS_H_

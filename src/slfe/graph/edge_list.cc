@@ -1,0 +1,51 @@
+#include "slfe/graph/edge_list.h"
+
+#include <algorithm>
+
+namespace slfe {
+
+size_t EdgeList::Deduplicate() {
+  size_t before = edges_.size();
+  // Drop self-loops first, then sort by (src, dst) and unique on the pair.
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.src == e.dst; }),
+               edges_.end());
+  // Sorting by (src, dst, weight) makes the surviving edge of each pair
+  // the minimum-weight one — deterministic, and it keeps symmetrized
+  // graphs weight-symmetric (both directions of a pair see the same
+  // weight multiset, hence keep the same minimum).
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.weight < b.weight;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               edges_.end());
+  return before - edges_.size();
+}
+
+void EdgeList::Symmetrize() {
+  size_t n = edges_.size();
+  edges_.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    const Edge& e = edges_[i];
+    edges_.push_back(Edge{e.dst, e.src, e.weight});
+  }
+}
+
+Status EdgeList::Validate() const {
+  for (const Edge& e : edges_) {
+    if (e.src >= num_vertices_ || e.dst >= num_vertices_) {
+      return Status::OutOfRange("edge (" + std::to_string(e.src) + "," +
+                                std::to_string(e.dst) +
+                                ") exceeds num_vertices=" +
+                                std::to_string(num_vertices_));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace slfe

@@ -1,0 +1,50 @@
+#ifndef SLFE_GRAPH_GRAPH_H_
+#define SLFE_GRAPH_GRAPH_H_
+
+#include <utility>
+
+#include "slfe/graph/csr.h"
+#include "slfe/graph/edge_list.h"
+#include "slfe/graph/types.h"
+
+namespace slfe {
+
+/// An immutable directed graph held in both directions: CSR over
+/// out-neighbors (push mode traverses this) and CSC over in-neighbors
+/// (pull mode traverses this). This mirrors the "format data (e.g., CSR)"
+/// stage of the SLFE preprocessing pipeline (paper Fig. 3).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds both adjacency directions from an edge list.
+  static Graph FromEdges(const EdgeList& edges) {
+    Graph g;
+    g.num_vertices_ = edges.num_vertices();
+    g.num_edges_ = edges.num_edges();
+    g.out_ = Csr::FromEdgesBySource(edges);
+    g.in_ = Csr::FromEdgesByDestination(edges);
+    return g;
+  }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return num_edges_; }
+
+  /// Out-neighbor adjacency (successors).
+  const Csr& out() const { return out_; }
+  /// In-neighbor adjacency (predecessors).
+  const Csr& in() const { return in_; }
+
+  VertexId out_degree(VertexId v) const { return out_.degree(v); }
+  VertexId in_degree(VertexId v) const { return in_.degree(v); }
+
+ private:
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+  Csr out_;
+  Csr in_;
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_GRAPH_GRAPH_H_

@@ -1,0 +1,122 @@
+#include "slfe/graph/loader.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace slfe {
+
+namespace {
+constexpr uint64_t kBinaryMagic = 0x534c464547524148ULL;  // "SLFEGRAH"
+
+/// RAII stdio handle (the library avoids iostreams on data paths).
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* get() const { return f_; }
+  bool ok() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_;
+};
+}  // namespace
+
+Result<EdgeList> LoadEdgeListText(const std::string& path) {
+  File f(path, "r");
+  if (!f.ok()) return Status::IOError("cannot open " + path);
+  EdgeList edges;
+  char line[256];
+  size_t lineno = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    unsigned long src, dst;
+    double w = 1.0;
+    int matched = std::sscanf(p, "%lu %lu %lf", &src, &dst, &w);
+    if (matched < 2) {
+      return Status::Corruption("malformed edge at " + path + ":" +
+                                std::to_string(lineno));
+    }
+    edges.Add(static_cast<VertexId>(src), static_cast<VertexId>(dst),
+              static_cast<Weight>(w));
+  }
+  return edges;
+}
+
+Status SaveEdgeListText(const EdgeList& edges, const std::string& path) {
+  File f(path, "w");
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for write");
+  std::fprintf(f.get(), "# vertices=%u edges=%zu\n", edges.num_vertices(),
+               edges.num_edges());
+  for (const Edge& e : edges.edges()) {
+    std::fprintf(f.get(), "%u %u %g\n", e.src, e.dst,
+                 static_cast<double>(e.weight));
+  }
+  return Status::OK();
+}
+
+Result<EdgeList> LoadEdgeListBinary(const std::string& path) {
+  File f(path, "rb");
+  if (!f.ok()) return Status::IOError("cannot open " + path);
+  uint64_t header[3];
+  if (std::fread(header, sizeof(uint64_t), 3, f.get()) != 3) {
+    return Status::Corruption("short header in " + path);
+  }
+  if (header[0] != kBinaryMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  EdgeList edges(static_cast<VertexId>(header[1]));
+  uint64_t num_edges = header[2];
+  edges.Reserve(num_edges);
+  struct Record {
+    uint32_t src, dst;
+    float weight;
+  };
+  std::vector<Record> buf(4096);
+  uint64_t remaining = num_edges;
+  while (remaining > 0) {
+    size_t want = remaining < buf.size() ? remaining : buf.size();
+    size_t got = std::fread(buf.data(), sizeof(Record), want, f.get());
+    if (got == 0) return Status::Corruption("truncated edges in " + path);
+    for (size_t i = 0; i < got; ++i) {
+      edges.Add(buf[i].src, buf[i].dst, buf[i].weight);
+    }
+    remaining -= got;
+  }
+  // Preserve the original vertex bound even if larger than max endpoint + 1.
+  edges.set_num_vertices(static_cast<VertexId>(header[1]));
+  return edges;
+}
+
+Status SaveEdgeListBinary(const EdgeList& edges, const std::string& path) {
+  File f(path, "wb");
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for write");
+  uint64_t header[3] = {kBinaryMagic, edges.num_vertices(),
+                        edges.num_edges()};
+  if (std::fwrite(header, sizeof(uint64_t), 3, f.get()) != 3) {
+    return Status::IOError("header write failed for " + path);
+  }
+  struct Record {
+    uint32_t src, dst;
+    float weight;
+  };
+  for (const Edge& e : edges.edges()) {
+    Record r{e.src, e.dst, e.weight};
+    if (std::fwrite(&r, sizeof(Record), 1, f.get()) != 1) {
+      return Status::IOError("edge write failed for " + path);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace slfe

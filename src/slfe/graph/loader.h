@@ -1,0 +1,27 @@
+#ifndef SLFE_GRAPH_LOADER_H_
+#define SLFE_GRAPH_LOADER_H_
+
+#include <string>
+
+#include "slfe/common/status.h"
+#include "slfe/graph/edge_list.h"
+
+namespace slfe {
+
+/// Loads a whitespace-separated text edge list: one `src dst [weight]` per
+/// line; `#`- or `%`-prefixed lines are comments. Missing weights default
+/// to 1.
+Result<EdgeList> LoadEdgeListText(const std::string& path);
+
+/// Writes the text format produced above.
+Status SaveEdgeListText(const EdgeList& edges, const std::string& path);
+
+/// Binary format: little-endian header {magic, num_vertices, num_edges}
+/// followed by packed {u32 src, u32 dst, f32 weight} records. Much faster
+/// to load than text for the larger synthetic datasets.
+Result<EdgeList> LoadEdgeListBinary(const std::string& path);
+Status SaveEdgeListBinary(const EdgeList& edges, const std::string& path);
+
+}  // namespace slfe
+
+#endif  // SLFE_GRAPH_LOADER_H_

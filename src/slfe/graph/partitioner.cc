@@ -1,0 +1,89 @@
+#include "slfe/graph/partitioner.h"
+
+#include <algorithm>
+
+#include "slfe/common/logging.h"
+
+namespace slfe {
+
+std::vector<VertexRange> ChunkPartitioner::Partition(const Graph& graph,
+                                                     size_t num_parts) const {
+  SLFE_CHECK_GE(num_parts, 1u);
+  VertexId n = graph.num_vertices();
+  std::vector<VertexRange> ranges(num_parts);
+
+  double total_work = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    total_work += options_.alpha * graph.out_degree(v) + 1.0;
+  }
+  double per_part = total_work / static_cast<double>(num_parts);
+
+  VertexId cursor = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    ranges[p].begin = cursor;
+    if (p + 1 == num_parts) {
+      cursor = n;  // last part absorbs the remainder
+    } else {
+      double acc = 0;
+      while (cursor < n && acc < per_part) {
+        acc += options_.alpha * graph.out_degree(cursor) + 1.0;
+        ++cursor;
+      }
+    }
+    ranges[p].end = cursor;
+  }
+  return ranges;
+}
+
+size_t ChunkPartitioner::OwnerOf(const std::vector<VertexRange>& ranges,
+                                 VertexId v) {
+  // Binary search over range begins.
+  size_t lo = 0, hi = ranges.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (ranges[mid].begin <= v) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Status ChunkPartitioner::ValidatePartition(
+    const std::vector<VertexRange>& ranges, VertexId n) {
+  if (ranges.empty()) return Status::InvalidArgument("no ranges");
+  if (ranges.front().begin != 0) {
+    return Status::Corruption("first range does not start at 0");
+  }
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].end < ranges[i].begin) {
+      return Status::Corruption("inverted range at index " +
+                                std::to_string(i));
+    }
+    if (i + 1 < ranges.size() && ranges[i].end != ranges[i + 1].begin) {
+      return Status::Corruption("gap between ranges " + std::to_string(i) +
+                                " and " + std::to_string(i + 1));
+    }
+  }
+  if (ranges.back().end != n) {
+    return Status::Corruption("ranges do not cover all vertices");
+  }
+  return Status::OK();
+}
+
+double ChunkPartitioner::EdgeImbalance(
+    const Graph& graph, const std::vector<VertexRange>& ranges) {
+  if (graph.num_edges() == 0) return 1.0;
+  double ideal = static_cast<double>(graph.num_edges()) /
+                 static_cast<double>(ranges.size());
+  double worst = 0;
+  for (const VertexRange& r : ranges) {
+    EdgeId edges = 0;
+    for (VertexId v = r.begin; v < r.end; ++v) edges += graph.out_degree(v);
+    worst = std::max(worst, static_cast<double>(edges) / ideal);
+  }
+  return worst;
+}
+
+}  // namespace slfe

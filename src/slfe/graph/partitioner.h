@@ -1,0 +1,59 @@
+#ifndef SLFE_GRAPH_PARTITIONER_H_
+#define SLFE_GRAPH_PARTITIONER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "slfe/common/status.h"
+#include "slfe/graph/graph.h"
+#include "slfe/graph/types.h"
+
+namespace slfe {
+
+/// A contiguous vertex range [begin, end) owned by one cluster node.
+struct VertexRange {
+  VertexId begin = 0;
+  VertexId end = 0;
+  VertexId size() const { return end - begin; }
+  bool Contains(VertexId v) const { return v >= begin && v < end; }
+};
+
+/// The chunk-based (contiguous-range) partitioning SLFE inherits from
+/// Gemini: vertices keep their natural order and the cut points are chosen
+/// so each node receives roughly |E|/p "work units". The balance metric
+/// counts alpha * degree + 1 per vertex, matching Gemini's hybrid
+/// vertex+edge balancing.
+class ChunkPartitioner {
+ public:
+  struct Options {
+    double alpha = 1.0;  ///< weight of an edge relative to a vertex
+  };
+
+  ChunkPartitioner() : options_(Options{}) {}
+  explicit ChunkPartitioner(Options options) : options_(options) {}
+
+  /// Splits [0, |V|) into `num_parts` contiguous ranges balanced by
+  /// alpha*out_degree+1. Returns exactly num_parts ranges covering V
+  /// (possibly empty at the tail for tiny graphs).
+  std::vector<VertexRange> Partition(const Graph& graph,
+                                     size_t num_parts) const;
+
+  /// Owner lookup: index of the range containing v.
+  /// Precondition: ranges form a partition of [0, |V|).
+  static size_t OwnerOf(const std::vector<VertexRange>& ranges, VertexId v);
+
+  /// Validates that ranges are contiguous, disjoint, and cover [0, n).
+  static Status ValidatePartition(const std::vector<VertexRange>& ranges,
+                                  VertexId n);
+
+  /// Max over nodes of (node edge count) / (|E|/p) — 1.0 is perfect.
+  static double EdgeImbalance(const Graph& graph,
+                              const std::vector<VertexRange>& ranges);
+
+ private:
+  Options options_;
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_GRAPH_PARTITIONER_H_

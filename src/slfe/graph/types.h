@@ -1,0 +1,36 @@
+#ifndef SLFE_GRAPH_TYPES_H_
+#define SLFE_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace slfe {
+
+/// Vertex identifier. 32 bits covers the paper's largest simulated graph
+/// (524k vertices) with ample headroom; widen here if >4B vertices needed.
+using VertexId = uint32_t;
+
+/// Edge index into CSR arrays. 64 bits: edge counts exceed 2^32 in the
+/// paper's full-scale datasets.
+using EdgeId = uint64_t;
+
+/// Edge weight type shared by all weighted applications.
+using Weight = float;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// One directed edge, optionally weighted (weight defaults to 1).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 1.0f;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+  }
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_GRAPH_TYPES_H_

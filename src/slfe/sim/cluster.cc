@@ -1,0 +1,38 @@
+#include "slfe/sim/cluster.h"
+
+#include <thread>
+
+#include "slfe/common/logging.h"
+
+namespace slfe::sim {
+
+Cluster::Cluster(int num_nodes, int threads_per_node)
+    : num_nodes_(num_nodes), world_(std::make_unique<World>(num_nodes)) {
+  SLFE_CHECK_GE(num_nodes, 1);
+  SLFE_CHECK_GE(threads_per_node, 1);
+  pools_.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    pools_.push_back(
+        std::make_unique<ThreadPool>(static_cast<size_t>(threads_per_node)));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::Run(const std::function<void(NodeContext&)>& fn) {
+  std::vector<std::thread> ranks;
+  ranks.reserve(num_nodes_ - 1);
+  auto body = [&](int rank) {
+    NodeContext ctx;
+    ctx.rank = rank;
+    ctx.num_nodes = num_nodes_;
+    ctx.world = world_.get();
+    ctx.pool = pools_[rank].get();
+    fn(ctx);
+  };
+  for (int r = 1; r < num_nodes_; ++r) ranks.emplace_back(body, r);
+  body(0);  // rank 0 runs on the calling thread
+  for (auto& t : ranks) t.join();
+}
+
+}  // namespace slfe::sim

@@ -1,0 +1,106 @@
+#ifndef SLFE_SIM_COMM_H_
+#define SLFE_SIM_COMM_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "slfe/common/counters.h"
+#include "slfe/common/logging.h"
+
+namespace slfe::sim {
+
+/// Models the network of the paper's 8-node InfiniBand cluster. Virtual
+/// communication time for a superstep is
+///   latency_per_message * messages + bytes / bandwidth
+/// evaluated per node and max-reduced, mirroring BSP h-relation cost.
+/// Defaults approximate a 100 Gb/s fabric with ~2 us one-way latency.
+struct CostModel {
+  double latency_per_message = 2e-6;
+  double bytes_per_second = 12.5e9;  // 100 Gb/s
+
+  double Cost(uint64_t messages, uint64_t bytes) const {
+    return latency_per_message * static_cast<double>(messages) +
+           static_cast<double>(bytes) / bytes_per_second;
+  }
+};
+
+/// One inter-node message: an opaque byte payload.
+struct Message {
+  int src_node = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// In-memory stand-in for MPI. N ranks (threads) share a World; each rank
+/// interacts through its own Comm handle (rank id + mailboxes + barrier +
+/// reduction scratch). All collective calls must be invoked by every rank.
+class World {
+ public:
+  explicit World(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Delivers a message into `dst`'s mailbox. Thread-safe.
+  void Send(int src, int dst, const void* data, size_t size);
+
+  /// Drains and returns all messages queued for `rank`. Call after a
+  /// barrier so that all sends for the superstep have landed.
+  std::vector<Message> Recv(int rank);
+
+  /// Sense-reversing barrier across all ranks.
+  void Barrier();
+
+  /// All-reduce of one double using `op` (associative+commutative).
+  /// Every rank passes its local value; all receive the reduction.
+  double AllReduce(int rank, double value,
+                   const std::function<double(double, double)>& op);
+
+  /// All-reduce specialization: sum of uint64 (active-vertex counts etc.).
+  uint64_t AllReduceSum(int rank, uint64_t value);
+
+  /// Traffic accounting for the current epoch (reset via ResetTraffic).
+  uint64_t TotalMessages() const { return total_messages_.Get(); }
+  uint64_t TotalBytes() const { return total_bytes_.Get(); }
+  uint64_t NodeMessages(int rank) const {
+    return per_node_[rank].messages.Get();
+  }
+  uint64_t NodeBytes(int rank) const { return per_node_[rank].bytes.Get(); }
+  void ResetTraffic();
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<Message> queue;
+  };
+  struct NodeTraffic {
+    Counter messages;
+    Counter bytes;
+  };
+
+  int num_nodes_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<NodeTraffic> per_node_;  // outbound traffic per rank
+  Counter total_messages_;
+  Counter total_bytes_;
+
+  // Barrier state (sense-reversing).
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  bool barrier_sense_ = false;
+
+  // Reduction scratch.
+  std::mutex reduce_mu_;
+  double reduce_value_ = 0;
+  uint64_t reduce_u64_ = 0;
+  int reduce_arrived_ = 0;
+};
+
+}  // namespace slfe::sim
+
+#endif  // SLFE_SIM_COMM_H_

@@ -1,0 +1,240 @@
+// Tests for the extended application set (paper Table 1): triangle
+// counting, heat simulation, belief propagation, and minimum spanning
+// forest — reference equivalence plus behavioral invariants, across
+// cluster configurations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "slfe/apps/belief_propagation.h"
+#include "slfe/apps/heat_simulation.h"
+#include "slfe/apps/mst.h"
+#include "slfe/apps/reference.h"
+#include "slfe/apps/triangle_count.h"
+#include "slfe/graph/generators.h"
+
+namespace slfe {
+namespace {
+
+Graph WeightedRmat(VertexId n, EdgeId m, uint64_t seed, bool symmetric) {
+  RmatOptions opt;
+  opt.num_vertices = n;
+  opt.num_edges = m;
+  opt.weighted = true;
+  opt.seed = seed;
+  EdgeList e = GenerateRmat(opt);
+  if (symmetric) e.Symmetrize();
+  e.Deduplicate();
+  return Graph::FromEdges(e);
+}
+
+// ------------------------------------------------------------- Triangles
+
+class TriangleConfigTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TriangleConfigTest, MatchesBruteForce) {
+  auto [nodes, threads] = GetParam();
+  Graph g = WeightedRmat(256, 2000, 17, /*symmetric=*/false);
+  AppConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.threads_per_node = threads;
+  auto result = RunTriangleCount(g, cfg);
+  EXPECT_EQ(result.triangles, ReferenceTriangleCount(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TriangleConfigTest,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Values(1, 2)));
+
+TEST(TriangleCountTest, KnownSmallGraphs) {
+  // A single triangle.
+  EdgeList tri(3);
+  tri.Add(0, 1);
+  tri.Add(1, 2);
+  tri.Add(2, 0);
+  AppConfig cfg;
+  EXPECT_EQ(RunTriangleCount(Graph::FromEdges(tri), cfg).triangles, 1u);
+
+  // Complete graph K5: C(5,3) = 10 triangles.
+  EXPECT_EQ(RunTriangleCount(Graph::FromEdges(GenerateComplete(5)), cfg)
+                .triangles,
+            10u);
+
+  // A star has none.
+  EXPECT_EQ(
+      RunTriangleCount(Graph::FromEdges(GenerateStar(10)), cfg).triangles,
+      0u);
+
+  // A grid (no diagonals) has none.
+  EXPECT_EQ(
+      RunTriangleCount(Graph::FromEdges(GenerateGrid(5, 5)), cfg).triangles,
+      0u);
+}
+
+TEST(TriangleCountTest, DirectionInsensitive) {
+  // Counting treats the graph as undirected: symmetrizing must not change
+  // the triangle count.
+  Graph g = WeightedRmat(128, 800, 23, false);
+  Graph gs = WeightedRmat(128, 800, 23, true);
+  AppConfig cfg;
+  EXPECT_EQ(RunTriangleCount(g, cfg).triangles,
+            RunTriangleCount(gs, cfg).triangles);
+}
+
+// ------------------------------------------------------------------ Heat
+
+TEST(HeatSimulationTest, MatchesReferenceBaseline) {
+  Graph g = WeightedRmat(512, 4000, 29, false);
+  std::vector<float> initial(g.num_vertices(), 0.0f);
+  for (VertexId v = 0; v < g.num_vertices(); v += 17) initial[v] = 100.0f;
+  AppConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.max_iters = 15;
+  cfg.epsilon = 0.0;
+  auto result = RunHeatSimulation(g, initial, cfg, 0.5f);
+  auto ref = ReferenceHeatSimulation(g, initial, 15, 0.5f);
+  for (size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_NEAR(result.heat[v], ref[v], 1e-3) << "v=" << v;
+  }
+}
+
+TEST(HeatSimulationTest, RrStaysCloseAndFreezes) {
+  Graph g = WeightedRmat(512, 4000, 29, false);
+  std::vector<float> initial(g.num_vertices(), 0.0f);
+  initial[0] = 1000.0f;
+  AppConfig cfg;
+  cfg.max_iters = 150;
+  cfg.epsilon = 0.0;
+  auto base = RunHeatSimulation(g, initial, cfg, 0.5f);
+  cfg.enable_rr = true;
+  auto rr = RunHeatSimulation(g, initial, cfg, 0.5f);
+  for (size_t v = 0; v < base.heat.size(); ++v) {
+    EXPECT_NEAR(rr.heat[v], base.heat[v], 1e-2) << "v=" << v;
+  }
+  EXPECT_GT(rr.info.ec_vertices, 0u);
+}
+
+TEST(HeatSimulationTest, IsolatedSourceHoldsTemperature) {
+  EdgeList e(4);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  Graph g = Graph::FromEdges(e);
+  std::vector<float> initial = {50.0f, 0.0f, 0.0f, 7.0f};
+  AppConfig cfg;
+  cfg.max_iters = 20;
+  cfg.epsilon = 0.0;
+  auto result = RunHeatSimulation(g, initial, cfg, 0.5f);
+  EXPECT_FLOAT_EQ(result.heat[0], 50.0f);  // in-degree 0: source
+  EXPECT_FLOAT_EQ(result.heat[3], 7.0f);   // isolated vertex
+  EXPECT_GT(result.heat[1], 0.0f);         // heat propagated
+  EXPECT_GT(result.heat[1], result.heat[2]);
+}
+
+// -------------------------------------------------------------------- BP
+
+TEST(BeliefPropagationTest, MatchesReferenceBaseline) {
+  Graph g = WeightedRmat(512, 4000, 37, true);
+  std::vector<float> prior(g.num_vertices(), 0.0f);
+  for (VertexId v = 0; v < g.num_vertices(); v += 11) prior[v] = 2.0f;
+  for (VertexId v = 5; v < g.num_vertices(); v += 13) prior[v] = -2.0f;
+  AppConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.max_iters = 12;
+  cfg.epsilon = 0.0;
+  auto result = RunBeliefPropagation(g, prior, cfg);
+  auto ref = ReferenceBeliefPropagation(g, prior, 12, 0.2f, 0.5f);
+  for (size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_NEAR(result.belief[v], ref[v], 1e-3) << "v=" << v;
+  }
+}
+
+TEST(BeliefPropagationTest, EvidencePropagatesToNeighbors) {
+  // A chain with strong positive evidence at the head: downstream beliefs
+  // must pick up positive log-odds, decaying with distance.
+  Graph g = Graph::FromEdges(GenerateChain(10));
+  std::vector<float> prior(10, 0.0f);
+  prior[0] = 4.0f;
+  AppConfig cfg;
+  cfg.max_iters = 50;
+  cfg.epsilon = 0.0;
+  auto result = RunBeliefPropagation(g, prior, cfg, 0.5f, 0.5f);
+  EXPECT_GT(result.belief[1], result.belief[2]);
+  EXPECT_GT(result.belief[2], 0.0f);
+}
+
+TEST(BeliefPropagationTest, RrMatchesBaselineWithinTolerance) {
+  Graph g = WeightedRmat(256, 2000, 39, true);
+  std::vector<float> prior(g.num_vertices(), 0.0f);
+  prior[1] = 3.0f;
+  AppConfig cfg;
+  cfg.max_iters = 120;
+  cfg.epsilon = 0.0;
+  auto base = RunBeliefPropagation(g, prior, cfg);
+  cfg.enable_rr = true;
+  auto rr = RunBeliefPropagation(g, prior, cfg);
+  for (size_t v = 0; v < base.belief.size(); ++v) {
+    EXPECT_NEAR(rr.belief[v], base.belief[v], 1e-2) << "v=" << v;
+  }
+}
+
+// ------------------------------------------------------------------- MST
+
+class MstConfigTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(MstConfigTest, WeightMatchesKruskal) {
+  auto [nodes, threads] = GetParam();
+  Graph g = WeightedRmat(256, 1600, 41, /*symmetric=*/true);
+  AppConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.threads_per_node = threads;
+  MstResult result = RunMst(g, cfg);
+  EXPECT_DOUBLE_EQ(result.total_weight, ReferenceMstWeight(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MstConfigTest,
+                         ::testing::Combine(::testing::Values(1, 2, 8),
+                                            ::testing::Values(1, 2)));
+
+TEST(MstTest, ForestEdgeCountMatchesComponents) {
+  Graph g = WeightedRmat(200, 600, 43, /*symmetric=*/true);
+  AppConfig cfg;
+  MstResult result = RunMst(g, cfg);
+  // A spanning forest has |V| - #components edges.
+  auto labels = ReferenceCc(g);
+  std::set<uint32_t> components(labels.begin(), labels.end());
+  EXPECT_EQ(result.tree_edges, g.num_vertices() - components.size());
+}
+
+TEST(MstTest, ChainMstIsWholeChain) {
+  EdgeList e = GenerateChain(20, /*weighted=*/true, 3);
+  e.Symmetrize();
+  Graph g = Graph::FromEdges(e);
+  AppConfig cfg;
+  MstResult result = RunMst(g, cfg);
+  EXPECT_EQ(result.tree_edges, 19u);
+  EXPECT_DOUBLE_EQ(result.total_weight, ReferenceMstWeight(g));
+}
+
+TEST(MstTest, EmptyGraph) {
+  Graph g;
+  AppConfig cfg;
+  MstResult result = RunMst(g, cfg);
+  EXPECT_EQ(result.tree_edges, 0u);
+  EXPECT_EQ(result.total_weight, 0.0);
+}
+
+TEST(MstTest, BoruvkaRoundsLogarithmic) {
+  // Boruvka halves the number of components per round: rounds should be
+  // O(log V), far below V.
+  Graph g = WeightedRmat(1024, 8000, 47, /*symmetric=*/true);
+  AppConfig cfg;
+  MstResult result = RunMst(g, cfg);
+  EXPECT_LE(result.rounds, 16u);
+}
+
+}  // namespace
+}  // namespace slfe

@@ -1,0 +1,341 @@
+// Unit tests for the graph substrate: edge lists, CSR construction,
+// generators, loaders, the chunk partitioner, and degree statistics.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "slfe/graph/csr.h"
+#include "slfe/graph/degree_stats.h"
+#include "slfe/graph/edge_list.h"
+#include "slfe/graph/generators.h"
+#include "slfe/graph/graph.h"
+#include "slfe/graph/loader.h"
+#include "slfe/graph/partitioner.h"
+
+namespace slfe {
+namespace {
+
+// --------------------------------------------------------------- EdgeList
+
+TEST(EdgeListTest, AddExpandsVertexBound) {
+  EdgeList e;
+  e.Add(3, 7);
+  EXPECT_EQ(e.num_vertices(), 8u);
+  EXPECT_EQ(e.num_edges(), 1u);
+}
+
+TEST(EdgeListTest, DeduplicateRemovesSelfLoopsAndDuplicates) {
+  EdgeList e(5);
+  e.Add(0, 1);
+  e.Add(0, 1, 2.0f);  // duplicate pair (different weight still a dup)
+  e.Add(2, 2);        // self-loop
+  e.Add(1, 0);        // reverse is NOT a duplicate
+  size_t removed = e.Deduplicate();
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(e.num_edges(), 2u);
+}
+
+TEST(EdgeListTest, SymmetrizeDoublesEdges) {
+  EdgeList e(4);
+  e.Add(0, 1, 3.0f);
+  e.Add(2, 3, 4.0f);
+  e.Symmetrize();
+  ASSERT_EQ(e.num_edges(), 4u);
+  EXPECT_EQ(e.edges()[2].src, 1u);
+  EXPECT_EQ(e.edges()[2].dst, 0u);
+  EXPECT_EQ(e.edges()[2].weight, 3.0f);
+}
+
+TEST(EdgeListTest, ValidateCatchesOutOfRange) {
+  EdgeList e(3);
+  e.mutable_edges().push_back(Edge{0, 9, 1.0f});
+  EXPECT_EQ(e.Validate().code(), StatusCode::kOutOfRange);
+}
+
+// -------------------------------------------------------------------- CSR
+
+TEST(CsrTest, BySourceGroupsOutNeighbors) {
+  EdgeList e(4);
+  e.Add(0, 1, 1.0f);
+  e.Add(0, 2, 2.0f);
+  e.Add(3, 0, 3.0f);
+  Csr csr = Csr::FromEdgesBySource(e);
+  EXPECT_EQ(csr.num_vertices(), 4u);
+  EXPECT_EQ(csr.num_edges(), 3u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.degree(1), 0u);
+  EXPECT_EQ(csr.degree(3), 1u);
+  std::set<VertexId> n0;
+  csr.ForEachNeighbor(0, [&](VertexId u, Weight) { n0.insert(u); });
+  EXPECT_EQ(n0, (std::set<VertexId>{1, 2}));
+}
+
+TEST(CsrTest, ByDestinationGroupsInNeighbors) {
+  EdgeList e(4);
+  e.Add(0, 2);
+  e.Add(1, 2);
+  e.Add(2, 3);
+  Csr csc = Csr::FromEdgesByDestination(e);
+  EXPECT_EQ(csc.degree(2), 2u);
+  EXPECT_EQ(csc.degree(3), 1u);
+  std::set<VertexId> in2;
+  csc.ForEachNeighbor(2, [&](VertexId u, Weight) { in2.insert(u); });
+  EXPECT_EQ(in2, (std::set<VertexId>{0, 1}));
+}
+
+TEST(CsrTest, WeightsTravelWithEdges) {
+  EdgeList e(3);
+  e.Add(0, 1, 5.0f);
+  e.Add(0, 2, 7.0f);
+  Csr csr = Csr::FromEdgesBySource(e);
+  std::map<VertexId, Weight> got;
+  csr.ForEachNeighbor(0, [&](VertexId u, Weight w) { got[u] = w; });
+  EXPECT_EQ(got[1], 5.0f);
+  EXPECT_EQ(got[2], 7.0f);
+}
+
+TEST(GraphTest, InOutEdgeCountsAgree) {
+  EdgeList e = GenerateErdosRenyi(100, 800, 4);
+  Graph g = Graph::FromEdges(e);
+  EXPECT_EQ(g.out().num_edges(), g.in().num_edges());
+  EdgeId total_out = 0, total_in = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    total_out += g.out_degree(v);
+    total_in += g.in_degree(v);
+  }
+  EXPECT_EQ(total_out, g.num_edges());
+  EXPECT_EQ(total_in, g.num_edges());
+}
+
+// ------------------------------------------------------------- Generators
+
+TEST(GeneratorsTest, RmatIsDeterministic) {
+  RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 1000;
+  opt.seed = 3;
+  EdgeList a = GenerateRmat(opt);
+  EdgeList b = GenerateRmat(opt);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edges()[i], b.edges()[i]);
+  }
+}
+
+TEST(GeneratorsTest, RmatHasNoSelfLoopsAndInBounds) {
+  RmatOptions opt;
+  opt.num_vertices = 128;
+  opt.num_edges = 2000;
+  EdgeList e = GenerateRmat(opt);
+  for (const Edge& edge : e.edges()) {
+    EXPECT_NE(edge.src, edge.dst);
+    EXPECT_LT(edge.src, e.num_vertices());
+    EXPECT_LT(edge.dst, e.num_vertices());
+  }
+}
+
+TEST(GeneratorsTest, RmatSkewExceedsUniform) {
+  // The R-MAT quadrant weights (.57/.19/.19) concentrate edges on low ids;
+  // an ER graph of the same size must look much flatter.
+  RmatOptions opt;
+  opt.num_vertices = 4096;
+  opt.num_edges = 40000;
+  Graph rmat = Graph::FromEdges(GenerateRmat(opt));
+  Graph er = Graph::FromEdges(GenerateErdosRenyi(4096, 40000, 2));
+  DegreeStats rs = ComputeDegreeStats(rmat);
+  DegreeStats es = ComputeDegreeStats(er);
+  EXPECT_GT(rs.top1pct_edge_share, 2.0 * es.top1pct_edge_share);
+  EXPECT_GT(rs.max_out_degree, 4 * es.max_out_degree);
+}
+
+TEST(GeneratorsTest, GridShapeAndDegrees) {
+  EdgeList e = GenerateGrid(4, 5);
+  Graph g = Graph::FromEdges(e);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  // Interior vertex has 4 out-edges; corner has 2.
+  EXPECT_EQ(g.out_degree(0), 2u);            // corner (0,0)
+  EXPECT_EQ(g.out_degree(1 * 5 + 2), 4u);    // interior (1,2)
+}
+
+TEST(GeneratorsTest, ChainDepthEqualsLength) {
+  EdgeList e = GenerateChain(10);
+  Graph g = Graph::FromEdges(e);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.out_degree(9), 0u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+}
+
+TEST(GeneratorsTest, StarHubDegree) {
+  Graph g = Graph::FromEdges(GenerateStar(6));
+  EXPECT_EQ(g.out_degree(0), 6u);
+  EXPECT_EQ(g.in_degree(0), 6u);
+  EXPECT_EQ(g.out_degree(3), 1u);
+}
+
+TEST(GeneratorsTest, CompleteGraphEdgeCount) {
+  Graph g = Graph::FromEdges(GenerateComplete(7));
+  EXPECT_EQ(g.num_edges(), 42u);  // 7 * 6
+}
+
+TEST(GeneratorsTest, DatasetSuiteHasAllPaperAliases) {
+  for (const char* alias : {"PK", "OK", "LJ", "WK", "DI", "ST", "FS", "RMAT"}) {
+    auto spec = FindDataset(alias);
+    ASSERT_TRUE(spec.ok()) << alias;
+    EXPECT_EQ(spec.value().alias, alias);
+  }
+  EXPECT_FALSE(FindDataset("NOPE").ok());
+}
+
+TEST(GeneratorsTest, MakeDatasetScalesDown) {
+  auto spec = FindDataset("PK").value();
+  EdgeList full = MakeDataset(spec, 16);
+  EXPECT_LE(full.num_vertices(), spec.num_vertices / 16 + 1);
+  EXPECT_GT(full.num_edges(), 0u);
+}
+
+// ----------------------------------------------------------------- Loader
+
+TEST(LoaderTest, TextRoundTrip) {
+  EdgeList e(4);
+  e.Add(0, 1, 2.5f);
+  e.Add(3, 2, 1.0f);
+  std::string path = ::testing::TempDir() + "slfe_text_edges.txt";
+  ASSERT_TRUE(SaveEdgeListText(e, path).ok());
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_edges(), 2u);
+  EXPECT_EQ(loaded.value().edges()[0].weight, 2.5f);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, TextSkipsCommentsAndDefaultsWeight) {
+  std::string path = ::testing::TempDir() + "slfe_text_comments.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "# comment\n%% another\n0 1\n2 3 9.5\n");
+  std::fclose(f);
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().num_edges(), 2u);
+  EXPECT_EQ(loaded.value().edges()[0].weight, 1.0f);
+  EXPECT_EQ(loaded.value().edges()[1].weight, 9.5f);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, TextRejectsMalformedLine) {
+  std::string path = ::testing::TempDir() + "slfe_text_bad.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "0 1\nbroken\n");
+  std::fclose(f);
+  auto loaded = LoadEdgeListText(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, MissingFileIsIOError) {
+  EXPECT_EQ(LoadEdgeListText("/nonexistent/file.txt").status().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(LoadEdgeListBinary("/nonexistent/file.bin").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(LoaderTest, BinaryRoundTripPreservesEverything) {
+  RmatOptions opt;
+  opt.num_vertices = 64;
+  opt.num_edges = 300;
+  opt.weighted = true;
+  EdgeList e = GenerateRmat(opt);
+  std::string path = ::testing::TempDir() + "slfe_bin_edges.bin";
+  ASSERT_TRUE(SaveEdgeListBinary(e, path).ok());
+  auto loaded = LoadEdgeListBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().num_edges(), e.num_edges());
+  EXPECT_EQ(loaded.value().num_vertices(), e.num_vertices());
+  for (size_t i = 0; i < e.num_edges(); ++i) {
+    EXPECT_EQ(loaded.value().edges()[i], e.edges()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, BinaryRejectsBadMagic) {
+  std::string path = ::testing::TempDir() + "slfe_bin_bad.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  uint64_t junk[3] = {0xdeadbeef, 1, 1};
+  std::fwrite(junk, sizeof(uint64_t), 3, f);
+  std::fclose(f);
+  EXPECT_EQ(LoadEdgeListBinary(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ Partitioner
+
+class PartitionerParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PartitionerParamTest, RangesCoverAllVerticesContiguously) {
+  size_t parts = GetParam();
+  RmatOptions opt;
+  opt.num_vertices = 1024;
+  opt.num_edges = 8000;
+  Graph g = Graph::FromEdges(GenerateRmat(opt));
+  ChunkPartitioner partitioner;
+  auto ranges = partitioner.Partition(g, parts);
+  ASSERT_EQ(ranges.size(), parts);
+  EXPECT_TRUE(
+      ChunkPartitioner::ValidatePartition(ranges, g.num_vertices()).ok());
+}
+
+TEST_P(PartitionerParamTest, OwnerLookupMatchesRanges) {
+  size_t parts = GetParam();
+  Graph g = Graph::FromEdges(GenerateErdosRenyi(500, 3000, 6));
+  ChunkPartitioner partitioner;
+  auto ranges = partitioner.Partition(g, parts);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    size_t owner = ChunkPartitioner::OwnerOf(ranges, v);
+    EXPECT_TRUE(ranges[owner].Contains(v)) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionerParamTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(PartitionerTest, EdgeBalanceWithinFactorOnUniformGraph) {
+  Graph g = Graph::FromEdges(GenerateErdosRenyi(4096, 40000, 8));
+  ChunkPartitioner partitioner;
+  auto ranges = partitioner.Partition(g, 8);
+  // Uniform degrees: each node's edge load should be within 25% of ideal.
+  EXPECT_LT(ChunkPartitioner::EdgeImbalance(g, ranges), 1.25);
+}
+
+TEST(PartitionerTest, ValidateCatchesGap) {
+  std::vector<VertexRange> ranges = {{0, 5}, {6, 10}};
+  EXPECT_EQ(ChunkPartitioner::ValidatePartition(ranges, 10).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(PartitionerTest, ValidateCatchesShortCoverage) {
+  std::vector<VertexRange> ranges = {{0, 5}, {5, 9}};
+  EXPECT_EQ(ChunkPartitioner::ValidatePartition(ranges, 10).code(),
+            StatusCode::kCorruption);
+}
+
+// ------------------------------------------------------------ DegreeStats
+
+TEST(DegreeStatsTest, CountsSourcesAndSinks) {
+  EdgeList e(4);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  e.Add(0, 2);
+  Graph g = Graph::FromEdges(e);
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_EQ(s.zero_in_degree, 2u);   // 0 and 3
+  EXPECT_EQ(s.zero_out_degree, 2u);  // 2 and 3
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 3.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace slfe

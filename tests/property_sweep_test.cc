@@ -1,0 +1,165 @@
+// Randomized property sweeps: for a spread of generator seeds (each a
+// distinct topology) and graph families, the SLFE engine with RR must
+// agree exactly with the sequential references, and core structural
+// invariants must hold. These parameterized suites are the repository's
+// broad-coverage safety net.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "slfe/apps/cc.h"
+#include "slfe/apps/reference.h"
+#include "slfe/apps/sssp.h"
+#include "slfe/apps/wp.h"
+#include "slfe/core/rr_guidance.h"
+#include "slfe/graph/degree_stats.h"
+#include "slfe/graph/generators.h"
+#include "slfe/graph/partitioner.h"
+
+namespace slfe {
+namespace {
+
+enum class Family { kRmat, kErdosRenyi, kGrid };
+
+struct SweepParam {
+  Family family;
+  uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<SweepParam>& info) {
+  const char* family = info.param.family == Family::kRmat ? "Rmat"
+                       : info.param.family == Family::kErdosRenyi
+                           ? "ER"
+                           : "Grid";
+  return std::string(family) + "_seed" + std::to_string(info.param.seed);
+}
+
+Graph MakeGraph(const SweepParam& p, bool symmetric) {
+  EdgeList edges;
+  switch (p.family) {
+    case Family::kRmat: {
+      RmatOptions opt;
+      opt.num_vertices = 384;
+      opt.num_edges = 2600;
+      opt.weighted = true;
+      opt.max_weight = 128.0f;
+      opt.seed = p.seed;
+      edges = GenerateRmat(opt);
+      break;
+    }
+    case Family::kErdosRenyi:
+      edges = GenerateErdosRenyi(384, 2600, p.seed, /*weighted=*/true,
+                                 /*max_weight=*/128.0f);
+      break;
+    case Family::kGrid:
+      edges = GenerateGrid(16, 20, /*weighted=*/true, p.seed,
+                           /*max_weight=*/64.0f);
+      break;
+  }
+  if (symmetric) edges.Symmetrize();
+  edges.Deduplicate();
+  return Graph::FromEdges(edges);
+}
+
+class RandomTopologyTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RandomTopologyTest, SsspWithRrMatchesDijkstra) {
+  Graph g = MakeGraph(GetParam(), /*symmetric=*/false);
+  AppConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.enable_rr = true;
+  SsspResult r = RunSssp(g, cfg);
+  auto ref = ReferenceSssp(g, 0);
+  for (size_t v = 0; v < ref.size(); ++v) {
+    ASSERT_FLOAT_EQ(r.dist[v], ref[v]) << "v=" << v;
+  }
+}
+
+TEST_P(RandomTopologyTest, WpWithRrMatchesReference) {
+  Graph g = MakeGraph(GetParam(), /*symmetric=*/false);
+  AppConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.enable_rr = true;
+  WpResult r = RunWp(g, cfg);
+  auto ref = ReferenceWp(g, 0);
+  for (size_t v = 0; v < ref.size(); ++v) {
+    ASSERT_FLOAT_EQ(r.width[v], ref[v]) << "v=" << v;
+  }
+}
+
+TEST_P(RandomTopologyTest, CcWithRrMatchesReference) {
+  Graph g = MakeGraph(GetParam(), /*symmetric=*/true);
+  AppConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.enable_rr = true;
+  CcResult r = RunCc(g, cfg);
+  auto ref = ReferenceCc(g);
+  for (size_t v = 0; v < ref.size(); ++v) {
+    ASSERT_EQ(r.labels[v], ref[v]) << "v=" << v;
+  }
+}
+
+TEST_P(RandomTopologyTest, CcLabelsAreComponentMinima) {
+  // Structural invariant independent of the reference: every label is the
+  // minimum vertex id of its label class, and neighbors share labels.
+  Graph g = MakeGraph(GetParam(), /*symmetric=*/true);
+  AppConfig cfg;
+  cfg.enable_rr = true;
+  CcResult r = RunCc(g, cfg);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(r.labels[v], v);
+    EXPECT_EQ(r.labels[r.labels[v]], r.labels[v]);
+    g.out().ForEachNeighbor(v, [&](VertexId u, Weight) {
+      EXPECT_EQ(r.labels[v], r.labels[u]);
+    });
+  }
+}
+
+TEST_P(RandomTopologyTest, GuidanceLastIterBoundsBfsLevel) {
+  // lastIter(v) >= BFS level of v for reachable non-root vertices: a
+  // vertex cannot receive its last update before it is first reached.
+  Graph g = MakeGraph(GetParam(), /*symmetric=*/false);
+  RRGuidance rrg = RRGuidance::Generate(g, {0});
+  auto level = ReferenceBfs(g, 0);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (level[v] == UINT32_MAX) continue;
+    EXPECT_GE(rrg.last_iter(v), level[v]) << "v=" << v;
+  }
+}
+
+TEST_P(RandomTopologyTest, PartitionValidAcrossNodeCounts) {
+  Graph g = MakeGraph(GetParam(), /*symmetric=*/false);
+  ChunkPartitioner partitioner;
+  for (size_t parts : {1u, 2u, 5u, 8u}) {
+    auto ranges = partitioner.Partition(g, parts);
+    EXPECT_TRUE(
+        ChunkPartitioner::ValidatePartition(ranges, g.num_vertices()).ok());
+  }
+}
+
+TEST_P(RandomTopologyTest, DegreeStatsConsistent) {
+  Graph g = MakeGraph(GetParam(), /*symmetric=*/false);
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_EQ(s.num_vertices, g.num_vertices());
+  EXPECT_EQ(s.num_edges, g.num_edges());
+  EXPECT_LE(s.top1pct_edge_share, 1.0);
+  EXPECT_GE(s.top1pct_edge_share, 0.0);
+  EXPECT_LE(s.avg_out_degree, static_cast<double>(s.max_out_degree));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomTopologyTest,
+    ::testing::Values(SweepParam{Family::kRmat, 1},
+                      SweepParam{Family::kRmat, 2},
+                      SweepParam{Family::kRmat, 3},
+                      SweepParam{Family::kRmat, 4},
+                      SweepParam{Family::kErdosRenyi, 1},
+                      SweepParam{Family::kErdosRenyi, 2},
+                      SweepParam{Family::kErdosRenyi, 3},
+                      SweepParam{Family::kGrid, 1},
+                      SweepParam{Family::kGrid, 2}),
+    ParamName);
+
+}  // namespace
+}  // namespace slfe
