@@ -2,7 +2,9 @@
 //   1. RR delayed-update recovery variant (gather-all-at-start vs
 //      dirty-vertex transition push vs paper-literal all-vertex push);
 //   2. dense/sparse switch threshold (Gemini's |E|/20 vs alternatives);
-//   3. chunk partitioner alpha (edge weight in the balance metric).
+//   3. chunk partitioner alpha (edge weight in the balance metric);
+//   4. guidance generation strategy (serial sweep vs frontier-parallel
+//      sweep at several worker counts vs cached retrieval).
 // Each section prints total computations, updates, and runtime so the
 // trade-offs are visible side by side.
 
@@ -13,6 +15,8 @@
 
 #include "bench/bench_util.h"
 #include "slfe/apps/sssp.h"
+#include "slfe/common/thread_pool.h"
+#include "slfe/core/guidance_provider.h"
 #include "slfe/core/roots.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/engine/atomic_ops.h"
@@ -115,11 +119,41 @@ void PartitionerAblation() {
               "edges, which drives pull-mode work)\n");
 }
 
+void GuidanceGenerationAblation() {
+  std::printf("\n[4] guidance generation strategy (single-source roots)\n");
+  std::printf("%-8s %-22s %-14s %-12s\n", "graph", "strategy", "seconds",
+              "vs serial");
+  bench::PrintRule();
+  for (const char* alias : {"LJ", "FS"}) {
+    const Graph& g = bench::LoadGraph(alias);
+    double serial =
+        RRGuidance::GenerateSerial(g, {0}).generation_seconds();
+    std::printf("%-8s %-22s %-14.6f %-12s\n", alias, "serial (reference)",
+                serial, "1.00x");
+    for (size_t workers : {2u, 4u}) {
+      ThreadPool pool(workers);
+      double t =
+          RRGuidance::GenerateParallel(g, {0}, pool).generation_seconds();
+      std::printf("%-8s parallel x%-12zu %-14.6f %.2fx\n", alias, workers,
+                  t, t > 0 ? serial / t : 0.0);
+    }
+    GuidanceProvider provider;
+    provider.AcquireForRoots(g, {0});  // warm the cache
+    double hit = provider.AcquireForRoots(g, {0}).acquire_seconds;
+    std::printf("%-8s %-22s %-14.6f %.0fx\n", alias, "cached retrieval",
+                hit, hit > 0 ? serial / hit : 0.0);
+  }
+  std::printf("(cached retrieval is the paper's multi-job amortization "
+              "path, ~8.7 jobs/graph in production)\n");
+}
+
 void Run() {
-  bench::PrintHeader("Ablations: RR variant, mode threshold, partitioner");
+  bench::PrintHeader(
+      "Ablations: RR variant, mode threshold, partitioner, guidance");
   VariantAblation();
   ThresholdAblation();
   PartitionerAblation();
+  GuidanceGenerationAblation();
 }
 
 }  // namespace

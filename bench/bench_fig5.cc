@@ -65,9 +65,9 @@ void Run() {
         gem[i] = RuntimeOf(app, g, false);
         slfe[i] = RuntimeOf(app, g, true);
       }
-      std::sort(gem.begin(), gem.end());
-      std::sort(slfe.begin(), slfe.end());
-      double improvement = 100.0 * (gem[1] - slfe[1]) / gem[1];
+      double gem_med = bench::Median(gem);
+      double slfe_med = bench::Median(slfe);
+      double improvement = 100.0 * (gem_med - slfe_med) / gem_med;
       std::printf(" %-8.1f", improvement);
       sum += improvement;
       ++count;

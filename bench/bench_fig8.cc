@@ -4,16 +4,24 @@
 // "extremely small" on the smaller graphs and an average 25.1% end-to-end
 // improvement including preprocessing; the guidance is also reusable
 // across jobs (~8.7 jobs per graph at Facebook), amortizing it further.
+// Two follow-up sections quantify the amortization machinery itself:
+// serial vs frontier-parallel generation, and cache-hit retrieval cost
+// across repeated jobs on one graph.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "slfe/apps/sssp.h"
+#include "slfe/common/thread_pool.h"
+#include "slfe/core/guidance_provider.h"
+#include "slfe/core/rr_guidance.h"
 
 namespace slfe {
 namespace {
 
-void Run() {
+void OverheadSection() {
   bench::PrintHeader("Fig. 8: preprocessing overhead analysis on SSSP (8N)");
   std::printf("%-8s %-14s %-14s %-14s %-18s\n", "graph", "Gemini(s)",
               "SLFE(s)", "RRG overhead(s)", "end-to-end vs Gemini");
@@ -24,6 +32,9 @@ void Run() {
     const Graph& g = bench::LoadGraph(alias);
     AppConfig gem = bench::ClusterConfig(8, false);
     AppConfig slfe = bench::ClusterConfig(8, true);
+    // This section measures the per-job regeneration cost the paper plots,
+    // so bypass the provider cache (section 3 measures the amortized path).
+    slfe.use_guidance_cache = false;
     // Median of 3 to stabilize wall-clock numbers.
     std::vector<double> g_runs, s_runs, overhead;
     for (int i = 0; i < 3; ++i) {
@@ -32,13 +43,13 @@ void Run() {
       s_runs.push_back(r.info.stats.RuntimeSeconds());
       overhead.push_back(r.info.guidance_seconds);
     }
-    std::sort(g_runs.begin(), g_runs.end());
-    std::sort(s_runs.begin(), s_runs.end());
-    std::sort(overhead.begin(), overhead.end());
-    double end_to_end = s_runs[1] + overhead[1];
-    double improvement = 100.0 * (g_runs[1] - end_to_end) / g_runs[1];
+    double g_med = bench::Median(g_runs);
+    double s_med = bench::Median(s_runs);
+    double o_med = bench::Median(overhead);
+    double end_to_end = s_med + o_med;
+    double improvement = 100.0 * (g_med - end_to_end) / g_med;
     std::printf("%-8s %-14.4f %-14.4f %-14.4f %+-.1f%%\n", alias.c_str(),
-                g_runs[1], s_runs[1], overhead[1], improvement);
+                g_med, s_med, o_med, improvement);
     sum_improvement += improvement;
     ++count;
   }
@@ -46,6 +57,70 @@ void Run() {
   std::printf("average end-to-end improvement: %+.1f%%  (paper: +25.1%%, "
               "overhead amortized over ~8.7 jobs/graph in practice)\n",
               sum_improvement / count);
+}
+
+void GenerationSection() {
+  bench::PrintHeader("Fig. 8b: guidance generation, serial vs parallel");
+  std::printf("%-8s %-12s %-14s %-14s %-10s\n", "graph", "depth",
+              "serial(s)", "parallel4(s)", "speedup");
+  bench::PrintRule();
+  ThreadPool pool(4);
+  for (const std::string& alias : bench::PaperGraphs()) {
+    const Graph& g = bench::LoadGraph(alias);
+    RRGuidance reference = RRGuidance::GenerateSerial(g, {0});
+    auto serial = [&] {
+      return RRGuidance::GenerateSerial(g, {0}).generation_seconds();
+    };
+    auto parallel = [&] {
+      return RRGuidance::GenerateParallel(g, {0}, pool).generation_seconds();
+    };
+    double s =
+        bench::Median({reference.generation_seconds(), serial(), serial()});
+    double p = bench::Median({parallel(), parallel(), parallel()});
+    std::printf("%-8s %-12u %-14.5f %-14.5f %.2fx\n", alias.c_str(),
+                reference.depth(), s, p, p > 0 ? s / p : 0.0);
+  }
+  std::printf("(speedup tracks available cores; on a single-core host the "
+              "parallel sweep's bookkeeping shows as overhead)\n");
+}
+
+void AmortizationSection() {
+  bench::PrintHeader(
+      "Fig. 8c: cache-hit amortization across repeated jobs (paper: ~8.7 "
+      "jobs/graph)");
+  std::printf("%-8s %-14s %-14s %-14s\n", "graph", "job1 miss(s)",
+              "jobs2-5 hit(s)", "hit cheaper by");
+  bench::PrintRule();
+  constexpr int kJobs = 5;
+  for (const std::string& alias : bench::PaperGraphs()) {
+    const Graph& g = bench::LoadGraph(alias);
+    GuidanceProvider provider;  // fresh cache per graph
+    AppConfig cfg = bench::ClusterConfig(8, true);
+    cfg.guidance_provider = &provider;
+    double miss_cost = 0, hit_cost = 0;
+    for (int job = 0; job < kJobs; ++job) {
+      SsspResult r = RunSssp(g, cfg);
+      if (job == 0) {
+        miss_cost = r.info.guidance_seconds;
+      } else {
+        hit_cost += r.info.guidance_seconds / (kJobs - 1);
+      }
+    }
+    GuidanceCacheStats stats = provider.cache_stats();
+    std::printf("%-8s %-14.6f %-14.6f %-10.0fx   (hits=%llu misses=%llu)\n",
+                alias.c_str(), miss_cost, hit_cost,
+                hit_cost > 0 ? miss_cost / hit_cost : 0.0,
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
+  }
+  std::printf("(retrieval is an O(|roots|) key hash + LRU lookup; the "
+              "acceptance bar is >=10x cheaper than regeneration)\n");
+}
+
+void Run() {
+  OverheadSection();
+  GenerationSection();
+  AmortizationSection();
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #ifndef SLFE_BENCH_BENCH_UTIL_H_
 #define SLFE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -68,6 +69,13 @@ inline AppConfig ClusterConfig(int num_nodes, bool enable_rr) {
   cfg.max_iters = 50;
   cfg.epsilon = 1e-7;
   return cfg;
+}
+
+/// Median of a sample (benches run everything 3x to damp single-core
+/// scheduling noise). Takes the vector by value: callers keep their sample.
+inline double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
 }
 
 inline void PrintHeader(const char* title) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "slfe/core/guidance_provider.h"
 #include "slfe/core/rr_guidance.h"
 #include "slfe/engine/dist_engine.h"
 #include "slfe/graph/types.h"
@@ -27,7 +28,57 @@ struct AppConfig {
   VertexId root = 0;
   /// Overrides the engine's dense/sparse switch threshold.
   double dense_fraction = 0.05;
+  /// Serve guidance from the provider's cache (paper §4.4 multi-job
+  /// amortization). Disable to force regeneration every run.
+  bool use_guidance_cache = true;
+  /// Provider to acquire guidance from; nullptr = the process-wide
+  /// GuidanceProvider::Global(), which all apps share by default.
+  GuidanceProvider* guidance_provider = nullptr;
 };
+
+/// Common result bundle: engine statistics plus preprocessing cost.
+struct AppRunInfo {
+  EngineStats stats;
+  uint64_t supersteps = 0;
+  /// Guidance acquisition wall time actually paid by this run: the sweep
+  /// cost on a cache miss, the near-zero lookup cost on a hit (Fig. 8
+  /// numerator, amortized form).
+  double guidance_seconds = 0;
+  /// Guidance sweep depth (diagnostics).
+  uint32_t guidance_depth = 0;
+  /// True when guidance came from the cache instead of a fresh sweep.
+  bool guidance_cache_hit = false;
+  /// Safety-sweep updates (min/max apps; 0 means guidance was exact).
+  uint64_t safety_sweep_updates = 0;
+  /// Early-converged vertices at termination (arith apps, Fig. 2).
+  uint64_t ec_vertices = 0;
+};
+
+/// Acquires RR guidance for an app run through the provider layer: root
+/// selection per `policy`, cache lookup, parallel generation on miss.
+/// Returns an empty acquisition (null guidance) when RR is disabled.
+inline GuidanceAcquisition AcquireGuidance(const Graph& graph,
+                                           const AppConfig& config,
+                                           GuidanceRootPolicy policy) {
+  if (!config.enable_rr) return {};
+  GuidanceProvider& provider = config.guidance_provider != nullptr
+                                   ? *config.guidance_provider
+                                   : GuidanceProvider::Global();
+  GuidanceRequest request;
+  request.policy = policy;
+  request.root = config.root;
+  request.use_cache = config.use_guidance_cache;
+  return provider.Acquire(graph, request);
+}
+
+/// Copies the acquisition's accounting into the run info.
+inline void RecordGuidance(const GuidanceAcquisition& acquisition,
+                           AppRunInfo* info) {
+  if (!acquisition) return;
+  info->guidance_seconds = acquisition.acquire_seconds;
+  info->guidance_depth = acquisition.guidance->depth();
+  info->guidance_cache_hit = acquisition.cache_hit;
+}
 
 /// Builds EngineOptions from an AppConfig (mode policy is set per app).
 inline EngineOptions MakeEngineOptions(const AppConfig& config) {
@@ -38,19 +89,15 @@ inline EngineOptions MakeEngineOptions(const AppConfig& config) {
   return opt;
 }
 
-/// Common result bundle: engine statistics plus preprocessing cost.
-struct AppRunInfo {
-  EngineStats stats;
-  uint64_t supersteps = 0;
-  /// RRG generation wall time; 0 in baseline mode (Fig. 8 numerator).
-  double guidance_seconds = 0;
-  /// Guidance sweep depth (diagnostics).
-  uint32_t guidance_depth = 0;
-  /// Safety-sweep updates (min/max apps; 0 means guidance was exact).
-  uint64_t safety_sweep_updates = 0;
-  /// Early-converged vertices at termination (arith apps, Fig. 2).
-  uint64_t ec_vertices = 0;
-};
+/// As above, additionally threading acquired guidance into the engine so
+/// runners constructed from the engine pick it up (null guidance = the
+/// Gemini baseline).
+inline EngineOptions MakeEngineOptions(const AppConfig& config,
+                                       const GuidanceAcquisition& guidance) {
+  EngineOptions opt = MakeEngineOptions(config);
+  opt.guidance = guidance.guidance;
+  return opt;
+}
 
 }  // namespace slfe
 

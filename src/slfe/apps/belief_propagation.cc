@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "slfe/common/logging.h"
-#include "slfe/core/roots.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/sim/cluster.h"
 
@@ -20,15 +19,12 @@ BeliefPropagationResult RunBeliefPropagation(const Graph& graph,
 
   DistGraph dg = DistGraph::Build(graph, config.num_nodes);
 
-  RRGuidance guidance;
-  if (config.enable_rr) {
-    guidance = RRGuidance::Generate(graph, SelectSourceRoots(graph));
-    result.info.guidance_seconds = guidance.generation_seconds();
-    result.info.guidance_depth = guidance.depth();
-  }
+  GuidanceAcquisition guidance =
+      AcquireGuidance(graph, config, GuidanceRootPolicy::kSourceVertices);
+  RecordGuidance(guidance, &result.info);
 
-  DistEngine<float> engine(dg, MakeEngineOptions(config));
-  ArithRunner<float> runner(&engine, config.enable_rr ? &guidance : nullptr);
+  DistEngine<float> engine(dg, MakeEngineOptions(config, guidance));
+  ArithRunner<float> runner(&engine);
 
   std::vector<float>& belief = result.belief;
   auto gather = [&belief](float acc, VertexId src, Weight) {

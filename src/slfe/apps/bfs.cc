@@ -15,16 +15,12 @@ BfsResult RunBfs(const Graph& graph, const AppConfig& config) {
 
   DistGraph dg = DistGraph::Build(graph, config.num_nodes);
 
-  RRGuidance guidance;
-  if (config.enable_rr) {
-    guidance = RRGuidance::Generate(graph, {config.root});
-    result.info.guidance_seconds = guidance.generation_seconds();
-    result.info.guidance_depth = guidance.depth();
-  }
+  GuidanceAcquisition guidance =
+      AcquireGuidance(graph, config, GuidanceRootPolicy::kSingleSource);
+  RecordGuidance(guidance, &result.info);
 
-  DistEngine<uint32_t> engine(dg, MakeEngineOptions(config));
-  MinMaxRunner<uint32_t> runner(&engine,
-                                config.enable_rr ? &guidance : nullptr);
+  DistEngine<uint32_t> engine(dg, MakeEngineOptions(config, guidance));
+  MinMaxRunner<uint32_t> runner(&engine);
 
   std::vector<uint32_t>& levels = result.levels;
   auto gather = [&levels](uint32_t acc, VertexId src, Weight) {

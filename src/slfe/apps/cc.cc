@@ -2,7 +2,6 @@
 
 #include <numeric>
 
-#include "slfe/core/roots.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/engine/atomic_ops.h"
 #include "slfe/sim/cluster.h"
@@ -16,18 +15,14 @@ CcResult RunCc(const Graph& graph, const AppConfig& config) {
 
   DistGraph dg = DistGraph::Build(graph, config.num_nodes);
 
-  RRGuidance guidance;
   std::vector<VertexId> seeds(graph.num_vertices());
   std::iota(seeds.begin(), seeds.end(), 0u);
-  if (config.enable_rr) {
-    guidance = RRGuidance::Generate(graph, SelectLocalMinimaRoots(graph));
-    result.info.guidance_seconds = guidance.generation_seconds();
-    result.info.guidance_depth = guidance.depth();
-  }
+  GuidanceAcquisition guidance =
+      AcquireGuidance(graph, config, GuidanceRootPolicy::kLocalMinima);
+  RecordGuidance(guidance, &result.info);
 
-  DistEngine<uint32_t> engine(dg, MakeEngineOptions(config));
-  MinMaxRunner<uint32_t> runner(&engine,
-                                config.enable_rr ? &guidance : nullptr);
+  DistEngine<uint32_t> engine(dg, MakeEngineOptions(config, guidance));
+  MinMaxRunner<uint32_t> runner(&engine);
 
   std::vector<uint32_t>& labels = result.labels;
   auto gather = [&labels](uint32_t acc, VertexId src, Weight) {

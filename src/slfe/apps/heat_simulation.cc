@@ -1,7 +1,6 @@
 #include "slfe/apps/heat_simulation.h"
 
 #include "slfe/common/logging.h"
-#include "slfe/core/roots.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/sim/cluster.h"
 
@@ -17,15 +16,12 @@ HeatSimulationResult RunHeatSimulation(const Graph& graph,
 
   DistGraph dg = DistGraph::Build(graph, config.num_nodes);
 
-  RRGuidance guidance;
-  if (config.enable_rr) {
-    guidance = RRGuidance::Generate(graph, SelectSourceRoots(graph));
-    result.info.guidance_seconds = guidance.generation_seconds();
-    result.info.guidance_depth = guidance.depth();
-  }
+  GuidanceAcquisition guidance =
+      AcquireGuidance(graph, config, GuidanceRootPolicy::kSourceVertices);
+  RecordGuidance(guidance, &result.info);
 
-  DistEngine<float> engine(dg, MakeEngineOptions(config));
-  ArithRunner<float> runner(&engine, config.enable_rr ? &guidance : nullptr);
+  DistEngine<float> engine(dg, MakeEngineOptions(config, guidance));
+  ArithRunner<float> runner(&engine);
 
   std::vector<float>& heat = result.heat;
   auto gather = [&heat](float acc, VertexId src, Weight) {

@@ -12,16 +12,12 @@ NumPathsResult RunNumPaths(const Graph& graph, const AppConfig& config,
 
   DistGraph dg = DistGraph::Build(graph, config.num_nodes);
 
-  RRGuidance guidance;
-  if (config.enable_rr) {
-    guidance = RRGuidance::Generate(graph, {config.root});
-    result.info.guidance_seconds = guidance.generation_seconds();
-    result.info.guidance_depth = guidance.depth();
-  }
+  GuidanceAcquisition guidance =
+      AcquireGuidance(graph, config, GuidanceRootPolicy::kSingleSource);
+  RecordGuidance(guidance, &result.info);
 
-  DistEngine<double> engine(dg, MakeEngineOptions(config));
-  ArithRunner<double> runner(&engine,
-                             config.enable_rr ? &guidance : nullptr);
+  DistEngine<double> engine(dg, MakeEngineOptions(config, guidance));
+  ArithRunner<double> runner(&engine);
 
   // walks[v] accumulates the number of root->v walks found so far;
   // `frontier_count` holds walks of exactly the current length.

@@ -1,6 +1,5 @@
 #include "slfe/apps/pr.h"
 
-#include "slfe/core/roots.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/sim/cluster.h"
 
@@ -13,15 +12,12 @@ PrResult RunPr(const Graph& graph, const AppConfig& config) {
 
   DistGraph dg = DistGraph::Build(graph, config.num_nodes);
 
-  RRGuidance guidance;
-  if (config.enable_rr) {
-    guidance = RRGuidance::Generate(graph, SelectSourceRoots(graph));
-    result.info.guidance_seconds = guidance.generation_seconds();
-    result.info.guidance_depth = guidance.depth();
-  }
+  GuidanceAcquisition guidance =
+      AcquireGuidance(graph, config, GuidanceRootPolicy::kSourceVertices);
+  RecordGuidance(guidance, &result.info);
 
-  DistEngine<float> engine(dg, MakeEngineOptions(config));
-  ArithRunner<float> runner(&engine, config.enable_rr ? &guidance : nullptr);
+  DistEngine<float> engine(dg, MakeEngineOptions(config, guidance));
+  ArithRunner<float> runner(&engine);
 
   // The propagated property is the out-contribution rank/out_degree (what a
   // successor gathers); `ranks` keeps the displayed damped rank.

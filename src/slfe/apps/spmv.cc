@@ -1,7 +1,6 @@
 #include "slfe/apps/spmv.h"
 
 #include "slfe/common/logging.h"
-#include "slfe/core/roots.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/sim/cluster.h"
 
@@ -15,15 +14,12 @@ SpmvResult RunSpmv(const Graph& graph, const std::vector<float>& x,
 
   DistGraph dg = DistGraph::Build(graph, config.num_nodes);
 
-  RRGuidance guidance;
-  if (config.enable_rr) {
-    guidance = RRGuidance::Generate(graph, SelectSourceRoots(graph));
-    result.info.guidance_seconds = guidance.generation_seconds();
-    result.info.guidance_depth = guidance.depth();
-  }
+  GuidanceAcquisition guidance =
+      AcquireGuidance(graph, config, GuidanceRootPolicy::kSourceVertices);
+  RecordGuidance(guidance, &result.info);
 
-  DistEngine<float> engine(dg, MakeEngineOptions(config));
-  ArithRunner<float> runner(&engine, config.enable_rr ? &guidance : nullptr);
+  DistEngine<float> engine(dg, MakeEngineOptions(config, guidance));
+  ArithRunner<float> runner(&engine);
 
   std::vector<float> values = x;  // the propagated vector
   auto gather = [&values](float acc, VertexId src, Weight w) {

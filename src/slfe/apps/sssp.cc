@@ -16,16 +16,12 @@ SsspResult RunSssp(const Graph& graph, const AppConfig& config) {
 
   DistGraph dg = DistGraph::Build(graph, config.num_nodes);
 
-  RRGuidance guidance;
-  if (config.enable_rr) {
-    guidance = RRGuidance::Generate(graph, {config.root});
-    result.info.guidance_seconds = guidance.generation_seconds();
-    result.info.guidance_depth = guidance.depth();
-  }
+  GuidanceAcquisition guidance =
+      AcquireGuidance(graph, config, GuidanceRootPolicy::kSingleSource);
+  RecordGuidance(guidance, &result.info);
 
-  DistEngine<float> engine(dg, MakeEngineOptions(config));
-  MinMaxRunner<float> runner(&engine,
-                             config.enable_rr ? &guidance : nullptr);
+  DistEngine<float> engine(dg, MakeEngineOptions(config, guidance));
+  MinMaxRunner<float> runner(&engine);
 
   std::vector<float>& dist = result.dist;
   auto gather = [&dist](float acc, VertexId src, Weight w) {

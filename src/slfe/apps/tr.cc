@@ -1,6 +1,5 @@
 #include "slfe/apps/tr.h"
 
-#include "slfe/core/roots.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/sim/cluster.h"
 
@@ -14,15 +13,12 @@ TrResult RunTr(const Graph& graph, const AppConfig& config,
 
   DistGraph dg = DistGraph::Build(graph, config.num_nodes);
 
-  RRGuidance guidance;
-  if (config.enable_rr) {
-    guidance = RRGuidance::Generate(graph, SelectSourceRoots(graph));
-    result.info.guidance_seconds = guidance.generation_seconds();
-    result.info.guidance_depth = guidance.depth();
-  }
+  GuidanceAcquisition guidance =
+      AcquireGuidance(graph, config, GuidanceRootPolicy::kSourceVertices);
+  RecordGuidance(guidance, &result.info);
 
-  DistEngine<float> engine(dg, MakeEngineOptions(config));
-  ArithRunner<float> runner(&engine, config.enable_rr ? &guidance : nullptr);
+  DistEngine<float> engine(dg, MakeEngineOptions(config, guidance));
+  ArithRunner<float> runner(&engine);
 
   // Propagated value: (1 + p*influence(u)) / following(u), precomputed per
   // follower u so the gather is a plain sum.

@@ -17,16 +17,12 @@ WpResult RunWp(const Graph& graph, const AppConfig& config) {
 
   DistGraph dg = DistGraph::Build(graph, config.num_nodes);
 
-  RRGuidance guidance;
-  if (config.enable_rr) {
-    guidance = RRGuidance::Generate(graph, {config.root});
-    result.info.guidance_seconds = guidance.generation_seconds();
-    result.info.guidance_depth = guidance.depth();
-  }
+  GuidanceAcquisition guidance =
+      AcquireGuidance(graph, config, GuidanceRootPolicy::kSingleSource);
+  RecordGuidance(guidance, &result.info);
 
-  DistEngine<float> engine(dg, MakeEngineOptions(config));
-  MinMaxRunner<float> runner(&engine,
-                             config.enable_rr ? &guidance : nullptr);
+  DistEngine<float> engine(dg, MakeEngineOptions(config, guidance));
+  MinMaxRunner<float> runner(&engine);
 
   std::vector<float>& width = result.width;
   auto gather = [&width](float acc, VertexId src, Weight w) {

@@ -1,0 +1,21 @@
+#ifndef SLFE_COMMON_DIRECTION_H_
+#define SLFE_COMMON_DIRECTION_H_
+
+#include <cstdint>
+
+namespace slfe {
+
+/// The Ligra/Gemini direction-switch heuristic, shared by every
+/// frontier-parallel sweep in the system (ShmEngine::EdgeMap, the parallel
+/// RR-guidance generator): run dense/pull when the frontier's outgoing edge
+/// count exceeds `dense_fraction` of the graph's edges, sparse/push
+/// otherwise. Gemini's default fraction is 1/20.
+inline bool ChooseDense(uint64_t frontier_out_edges, uint64_t total_edges,
+                        double dense_fraction = 0.05) {
+  return static_cast<double>(frontier_out_edges) >
+         static_cast<double>(total_edges) * dense_fraction;
+}
+
+}  // namespace slfe
+
+#endif  // SLFE_COMMON_DIRECTION_H_

@@ -1,0 +1,90 @@
+#include "slfe/core/guidance_cache.h"
+
+#include <utility>
+
+#include "slfe/common/logging.h"
+
+namespace slfe {
+
+GuidanceCache::GuidanceCache(size_t capacity) : capacity_(capacity) {
+  SLFE_CHECK_GE(capacity_, 1u);
+}
+
+GuidanceKey GuidanceCache::MakeKey(uint64_t graph_fingerprint,
+                                   const std::vector<VertexId>& roots) {
+  GuidanceKey key;
+  key.graph_fingerprint = graph_fingerprint;
+  key.num_roots = roots.size();
+  uint64_t h = 14695981039346656037ull;
+  for (VertexId r : roots) {
+    h ^= r;
+    h *= 1099511628211ull;
+  }
+  key.roots_digest = h;
+  return key;
+}
+
+std::shared_ptr<const RRGuidance> GuidanceCache::Lookup(
+    const GuidanceKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+  return it->second->guidance;
+}
+
+void GuidanceCache::Insert(const GuidanceKey& key,
+                           std::shared_ptr<const RRGuidance> guidance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent generators can race to insert the same key; keep the
+    // newest result and bump it.
+    it->second->guidance = std::move(guidance);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(guidance)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void GuidanceCache::InvalidateGraph(uint64_t graph_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.graph_fingerprint == graph_fingerprint) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GuidanceCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidations += lru_.size();
+  index_.clear();
+  lru_.clear();
+}
+
+size_t GuidanceCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+GuidanceCacheStats GuidanceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace slfe

@@ -1,0 +1,102 @@
+#ifndef SLFE_CORE_GUIDANCE_CACHE_H_
+#define SLFE_CORE_GUIDANCE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "slfe/core/rr_guidance.h"
+#include "slfe/graph/types.h"
+
+namespace slfe {
+
+/// Cache key: which graph (by topology fingerprint) and which root set the
+/// guidance was generated for. Roots are folded into an order-sensitive
+/// digest — the selectors in roots.h are deterministic, so equal root sets
+/// hash equal.
+struct GuidanceKey {
+  uint64_t graph_fingerprint = 0;
+  uint64_t roots_digest = 0;
+  uint64_t num_roots = 0;
+
+  bool operator==(const GuidanceKey& o) const {
+    return graph_fingerprint == o.graph_fingerprint &&
+           roots_digest == o.roots_digest && num_roots == o.num_roots;
+  }
+};
+
+/// Observability counters for the amortization story (paper §4.4: ~8.7
+/// jobs share one graph in production, so most jobs should hit).
+struct GuidanceCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+};
+
+/// A thread-safe LRU cache of generated RR guidance, realizing the
+/// multi-job amortization the paper measures: the first job on a graph
+/// pays the O(|E|) sweep, the next ~7.7 jobs retrieve it in O(|roots|).
+/// Entries are shared_ptr-held so a cached guidance stays valid for a
+/// running job even if it is evicted mid-run.
+class GuidanceCache {
+ public:
+  /// `capacity` bounds the number of (graph, roots) entries kept; at most
+  /// that many guidance arrays (one uint32+bool per vertex each) stay
+  /// resident.
+  explicit GuidanceCache(size_t capacity = 32);
+
+  /// Digest helper for building keys from a concrete root vector.
+  static GuidanceKey MakeKey(uint64_t graph_fingerprint,
+                             const std::vector<VertexId>& roots);
+
+  /// Returns the cached guidance and bumps it to most-recently-used, or
+  /// nullptr on a miss. Counts a hit or a miss.
+  std::shared_ptr<const RRGuidance> Lookup(const GuidanceKey& key);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the
+  /// least-recently-used entry when over capacity.
+  void Insert(const GuidanceKey& key,
+              std::shared_ptr<const RRGuidance> guidance);
+
+  /// Drops every entry generated for the given graph fingerprint (e.g.
+  /// after a mutation produced a new Graph with the same storage).
+  void InvalidateGraph(uint64_t graph_fingerprint);
+
+  /// Drops everything.
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  GuidanceCacheStats stats() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const GuidanceKey& k) const {
+      uint64_t h = k.graph_fingerprint;
+      h ^= k.roots_digest + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= k.num_roots + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  struct Entry {
+    GuidanceKey key;
+    std::shared_ptr<const RRGuidance> guidance;
+  };
+
+  using LruList = std::list<Entry>;
+
+  size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<GuidanceKey, LruList::iterator, KeyHash> index_;
+  GuidanceCacheStats stats_;
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_CORE_GUIDANCE_CACHE_H_

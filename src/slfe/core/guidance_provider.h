@@ -1,0 +1,112 @@
+#ifndef SLFE_CORE_GUIDANCE_PROVIDER_H_
+#define SLFE_CORE_GUIDANCE_PROVIDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "slfe/common/thread_pool.h"
+#include "slfe/core/guidance_cache.h"
+#include "slfe/core/rr_guidance.h"
+#include "slfe/graph/graph.h"
+#include "slfe/graph/types.h"
+
+namespace slfe {
+
+/// How the provider derives the guidance root set from a request — the
+/// per-application-class policies that used to be duplicated across the
+/// apps (DESIGN.md: the sweep must start where the application's own
+/// propagation starts).
+enum class GuidanceRootPolicy {
+  /// Single-source apps (SSSP/BFS/WP/NumPaths): the query root.
+  kSingleSource,
+  /// Arithmetic apps (PR/TR/SpMV/BP/Heat): zero-in-degree vertices, with
+  /// the vertex-0 fallback on cycle-bound graphs.
+  kSourceVertices,
+  /// Min-label apps (CC): local-minimum vertices.
+  kLocalMinima,
+};
+
+/// One guidance request: the policy plus whatever the policy needs.
+struct GuidanceRequest {
+  GuidanceRootPolicy policy = GuidanceRootPolicy::kSourceVertices;
+  /// Query root for kSingleSource (ignored otherwise).
+  VertexId root = 0;
+  /// Bypass the cache (always regenerate, never insert). Benches use this
+  /// to measure per-job regeneration cost.
+  bool use_cache = true;
+};
+
+/// What Acquire hands back: shared ownership of the guidance (engines and
+/// runners may outlive cache eviction), whether this was the paper's §4.4
+/// amortized path, and the wall cost actually paid by THIS job — the
+/// generation time on a miss, the (near-zero) lookup time on a hit. The
+/// Fig. 8 overhead accounting uses acquire_seconds, so repeated jobs show
+/// the amortization directly.
+struct GuidanceAcquisition {
+  std::shared_ptr<const RRGuidance> guidance;
+  bool cache_hit = false;
+  double acquire_seconds = 0;
+
+  const RRGuidance* get() const { return guidance.get(); }
+  explicit operator bool() const { return guidance != nullptr; }
+};
+
+struct GuidanceProviderOptions {
+  /// Maximum cached (graph, roots) entries.
+  size_t cache_capacity = 32;
+  /// Workers for parallel generation; 0 = hardware concurrency. A value of
+  /// 1 forces the serial reference sweep.
+  size_t generation_threads = 0;
+};
+
+/// The single guidance entry point shared by the apps, the distributed
+/// engine (via EngineOptions::guidance), and the out-of-core engine:
+/// selects roots per policy, serves repeated jobs from the GuidanceCache,
+/// and generates misses with the frontier-parallel sweep. Thread-safe;
+/// concurrent misses on the same key may generate twice, and the cache
+/// keeps the newest result (generation is deterministic, so both are
+/// identical).
+class GuidanceProvider {
+ public:
+  explicit GuidanceProvider(GuidanceProviderOptions options = {});
+
+  /// Process-wide default instance, shared by all apps unless an AppConfig
+  /// points at a private one — this is what amortizes guidance across the
+  /// ~8.7 jobs per graph without any coordination between callers.
+  static GuidanceProvider& Global();
+
+  /// Policy-driven acquisition (the app path).
+  GuidanceAcquisition Acquire(const Graph& graph,
+                              const GuidanceRequest& request);
+
+  /// Explicit-roots acquisition (benches / tests / custom apps).
+  GuidanceAcquisition AcquireForRoots(const Graph& graph,
+                                      const std::vector<VertexId>& roots,
+                                      bool use_cache = true);
+
+  /// Root selection for `request` — exposed so diagnostics can inspect
+  /// what the policies produce.
+  static std::vector<VertexId> SelectRoots(const Graph& graph,
+                                           const GuidanceRequest& request);
+
+  GuidanceCache& cache() { return cache_; }
+  GuidanceCacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Number of workers generation will use (resolves the 0 = hardware
+  /// default).
+  size_t generation_threads() const;
+
+ private:
+  ThreadPool* GenerationPool();
+
+  GuidanceProviderOptions options_;
+  GuidanceCache cache_;
+  std::mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily built, serial mode = none
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_CORE_GUIDANCE_PROVIDER_H_

@@ -2,13 +2,31 @@
 
 #include <vector>
 
+#include "slfe/common/bitmap.h"
+#include "slfe/common/direction.h"
 #include "slfe/common/logging.h"
 #include "slfe/common/timer.h"
+#include "slfe/core/roots.h"
 
 namespace slfe {
 
 RRGuidance RRGuidance::Generate(const Graph& graph,
-                                const std::vector<VertexId>& roots) {
+                                const std::vector<VertexId>& roots,
+                                ThreadPool* pool) {
+  if (roots.empty() && graph.num_vertices() > 0) {
+    SLFE_LOG(Warning)
+        << "RRGuidance::Generate called with an empty root set: the sweep "
+           "is a no-op and disables redundancy reduction. All-vertices apps "
+           "should use GenerateAllRoots or the selectors in roots.h.";
+  }
+  if (pool != nullptr && pool->num_threads() > 1) {
+    return GenerateParallel(graph, roots, *pool);
+  }
+  return GenerateSerial(graph, roots);
+}
+
+RRGuidance RRGuidance::GenerateSerial(const Graph& graph,
+                                      const std::vector<VertexId>& roots) {
   Timer timer;
   RRGuidance rrg;
   VertexId n = graph.num_vertices();
@@ -57,16 +75,131 @@ RRGuidance RRGuidance::Generate(const Graph& graph,
   return rrg;
 }
 
-RRGuidance RRGuidance::GenerateAllRoots(const Graph& graph) {
-  // Natural propagation sources: vertices nothing points at. If the graph
-  // is one big cycle-bound component (no such vertices), fall back to
-  // vertex 0 so the sweep still measures a propagation depth.
-  std::vector<VertexId> roots;
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    if (graph.in_degree(v) == 0) roots.push_back(v);
+RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
+                                        const std::vector<VertexId>& roots,
+                                        ThreadPool& pool,
+                                        double dense_fraction) {
+  Timer timer;
+  RRGuidance rrg;
+  VertexId n = graph.num_vertices();
+  rrg.guidance_.assign(n, VertexGuidance{});
+
+  Bitmap visited(n);
+  std::vector<VertexId> frontier;
+  frontier.reserve(roots.size());
+  for (VertexId r : roots) {
+    SLFE_CHECK_LT(r, n);
+    if (visited.SetBit(r)) frontier.push_back(r);
   }
-  if (roots.empty() && graph.num_vertices() > 0) roots.push_back(0);
-  return Generate(graph, roots);
+
+  const Csr& out = graph.out();
+  const Csr& in = graph.in();
+  size_t workers = pool.num_threads();
+  std::vector<std::vector<VertexId>> next(workers);
+  std::vector<uint64_t> edge_partial(workers, 0);
+  // Set when a worker traverses any frontier edge this iteration; the last
+  // iteration with a set flag is the sweep depth (matches the serial
+  // `deepest = iter` assignment).
+  std::vector<uint8_t> touched(workers, 0);
+  Bitmap frontier_bits(n);  // dense-pull frontier membership
+
+  uint32_t iter = 0;
+  uint32_t deepest = 0;
+  while (!frontier.empty()) {
+    ++iter;
+    const uint32_t level = iter;
+    for (auto& v : next) v.clear();
+    std::fill(touched.begin(), touched.end(), uint8_t{0});
+
+    // Direction choice, exactly as ShmEngine::EdgeMap: compare the
+    // frontier's outgoing edge count against |E| * dense_fraction.
+    std::fill(edge_partial.begin(), edge_partial.end(), 0);
+    pool.ParallelFor(0, frontier.size(), [&](size_t w, size_t lo, size_t hi) {
+      uint64_t sum = 0;
+      for (size_t i = lo; i < hi; ++i) sum += out.degree(frontier[i]);
+      edge_partial[w] = sum;
+    });
+    uint64_t frontier_edges = 0;
+    for (uint64_t p : edge_partial) frontier_edges += p;
+    bool dense = ChooseDense(frontier_edges, graph.num_edges(),
+                             dense_fraction);
+
+    if (dense) {
+      // Pull: every destination checks its in-neighbors for frontier
+      // membership. One frontier predecessor is enough to pin
+      // last_iter = iter (all writers this level would store the same
+      // value), so the scan can stop at the first hit — the classic
+      // bottom-up win. Destinations are partitioned across workers, so
+      // the per-dst writes need no atomics.
+      frontier_bits.Clear();
+      pool.ParallelFor(0, frontier.size(),
+                       [&](size_t, size_t lo, size_t hi) {
+                         for (size_t i = lo; i < hi; ++i) {
+                           frontier_bits.SetBit(frontier[i]);
+                         }
+                       });
+      pool.ParallelFor(0, n, [&](size_t w, size_t lo, size_t hi) {
+        for (size_t dv = lo; dv < hi; ++dv) {
+          VertexId dst = static_cast<VertexId>(dv);
+          bool hit = false;
+          for (EdgeId e = in.begin(dst); e < in.end(dst); ++e) {
+            if (frontier_bits.TestBit(in.neighbor(e))) {
+              hit = true;
+              break;
+            }
+          }
+          if (!hit) continue;
+          rrg.guidance_[dst].last_iter = level;
+          touched[w] = 1;
+          if (visited.SetBit(dst)) next[w].push_back(dst);
+        }
+      });
+    } else {
+      // Push: frontier vertices scatter over their out-edges. Multiple
+      // sources may race on one destination, but every writer stores the
+      // same `level`, so a relaxed atomic store suffices; the visited
+      // bitmap's fetch_or picks the unique worker that enqueues dst.
+      pool.ParallelFor(0, frontier.size(), [&](size_t w, size_t lo,
+                                               size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          VertexId src = frontier[i];
+          for (EdgeId e = out.begin(src); e < out.end(src); ++e) {
+            VertexId dst = out.neighbor(e);
+            __atomic_store_n(&rrg.guidance_[dst].last_iter, level,
+                             __ATOMIC_RELAXED);
+            touched[w] = 1;
+            if (visited.SetBit(dst)) next[w].push_back(dst);
+          }
+        }
+      });
+    }
+
+    for (uint8_t t : touched) {
+      if (t != 0) deepest = level;
+    }
+    frontier.clear();
+    for (const auto& local : next) {
+      frontier.insert(frontier.end(), local.begin(), local.end());
+    }
+  }
+
+  // Commit the visited bitmap into the per-vertex records.
+  pool.ParallelFor(0, n, [&](size_t, size_t lo, size_t hi) {
+    for (size_t v = lo; v < hi; ++v) {
+      rrg.guidance_[v].visited = visited.TestBit(v);
+    }
+  });
+
+  rrg.depth_ = deepest;
+  rrg.generation_seconds_ = timer.Seconds();
+  return rrg;
+}
+
+RRGuidance RRGuidance::GenerateAllRoots(const Graph& graph,
+                                        ThreadPool* pool) {
+  // Natural propagation sources (zero-in-degree vertices, with the
+  // cycle-bound fallback) — the same selector the provider layer uses.
+  return Generate(graph, SelectSourceRoots(graph), pool);
 }
 
 }  // namespace slfe

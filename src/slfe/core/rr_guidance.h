@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "slfe/common/thread_pool.h"
 #include "slfe/common/timer.h"
 #include "slfe/graph/graph.h"
 #include "slfe/graph/types.h"
@@ -30,16 +31,38 @@ class RRGuidance {
   /// `visited` flag limits each vertex to one distance computation, which
   /// is what makes the preprocessing "extremely low overhead" (§3.2).
   ///
-  /// For single-source apps (SSSP/WP) pass the query root. For
-  /// all-vertices apps (CC/PR/TR) pass an empty vector: every vertex with
-  /// no unvisited predecessor contribution starts as a root, matching the
-  /// "fill_source initializes all roots" step.
+  /// For single-source apps (SSSP/WP) pass the query root. For apps whose
+  /// propagation starts everywhere (CC/PR/TR) the root set must still name
+  /// actual propagation sources — use GenerateAllRoots, or the selectors in
+  /// roots.h. An empty root set makes the sweep a no-op (depth 0, nothing
+  /// visited, all-zero lastIter): legal, but it disables all redundancy
+  /// reduction for that run, so Generate warns when it sees one.
+  ///
+  /// When `pool` is non-null (and has more than one worker) the sweep runs
+  /// frontier-parallel; results are bit-identical to the serial reference.
   static RRGuidance Generate(const Graph& graph,
-                             const std::vector<VertexId>& roots);
+                             const std::vector<VertexId>& roots,
+                             ThreadPool* pool = nullptr);
 
-  /// Convenience: every vertex is a root (CC/PR-style propagation, where
-  /// all vertices start active).
-  static RRGuidance GenerateAllRoots(const Graph& graph);
+  /// The single-threaded reference sweep (paper Algorithm 1, frontier
+  /// form). Kept as the equivalence baseline for GenerateParallel.
+  static RRGuidance GenerateSerial(const Graph& graph,
+                                   const std::vector<VertexId>& roots);
+
+  /// Frontier-parallel sweep over `pool`: per-iteration sparse-push /
+  /// dense-pull direction switching (the Ligra heuristic ShmEngine::EdgeMap
+  /// uses) with an atomic visited Bitmap. Produces exactly the serial
+  /// sweep's last_iter / visited / depth.
+  static RRGuidance GenerateParallel(const Graph& graph,
+                                     const std::vector<VertexId>& roots,
+                                     ThreadPool& pool,
+                                     double dense_fraction = 0.05);
+
+  /// Convenience: sweep from the graph's natural propagation sources
+  /// (zero-in-degree vertices, falling back to vertex 0 on cycle-bound
+  /// graphs) — the entry point for all-vertices apps (CC/PR-style).
+  static RRGuidance GenerateAllRoots(const Graph& graph,
+                                     ThreadPool* pool = nullptr);
 
   bool empty() const { return guidance_.empty(); }
   VertexId num_vertices() const {
@@ -56,8 +79,9 @@ class RRGuidance {
   double generation_seconds() const { return generation_seconds_; }
 
   /// The guidance is reusable across applications on the same graph
-  /// (paper §4.4: Facebook runs ~8.7 jobs per graph); callers cache it by
-  /// (graph, roots) key at the application layer.
+  /// (paper §4.4: Facebook runs ~8.7 jobs per graph); GuidanceCache /
+  /// GuidanceProvider realize that amortization, keyed by
+  /// (graph fingerprint, root set).
   const std::vector<VertexGuidance>& raw() const { return guidance_; }
 
  private:

@@ -65,6 +65,13 @@ class MinMaxRunner {
     uint64_t verification_computations = 0;
   };
 
+  /// Provider-threaded form: picks up the guidance the app routed through
+  /// EngineOptions::guidance (null = baseline), so runner construction no
+  /// longer repeats the guidance plumbing per app.
+  explicit MinMaxRunner(DistEngine<V>* engine,
+                        RRVariant variant = RRVariant::kGatherAllAtStart)
+      : MinMaxRunner(engine, engine->guidance(), variant) {}
+
   /// `engine` must outlive the runner. `guidance` enables RR when non-null.
   MinMaxRunner(DistEngine<V>* engine, const RRGuidance* guidance,
                RRVariant variant = RRVariant::kGatherAllAtStart)
@@ -256,6 +263,11 @@ class ArithRunner {
     uint64_t ec_vertices = 0;          ///< frozen at termination (Fig. 2)
     std::vector<uint64_t> ec_history;  ///< EC count after each iteration
   };
+
+  /// Provider-threaded form: reads EngineOptions::guidance (see
+  /// MinMaxRunner).
+  explicit ArithRunner(DistEngine<V>* engine)
+      : ArithRunner(engine, engine->guidance()) {}
 
   ArithRunner(DistEngine<V>* engine, const RRGuidance* guidance)
       : engine_(engine), guidance_(guidance) {

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "slfe/common/bitmap.h"
@@ -11,6 +12,7 @@
 #include "slfe/common/logging.h"
 #include "slfe/common/timer.h"
 #include "slfe/common/work_stealing.h"
+#include "slfe/core/rr_guidance.h"
 #include "slfe/engine/atomic_ops.h"
 #include "slfe/engine/dist_graph.h"
 #include "slfe/sim/cluster.h"
@@ -56,6 +58,12 @@ struct EngineOptions {
   TransitionReactivation reactivation = TransitionReactivation::kNone;
   /// Virtual network cost model for the simulated cluster.
   sim::CostModel cost_model;
+  /// RR guidance for this engine's runs, typically acquired through the
+  /// GuidanceProvider (apps thread it here via MakeEngineOptions). Runners
+  /// constructed without explicit guidance read it off the engine; null =
+  /// the Gemini baseline. Shared ownership keeps the guidance alive even
+  /// if the provider's cache evicts it mid-run.
+  std::shared_ptr<const RRGuidance> guidance;
 };
 
 /// Aggregate statistics of one engine run. Counter definitions follow the
@@ -137,6 +145,9 @@ class DistEngine {
   const DistGraph& dist_graph() const { return dg_; }
   const EngineOptions& options() const { return options_; }
   EngineOptions& mutable_options() { return options_; }
+
+  /// Guidance threaded in through EngineOptions (nullptr = baseline mode).
+  const RRGuidance* guidance() const { return options_.guidance.get(); }
 
   /// Collective: clears all run state (active sets, counters, timers).
   void BeginRun(sim::NodeContext& ctx) {

@@ -1,6 +1,7 @@
 #ifndef SLFE_GRAPH_GRAPH_H_
 #define SLFE_GRAPH_GRAPH_H_
 
+#include <cstdint>
 #include <utility>
 
 #include "slfe/graph/csr.h"
@@ -30,6 +31,26 @@ class Graph {
   VertexId num_vertices() const { return num_vertices_; }
   EdgeId num_edges() const { return num_edges_; }
 
+  /// 64-bit FNV-1a digest of the out-adjacency structure (offsets and
+  /// neighbor lists). Two graphs with equal fingerprints have, modulo
+  /// hash collisions, identical topology — the property RR guidance
+  /// depends on (edge weights are deliberately excluded: guidance treats
+  /// every weight as 1). GuidanceCache keys entries by this digest, so
+  /// lookups stay O(|roots|) instead of re-hashing O(|E|) per job.
+  ///
+  /// Computed lazily on first call and memoized, so graphs that never use
+  /// guidance (baselines, shm/gas/ooc sweeps) skip the O(V+E) hash pass.
+  /// The graph is immutable, so racing first calls write the same value
+  /// (relaxed atomics keep the memoization race benign).
+  uint64_t fingerprint() const {
+    uint64_t f = __atomic_load_n(&fingerprint_, __ATOMIC_RELAXED);
+    if (f == 0) {
+      f = ComputeFingerprint(*this);
+      __atomic_store_n(&fingerprint_, f, __ATOMIC_RELAXED);
+    }
+    return f;
+  }
+
   /// Out-neighbor adjacency (successors).
   const Csr& out() const { return out_; }
   /// In-neighbor adjacency (predecessors).
@@ -39,8 +60,23 @@ class Graph {
   VertexId in_degree(VertexId v) const { return in_.degree(v); }
 
  private:
+  static uint64_t ComputeFingerprint(const Graph& g) {
+    uint64_t h = 14695981039346656037ull;  // FNV offset basis
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;  // FNV prime
+    };
+    mix(g.num_vertices_);
+    mix(g.num_edges_);
+    for (EdgeId o : g.out_.offsets()) mix(o);
+    for (VertexId v : g.out_.neighbors()) mix(v);
+    return h != 0 ? h : 1;  // 0 is the "not yet computed" sentinel
+  }
+
   VertexId num_vertices_ = 0;
   EdgeId num_edges_ = 0;
+  /// Lazily memoized by fingerprint(); 0 = not yet computed.
+  mutable uint64_t fingerprint_ = 0;
   Csr out_;
   Csr in_;
 };

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "slfe/common/status.h"
+#include "slfe/core/guidance_provider.h"
 #include "slfe/graph/graph.h"
 
 namespace slfe::ooc {
@@ -15,9 +16,12 @@ namespace slfe::ooc {
 struct OocStats {
   uint64_t iterations = 0;
   uint64_t computations = 0;
+  uint64_t skipped = 0;  ///< edge updates bypassed by RR guidance
   uint64_t bytes_read = 0;  ///< real shard-file bytes streamed from disk
   double io_seconds = 0;
   double compute_seconds = 0;
+  /// Guidance acquisition cost for guided runs (0 for baselines).
+  double guidance_seconds = 0;
   double RuntimeSeconds() const { return io_seconds + compute_seconds; }
 };
 
@@ -68,6 +72,16 @@ OocStats OocPr(OocEngine& engine, const Graph& graph, uint32_t iterations,
 /// GraphChi-style connected components (iterate min-label sweeps to a
 /// fixpoint), Fig. 6a/6b comparator.
 OocStats OocCc(OocEngine& engine, std::vector<uint32_t>* labels);
+
+/// Connected components with RR "start late" applied to the shard sweeps:
+/// a destination's label updates are skipped until the sweep counter
+/// reaches its guidance lastIter. Every post-unlock sweep re-reads all of
+/// a destination's in-edges, so the fixpoint matches OocCc exactly; the
+/// guidance comes from `provider` (nullptr = GuidanceProvider::Global()),
+/// sharing the cache with the in-memory engines.
+OocStats OocCcGuided(OocEngine& engine, const Graph& graph,
+                     std::vector<uint32_t>* labels,
+                     GuidanceProvider* provider = nullptr);
 
 }  // namespace slfe::ooc
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "slfe/common/direction.h"
 #include "slfe/engine/atomic_ops.h"
 
 namespace slfe::shm {
@@ -17,7 +18,7 @@ Bitmap ShmEngine::EdgeMap(const Bitmap& frontier, const UpdateFn& update,
   uint64_t frontier_edges = 0;
   frontier.ForEachSetBit(
       [&](size_t v) { frontier_edges += graph_.out_degree(static_cast<VertexId>(v)); });
-  bool dense = frontier_edges > graph_.num_edges() / 20;
+  bool dense = ChooseDense(frontier_edges, graph_.num_edges());
 
   std::vector<uint64_t> comp(pool_.num_threads(), 0);
   std::vector<uint64_t> upd(pool_.num_threads(), 0);

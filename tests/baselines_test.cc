@@ -255,6 +255,24 @@ TEST(OocEngineTest, CcMatchesReference) {
   engine.RemoveFiles();
 }
 
+TEST(OocEngineTest, GuidedCcMatchesBaselineAndSkipsWork) {
+  Graph g = SymmetricRmat(256, 1500, 11);
+  std::string dir = ::testing::TempDir() + "slfe_ooc_t4g";
+  auto engine = ooc::OocEngine::Build(g, dir, 4).value();
+  std::vector<uint32_t> baseline, guided;
+  ooc::OocCc(engine, &baseline);
+  GuidanceProvider provider;
+  ooc::OocStats stats = ooc::OocCcGuided(engine, g, &guided, &provider);
+  EXPECT_EQ(guided, baseline);
+  EXPECT_GT(stats.skipped, 0u);  // "start late" bypassed some updates
+  EXPECT_EQ(provider.cache_stats().misses, 1u);
+  // A second guided run retrieves the guidance from the provider's cache.
+  ooc::OocCcGuided(engine, g, &guided, &provider);
+  EXPECT_EQ(guided, baseline);
+  EXPECT_EQ(provider.cache_stats().hits, 1u);
+  engine.RemoveFiles();
+}
+
 TEST(OocEngineTest, ZeroShardsRejected) {
   Graph g = WeightedRmat(64, 300, 2);
   auto engine = ooc::OocEngine::Build(g, ::testing::TempDir() + "x", 0);

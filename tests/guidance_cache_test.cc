@@ -1,0 +1,246 @@
+// Tests for the guidance amortization layer (paper §4.4: ~8.7 jobs share
+// one graph): GuidanceCache hit/miss/eviction/invalidation behavior, the
+// GuidanceProvider's policy-driven acquisition, graph fingerprinting, and
+// the end-to-end app path (a repeated job retrieves cached guidance and
+// computes identical results).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "slfe/apps/sssp.h"
+#include "slfe/core/guidance_cache.h"
+#include "slfe/core/guidance_provider.h"
+#include "slfe/core/roots.h"
+#include "slfe/core/rr_guidance.h"
+#include "slfe/graph/generators.h"
+
+namespace slfe {
+namespace {
+
+std::shared_ptr<const RRGuidance> Gen(const Graph& g,
+                                      const std::vector<VertexId>& roots) {
+  return std::make_shared<const RRGuidance>(RRGuidance::GenerateSerial(g, roots));
+}
+
+// ------------------------------------------------------------ Fingerprint
+
+TEST(GraphFingerprintTest, DeterministicAndTopologySensitive) {
+  Graph a = Graph::FromEdges(GenerateChain(10));
+  Graph b = Graph::FromEdges(GenerateChain(10));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  Graph c = Graph::FromEdges(GenerateChain(11));
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  EdgeList e(10);  // same vertex count, different wiring
+  for (VertexId v = 0; v + 1 < 10; ++v) e.Add(v + 1, v);
+  Graph d = Graph::FromEdges(e);
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
+}
+
+TEST(GraphFingerprintTest, WeightsDoNotChangeFingerprint) {
+  // Guidance treats every weight as 1, so the cache may legally share
+  // guidance between same-topology graphs with different weights.
+  EdgeList light(3), heavy(3);
+  light.Add(0, 1, 1.0f);
+  light.Add(1, 2, 1.0f);
+  heavy.Add(0, 1, 7.0f);
+  heavy.Add(1, 2, 9.0f);
+  EXPECT_EQ(Graph::FromEdges(light).fingerprint(),
+            Graph::FromEdges(heavy).fingerprint());
+}
+
+// ------------------------------------------------------------------ Cache
+
+TEST(GuidanceCacheTest, MissThenHit) {
+  Graph g = Graph::FromEdges(GenerateChain(12));
+  GuidanceCache cache(4);
+  GuidanceKey key = GuidanceCache::MakeKey(g.fingerprint(), {0});
+
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  auto generated = Gen(g, {0});
+  cache.Insert(key, generated);
+  EXPECT_EQ(cache.Lookup(key).get(), generated.get());
+
+  GuidanceCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(GuidanceCacheTest, DistinctRootsAreDistinctEntries) {
+  Graph g = Graph::FromEdges(GenerateChain(12));
+  GuidanceCache cache(4);
+  cache.Insert(GuidanceCache::MakeKey(g.fingerprint(), {0}), Gen(g, {0}));
+  EXPECT_EQ(cache.Lookup(GuidanceCache::MakeKey(g.fingerprint(), {1})),
+            nullptr);
+  EXPECT_EQ(cache.Lookup(GuidanceCache::MakeKey(g.fingerprint(), {0, 1})),
+            nullptr);
+  EXPECT_NE(cache.Lookup(GuidanceCache::MakeKey(g.fingerprint(), {0})),
+            nullptr);
+}
+
+TEST(GuidanceCacheTest, LruEviction) {
+  Graph g = Graph::FromEdges(GenerateChain(12));
+  GuidanceCache cache(2);
+  auto key = [&](VertexId r) {
+    return GuidanceCache::MakeKey(g.fingerprint(), {r});
+  };
+  cache.Insert(key(0), Gen(g, {0}));
+  cache.Insert(key(1), Gen(g, {1}));
+  ASSERT_NE(cache.Lookup(key(0)), nullptr);  // bump 0 to MRU
+  cache.Insert(key(2), Gen(g, {2}));         // evicts 1, the LRU entry
+  EXPECT_EQ(cache.Lookup(key(1)), nullptr);
+  EXPECT_NE(cache.Lookup(key(0)), nullptr);
+  EXPECT_NE(cache.Lookup(key(2)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(GuidanceCacheTest, InvalidateGraphDropsOnlyThatGraph) {
+  Graph a = Graph::FromEdges(GenerateChain(12));
+  Graph b = Graph::FromEdges(GenerateStar(6));
+  GuidanceCache cache(8);
+  cache.Insert(GuidanceCache::MakeKey(a.fingerprint(), {0}), Gen(a, {0}));
+  cache.Insert(GuidanceCache::MakeKey(a.fingerprint(), {1}), Gen(a, {1}));
+  cache.Insert(GuidanceCache::MakeKey(b.fingerprint(), {0}), Gen(b, {0}));
+  cache.InvalidateGraph(a.fingerprint());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup(GuidanceCache::MakeKey(a.fingerprint(), {0})),
+            nullptr);
+  EXPECT_NE(cache.Lookup(GuidanceCache::MakeKey(b.fingerprint(), {0})),
+            nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(GuidanceCacheTest, EvictedEntryStaysAliveForHolders) {
+  Graph g = Graph::FromEdges(GenerateChain(12));
+  GuidanceCache cache(1);
+  auto held = Gen(g, {0});
+  cache.Insert(GuidanceCache::MakeKey(g.fingerprint(), {0}), held);
+  cache.Insert(GuidanceCache::MakeKey(g.fingerprint(), {1}), Gen(g, {1}));
+  // The {0} entry was evicted, but the shared_ptr keeps it valid.
+  EXPECT_EQ(held->depth(), 11u);
+}
+
+// --------------------------------------------------------------- Provider
+
+TEST(GuidanceProviderTest, PolicySelectionMatchesRootSelectors) {
+  RmatOptions opt;
+  opt.num_vertices = 128;
+  opt.num_edges = 600;
+  Graph g = Graph::FromEdges(GenerateRmat(opt));
+  GuidanceRequest req;
+  req.policy = GuidanceRootPolicy::kSingleSource;
+  req.root = 7;
+  EXPECT_EQ(GuidanceProvider::SelectRoots(g, req),
+            std::vector<VertexId>{7});
+  req.policy = GuidanceRootPolicy::kSourceVertices;
+  EXPECT_EQ(GuidanceProvider::SelectRoots(g, req), SelectSourceRoots(g));
+  req.policy = GuidanceRootPolicy::kLocalMinima;
+  EXPECT_EQ(GuidanceProvider::SelectRoots(g, req), SelectLocalMinimaRoots(g));
+}
+
+TEST(GuidanceProviderTest, SecondAcquireHitsAndSharesTheObject) {
+  Graph g = Graph::FromEdges(GenerateChain(32));
+  GuidanceProvider provider;
+  GuidanceRequest req;
+  req.policy = GuidanceRootPolicy::kSingleSource;
+  req.root = 0;
+
+  GuidanceAcquisition first = provider.Acquire(g, req);
+  ASSERT_TRUE(first);
+  EXPECT_FALSE(first.cache_hit);
+
+  GuidanceAcquisition second = provider.Acquire(g, req);
+  ASSERT_TRUE(second);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.guidance.get(), second.guidance.get());
+
+  GuidanceCacheStats stats = provider.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(GuidanceProviderTest, CacheBypassRegeneratesEveryTime) {
+  Graph g = Graph::FromEdges(GenerateChain(32));
+  GuidanceProvider provider;
+  GuidanceRequest req;
+  req.policy = GuidanceRootPolicy::kSingleSource;
+  req.use_cache = false;
+  GuidanceAcquisition a = provider.Acquire(g, req);
+  GuidanceAcquisition b = provider.Acquire(g, req);
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_FALSE(b.cache_hit);
+  EXPECT_NE(a.guidance.get(), b.guidance.get());
+  EXPECT_EQ(provider.cache().size(), 0u);
+}
+
+TEST(GuidanceProviderTest, CachedMatchesRegeneratedAfterClear) {
+  // Regression for the amortization contract: what the cache serves must
+  // be indistinguishable from a fresh sweep.
+  RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 1500;
+  opt.seed = 3;
+  Graph g = Graph::FromEdges(GenerateRmat(opt));
+  GuidanceProvider provider;
+  GuidanceRequest req;
+  req.policy = GuidanceRootPolicy::kLocalMinima;
+
+  provider.Acquire(g, req);                             // warm
+  GuidanceAcquisition cached = provider.Acquire(g, req);
+  ASSERT_TRUE(cached.cache_hit);
+  provider.cache().Clear();
+  GuidanceAcquisition regenerated = provider.Acquire(g, req);
+  ASSERT_FALSE(regenerated.cache_hit);
+
+  ASSERT_EQ(cached.guidance->num_vertices(),
+            regenerated.guidance->num_vertices());
+  EXPECT_EQ(cached.guidance->depth(), regenerated.guidance->depth());
+  for (VertexId v = 0; v < cached.guidance->num_vertices(); ++v) {
+    ASSERT_EQ(cached.guidance->last_iter(v),
+              regenerated.guidance->last_iter(v));
+    ASSERT_EQ(cached.guidance->visited(v), regenerated.guidance->visited(v));
+  }
+}
+
+// ------------------------------------------------------------- App layer
+
+TEST(GuidanceProviderTest, RepeatedSsspJobHitsCacheWithIdenticalResults) {
+  RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 1500;
+  opt.seed = 9;
+  Graph g = Graph::FromEdges(GenerateRmat(opt));
+
+  GuidanceProvider provider;
+  AppConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.enable_rr = true;
+  cfg.guidance_provider = &provider;
+
+  SsspResult first = RunSssp(g, cfg);
+  EXPECT_FALSE(first.info.guidance_cache_hit);
+  SsspResult second = RunSssp(g, cfg);
+  EXPECT_TRUE(second.info.guidance_cache_hit);
+  EXPECT_EQ(second.info.guidance_depth, first.info.guidance_depth);
+  EXPECT_EQ(second.dist, first.dist);
+  EXPECT_EQ(provider.cache_stats().hits, 1u);
+}
+
+TEST(GuidanceProviderTest, BaselineRunsAcquireNothing) {
+  Graph g = Graph::FromEdges(GenerateChain(16));
+  GuidanceProvider provider;
+  AppConfig cfg;
+  cfg.enable_rr = false;
+  cfg.guidance_provider = &provider;
+  SsspResult r = RunSssp(g, cfg);
+  EXPECT_EQ(r.info.guidance_seconds, 0.0);
+  EXPECT_FALSE(r.info.guidance_cache_hit);
+  GuidanceCacheStats stats = provider.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace slfe

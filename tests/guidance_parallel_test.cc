@@ -1,0 +1,135 @@
+// Equivalence tests for the frontier-parallel guidance generator: on every
+// graph family (chain, star, random, cycle-bound, grid, islands) and for
+// every worker count / direction policy, GenerateParallel must produce
+// exactly the serial reference's last_iter / visited / depth.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "slfe/common/thread_pool.h"
+#include "slfe/core/roots.h"
+#include "slfe/core/rr_guidance.h"
+#include "slfe/graph/generators.h"
+
+namespace slfe {
+namespace {
+
+void ExpectSameGuidance(const RRGuidance& want, const RRGuidance& got,
+                        const char* label) {
+  ASSERT_EQ(want.num_vertices(), got.num_vertices()) << label;
+  EXPECT_EQ(want.depth(), got.depth()) << label;
+  for (VertexId v = 0; v < want.num_vertices(); ++v) {
+    ASSERT_EQ(want.last_iter(v), got.last_iter(v))
+        << label << " last_iter mismatch at v=" << v;
+    ASSERT_EQ(want.visited(v), got.visited(v))
+        << label << " visited mismatch at v=" << v;
+  }
+}
+
+/// Checks serial == parallel for 2..4 workers and for both forced
+/// directions (always-dense, always-sparse) plus the adaptive default.
+void CheckParallelEquivalence(const Graph& g,
+                              const std::vector<VertexId>& roots,
+                              const char* label) {
+  RRGuidance serial = RRGuidance::GenerateSerial(g, roots);
+  for (size_t workers : {2u, 3u, 4u}) {
+    ThreadPool pool(workers);
+    ExpectSameGuidance(serial, RRGuidance::GenerateParallel(g, roots, pool),
+                       label);
+    // dense_fraction 0 forces pull every iteration; a huge fraction forces
+    // push — both must match the reference independently of the heuristic.
+    ExpectSameGuidance(
+        serial, RRGuidance::GenerateParallel(g, roots, pool, 0.0), label);
+    ExpectSameGuidance(
+        serial, RRGuidance::GenerateParallel(g, roots, pool, 1e18), label);
+  }
+  // The Generate dispatcher with a pool takes the parallel path.
+  ThreadPool pool(4);
+  ExpectSameGuidance(serial, RRGuidance::Generate(g, roots, &pool), label);
+}
+
+TEST(GuidanceParallelTest, Chain) {
+  Graph g = Graph::FromEdges(GenerateChain(64));
+  CheckParallelEquivalence(g, {0}, "chain");
+  CheckParallelEquivalence(g, {10, 40}, "chain multi-root");
+}
+
+TEST(GuidanceParallelTest, Star) {
+  Graph g = Graph::FromEdges(GenerateStar(32));
+  CheckParallelEquivalence(g, {0}, "star hub");
+  CheckParallelEquivalence(g, {5}, "star spoke");
+}
+
+TEST(GuidanceParallelTest, RandomRmat) {
+  RmatOptions opt;
+  opt.num_vertices = 512;
+  opt.num_edges = 3000;
+  Graph g = Graph::FromEdges(GenerateRmat(opt));
+  CheckParallelEquivalence(g, {0}, "rmat single root");
+  CheckParallelEquivalence(g, {0, 17, 99, 300}, "rmat multi root");
+  CheckParallelEquivalence(g, SelectSourceRoots(g), "rmat source roots");
+}
+
+TEST(GuidanceParallelTest, CycleBound) {
+  // Directed ring: no zero-in-degree vertex, maximal propagation depth.
+  EdgeList e(48);
+  for (VertexId v = 0; v < 48; ++v) e.Add(v, (v + 1) % 48);
+  Graph g = Graph::FromEdges(e);
+  CheckParallelEquivalence(g, {0}, "cycle");
+  CheckParallelEquivalence(g, SelectSourceRoots(g), "cycle fallback root");
+}
+
+TEST(GuidanceParallelTest, Grid) {
+  Graph g = Graph::FromEdges(GenerateGrid(12, 13));
+  CheckParallelEquivalence(g, {0}, "grid");
+}
+
+TEST(GuidanceParallelTest, DisconnectedIslands) {
+  EdgeList e(10);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  e.Add(5, 6);  // island unreachable from 0
+  e.Add(6, 7);
+  Graph g = Graph::FromEdges(e);
+  CheckParallelEquivalence(g, {0}, "islands from 0");
+  CheckParallelEquivalence(g, {0, 5}, "islands both");
+}
+
+TEST(GuidanceParallelTest, EmptyRootsAndEmptyGraph) {
+  Graph g = Graph::FromEdges(GenerateChain(8));
+  CheckParallelEquivalence(g, {}, "empty roots");
+  Graph empty;
+  ThreadPool pool(2);
+  RRGuidance rrg = RRGuidance::GenerateParallel(empty, {}, pool);
+  EXPECT_EQ(rrg.num_vertices(), 0u);
+  EXPECT_EQ(rrg.depth(), 0u);
+}
+
+TEST(GuidanceParallelTest, DuplicateRootsDedup) {
+  Graph g = Graph::FromEdges(GenerateChain(16));
+  CheckParallelEquivalence(g, {3, 3, 3, 0, 0}, "duplicate roots");
+}
+
+TEST(GuidanceParallelTest, SingleWorkerPoolFallsBackToSerial) {
+  Graph g = Graph::FromEdges(GenerateChain(16));
+  ThreadPool pool(1);
+  // The dispatcher routes 1-worker pools to the serial reference.
+  RRGuidance via_dispatch = RRGuidance::Generate(g, {0}, &pool);
+  ExpectSameGuidance(RRGuidance::GenerateSerial(g, {0}), via_dispatch,
+                     "single worker");
+}
+
+TEST(GuidanceParallelTest, GenerateAllRootsParallelMatchesSerial) {
+  RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 1400;
+  opt.seed = 11;
+  Graph g = Graph::FromEdges(GenerateRmat(opt));
+  ThreadPool pool(4);
+  ExpectSameGuidance(RRGuidance::GenerateAllRoots(g),
+                     RRGuidance::GenerateAllRoots(g, &pool), "all roots");
+}
+
+}  // namespace
+}  // namespace slfe
