@@ -3,8 +3,8 @@
 // reduction — and compare the work and runtime of the two runs.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/quickstart
 
 #include <cstdio>
 

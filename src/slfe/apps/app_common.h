@@ -61,9 +61,7 @@ inline GuidanceAcquisition AcquireGuidance(const Graph& graph,
                                            const AppConfig& config,
                                            GuidanceRootPolicy policy) {
   if (!config.enable_rr) return {};
-  GuidanceProvider& provider = config.guidance_provider != nullptr
-                                   ? *config.guidance_provider
-                                   : GuidanceProvider::Global();
+  GuidanceProvider& provider = ResolveProvider(config.guidance_provider);
   GuidanceRequest request;
   request.policy = policy;
   request.root = config.root;

@@ -1,0 +1,36 @@
+#ifndef SLFE_COMMON_FNV_H_
+#define SLFE_COMMON_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slfe {
+
+/// The one FNV-1a implementation. Three subsystems depend on these exact
+/// constants staying in lockstep: Graph::fingerprint() (cache keys),
+/// GuidanceCache::MakeKey (roots digests), and the GuidanceStore file
+/// checksum (on-disk compatibility) — so the hash lives here, once.
+inline constexpr uint64_t kFnvBasis = 14695981039346656037ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/// Folds one 64-bit value into the running hash (word-granularity FNV-1a,
+/// the form the fingerprint and key digests use).
+inline uint64_t Fnv1aMix(uint64_t h, uint64_t value) {
+  h ^= value;
+  h *= kFnvPrime;
+  return h;
+}
+
+/// Folds a byte range into the running hash (the on-disk checksum form).
+inline uint64_t Fnv1aBytes(const void* data, size_t bytes, uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace slfe
+
+#endif  // SLFE_COMMON_FNV_H_

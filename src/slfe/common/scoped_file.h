@@ -1,0 +1,30 @@
+#ifndef SLFE_COMMON_SCOPED_FILE_H_
+#define SLFE_COMMON_SCOPED_FILE_H_
+
+#include <cstdio>
+#include <string>
+
+namespace slfe {
+
+/// RAII wrapper over std::FILE, shared by the file-backed subsystems (ooc
+/// shards, guidance store).
+class ScopedFile {
+ public:
+  ScopedFile(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~ScopedFile() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  ScopedFile(const ScopedFile&) = delete;
+  ScopedFile& operator=(const ScopedFile&) = delete;
+
+  std::FILE* get() const { return f_; }
+  bool ok() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_COMMON_SCOPED_FILE_H_

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "slfe/common/fnv.h"
 #include "slfe/common/logging.h"
+#include "slfe/core/guidance_store.h"
 
 namespace slfe {
 
@@ -10,16 +12,23 @@ GuidanceCache::GuidanceCache(size_t capacity) : capacity_(capacity) {
   SLFE_CHECK_GE(capacity_, 1u);
 }
 
+void GuidanceCache::AttachStore(std::shared_ptr<GuidanceStore> store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<GuidanceStore> GuidanceCache::store() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_;
+}
+
 GuidanceKey GuidanceCache::MakeKey(uint64_t graph_fingerprint,
                                    const std::vector<VertexId>& roots) {
   GuidanceKey key;
   key.graph_fingerprint = graph_fingerprint;
   key.num_roots = roots.size();
-  uint64_t h = 14695981039346656037ull;
-  for (VertexId r : roots) {
-    h ^= r;
-    h *= 1099511628211ull;
-  }
+  uint64_t h = kFnvBasis;
+  for (VertexId r : roots) h = Fnv1aMix(h, r);
   key.roots_digest = h;
   return key;
 }
@@ -28,18 +37,56 @@ std::shared_ptr<const RRGuidance> GuidanceCache::Lookup(
     const GuidanceKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return nullptr;
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+    return it->second->guidance;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
-  return it->second->guidance;
+  if (store_ != nullptr) {
+    Result<RRGuidance> loaded = store_->Load(key);
+    if (loaded.ok()) {
+      ++stats_.store_hits;
+      auto guidance = std::make_shared<const RRGuidance>(
+          std::move(loaded).value());
+      InsertLocked(key, guidance, /*spill=*/false);
+      return guidance;
+    }
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      // Rejected file (corruption/truncation): log, count, fall through to
+      // a miss — the regenerated entry's write-through replaces it.
+      ++stats_.store_errors;
+      SLFE_LOG(Warning) << "guidance store load failed: "
+                        << loaded.status().ToString();
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+std::shared_ptr<const RRGuidance> GuidanceCache::Peek(
+    const GuidanceKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  return it != index_.end() ? it->second->guidance : nullptr;
 }
 
 void GuidanceCache::Insert(const GuidanceKey& key,
                            std::shared_ptr<const RRGuidance> guidance) {
   std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, std::move(guidance), /*spill=*/true);
+}
+
+void GuidanceCache::InsertLocked(const GuidanceKey& key,
+                                 std::shared_ptr<const RRGuidance> guidance,
+                                 bool spill) {
+  if (spill && store_ != nullptr) {
+    Status s = store_->Save(key, *guidance);
+    if (!s.ok()) {
+      // Persistence is an optimization: a failed spill costs a future
+      // resweep, never correctness.
+      SLFE_LOG(Warning) << "guidance store save failed: " << s.ToString();
+    }
+  }
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent generators can race to insert the same key; keep the
@@ -66,6 +113,13 @@ void GuidanceCache::InvalidateGraph(uint64_t graph_fingerprint) {
       ++stats_.invalidations;
     } else {
       ++it;
+    }
+  }
+  if (store_ != nullptr) {
+    Result<size_t> removed = store_->RemoveGraph(graph_fingerprint);
+    if (!removed.ok()) {
+      SLFE_LOG(Warning) << "guidance store invalidation failed: "
+                        << removed.status().ToString();
     }
   }
 }

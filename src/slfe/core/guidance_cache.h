@@ -13,6 +13,8 @@
 
 namespace slfe {
 
+class GuidanceStore;
+
 /// Cache key: which graph (by topology fingerprint) and which root set the
 /// guidance was generated for. Roots are folded into an order-sensitive
 /// digest — the selectors in roots.h are deterministic, so equal root sets
@@ -28,13 +30,30 @@ struct GuidanceKey {
   }
 };
 
+/// The one hasher for GuidanceKey-keyed containers (the cache's index and
+/// the provider's singleflight table share it).
+struct GuidanceKeyHash {
+  size_t operator()(const GuidanceKey& k) const {
+    uint64_t h = k.graph_fingerprint;
+    h ^= k.roots_digest + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= k.num_roots + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
 /// Observability counters for the amortization story (paper §4.4: ~8.7
 /// jobs share one graph in production, so most jobs should hit).
 struct GuidanceCacheStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
+  uint64_t hits = 0;    ///< served from the in-memory LRU
+  uint64_t misses = 0;  ///< absent from memory AND the attached store
   uint64_t evictions = 0;
   uint64_t invalidations = 0;
+  /// Served from the attached GuidanceStore after a memory miss (the
+  /// restart-survival path); counted instead of a miss.
+  uint64_t store_hits = 0;
+  /// Store entries rejected during load (corruption/truncation). The
+  /// lookup proceeds as a miss and the next Insert overwrites the bad file.
+  uint64_t store_errors = 0;
 };
 
 /// A thread-safe LRU cache of generated RR guidance, realizing the
@@ -42,6 +61,14 @@ struct GuidanceCacheStats {
 /// pays the O(|E|) sweep, the next ~7.7 jobs retrieve it in O(|roots|).
 /// Entries are shared_ptr-held so a cached guidance stays valid for a
 /// running job even if it is evicted mid-run.
+///
+/// With a GuidanceStore attached the cache becomes a two-level hierarchy:
+/// inserts write through to disk, a memory miss falls back to a store load
+/// (so eviction and process restarts only cost a file read, not an O(|E|)
+/// resweep), and InvalidateGraph also drops the graph's files. Store I/O
+/// runs under the cache mutex — loads are one sequential read of a
+/// few-MB-at-most file, and the provider's singleflight already keeps the
+/// miss path cold, so finer locking has nothing to win.
 class GuidanceCache {
  public:
   /// `capacity` bounds the number of (graph, roots) entries kept; at most
@@ -49,24 +76,41 @@ class GuidanceCache {
   /// resident.
   explicit GuidanceCache(size_t capacity = 32);
 
+  /// Attaches (or detaches, with nullptr) the persistent spill layer.
+  /// Shared ownership: benches point several providers at one store, and
+  /// the returned handle stays valid across a concurrent re-attach.
+  void AttachStore(std::shared_ptr<GuidanceStore> store);
+  std::shared_ptr<GuidanceStore> store() const;
+
   /// Digest helper for building keys from a concrete root vector.
   static GuidanceKey MakeKey(uint64_t graph_fingerprint,
                              const std::vector<VertexId>& roots);
 
   /// Returns the cached guidance and bumps it to most-recently-used, or
-  /// nullptr on a miss. Counts a hit or a miss.
+  /// nullptr on a miss. A memory miss with a store attached first tries a
+  /// disk load (counted as store_hits and promoted into the LRU); only a
+  /// miss on both levels counts as a miss and returns nullptr.
   std::shared_ptr<const RRGuidance> Lookup(const GuidanceKey& key);
 
+  /// Memory-only, side-effect-free probe: no store load, no LRU bump, no
+  /// stats. The provider's singleflight uses this to re-check for a result
+  /// published between its cache miss and its flight registration.
+  std::shared_ptr<const RRGuidance> Peek(const GuidanceKey& key) const;
+
   /// Inserts (or replaces) the entry for `key`, evicting the
-  /// least-recently-used entry when over capacity.
+  /// least-recently-used entry when over capacity. Writes through to the
+  /// attached store (an evicted entry therefore remains reloadable).
   void Insert(const GuidanceKey& key,
               std::shared_ptr<const RRGuidance> guidance);
 
   /// Drops every entry generated for the given graph fingerprint (e.g.
-  /// after a mutation produced a new Graph with the same storage).
+  /// after a mutation produced a new Graph with the same storage), from
+  /// memory and from the attached store.
   void InvalidateGraph(uint64_t graph_fingerprint);
 
-  /// Drops everything.
+  /// Drops every in-memory entry. Store files survive — Clear models
+  /// memory pressure / restart, not data invalidation (that is
+  /// InvalidateGraph's job).
   void Clear();
 
   size_t size() const;
@@ -74,15 +118,6 @@ class GuidanceCache {
   GuidanceCacheStats stats() const;
 
  private:
-  struct KeyHash {
-    size_t operator()(const GuidanceKey& k) const {
-      uint64_t h = k.graph_fingerprint;
-      h ^= k.roots_digest + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-      h ^= k.num_roots + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-      return static_cast<size_t>(h);
-    }
-  };
-
   struct Entry {
     GuidanceKey key;
     std::shared_ptr<const RRGuidance> guidance;
@@ -90,11 +125,17 @@ class GuidanceCache {
 
   using LruList = std::list<Entry>;
 
+  /// Inserts under mu_; `spill` = false for entries that just came FROM
+  /// the store (re-saving them would be a wasted write).
+  void InsertLocked(const GuidanceKey& key,
+                    std::shared_ptr<const RRGuidance> guidance, bool spill);
+
   size_t capacity_;
   mutable std::mutex mu_;
   LruList lru_;  // front = most recently used
-  std::unordered_map<GuidanceKey, LruList::iterator, KeyHash> index_;
+  std::unordered_map<GuidanceKey, LruList::iterator, GuidanceKeyHash> index_;
   GuidanceCacheStats stats_;
+  std::shared_ptr<GuidanceStore> store_;
 };
 
 }  // namespace slfe

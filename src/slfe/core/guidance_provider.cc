@@ -9,11 +9,20 @@
 namespace slfe {
 
 GuidanceProvider::GuidanceProvider(GuidanceProviderOptions options)
-    : options_(options), cache_(options.cache_capacity) {}
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  if (!options_.store_dir.empty()) {
+    store_ = std::make_shared<GuidanceStore>(options_.store_dir);
+    cache_.AttachStore(store_);
+  }
+}
 
 GuidanceProvider& GuidanceProvider::Global() {
   static GuidanceProvider* provider = new GuidanceProvider();
   return *provider;
+}
+
+GuidanceProvider& ResolveProvider(GuidanceProvider* provider) {
+  return provider != nullptr ? *provider : GuidanceProvider::Global();
 }
 
 std::vector<VertexId> GuidanceProvider::SelectRoots(
@@ -31,12 +40,32 @@ std::vector<VertexId> GuidanceProvider::SelectRoots(
 
 GuidanceAcquisition GuidanceProvider::Acquire(const Graph& graph,
                                               const GuidanceRequest& request) {
+  Timer timer;
+  GuidanceAcquisition result;
+
+  NegativeKey neg_key{graph.fingerprint(), request.policy,
+                      request.policy == GuidanceRootPolicy::kSingleSource
+                          ? request.root
+                          : 0};
+  if (NegativeLookup(neg_key)) {
+    // Remembered as unproducible: return baseline mode without repeating
+    // the root-selection scan.
+    result.acquire_seconds = timer.Seconds();
+    return result;
+  }
+
   // Root selection is an O(V..V+E) scan for the non-single-source policies
   // and repeats on every job, so it belongs in the reported acquisition
   // cost — even on the cache-hit path.
-  Timer timer;
-  GuidanceAcquisition result =
-      AcquireForRoots(graph, SelectRoots(graph, request), request.use_cache);
+  std::vector<VertexId> roots = SelectRoots(graph, request);
+  if (roots.empty()) {
+    // Unproducible (empty graph, or a policy that found no propagation
+    // sources): remember it so repeats skip the selection scan too.
+    NegativeInsert(neg_key);
+    result.acquire_seconds = timer.Seconds();
+    return result;
+  }
+  result = AcquireForRoots(graph, roots, request.use_cache);
   result.acquire_seconds = timer.Seconds();
   return result;
 }
@@ -45,6 +74,13 @@ GuidanceAcquisition GuidanceProvider::AcquireForRoots(
     const Graph& graph, const std::vector<VertexId>& roots, bool use_cache) {
   Timer timer;
   GuidanceAcquisition result;
+  if (roots.empty()) {
+    // An empty root set makes the sweep a no-op that disables all
+    // redundancy reduction; hand back baseline mode instead of warning
+    // and generating useless all-zero guidance.
+    result.acquire_seconds = timer.Seconds();
+    return result;
+  }
   GuidanceKey key = GuidanceCache::MakeKey(graph.fingerprint(), roots);
   if (use_cache) {
     result.guidance = cache_.Lookup(key);
@@ -54,17 +90,132 @@ GuidanceAcquisition GuidanceProvider::AcquireForRoots(
       return result;
     }
   }
-  {
-    // The pool's ParallelRun is single-job; serialize generators on it.
-    // (Concurrent misses on different keys queue here rather than fight
-    // over workers — generation is the expensive, parallel-inside part.)
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    result.guidance = std::make_shared<const RRGuidance>(
-        RRGuidance::Generate(graph, roots, GenerationPool()));
+
+  if (!use_cache) {
+    // Bypass path (benches measuring per-job sweep cost): no coalescing,
+    // no insertion — every call pays a full generation by design.
+    result.guidance = GenerateNow(graph, roots);
+    result.acquire_seconds = timer.Seconds();
+    return result;
   }
-  if (use_cache) cache_.Insert(key, result.guidance);
+
+  // Singleflight: exactly one generation per key, no matter how many
+  // threads miss on it concurrently. The first to register the flight
+  // becomes the leader; everyone else blocks on the flight and shares the
+  // leader's result.
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      flight = it->second;
+    } else {
+      // A flight for this key may have just completed: its leader inserted
+      // into the cache and erased the flight between our cache miss and
+      // this registration. Re-probe (memory-only, side-effect-free) before
+      // committing to a fresh sweep.
+      result.guidance = cache_.Peek(key);
+      if (result.guidance != nullptr) {
+        result.cache_hit = true;
+        result.acquire_seconds = timer.Seconds();
+        return result;
+      }
+      flight = std::make_shared<Flight>();
+      flights_[key] = flight;
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    result.guidance = flight->result;
+    result.coalesced = true;
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.coalesced;
+    }
+    result.acquire_seconds = timer.Seconds();
+    return result;
+  }
+
+  // Leader. The completer publishes whatever result is set (null on an
+  // unwind — e.g. bad_alloc out of the sweep) and unregisters the flight
+  // from its destructor, so followers can never deadlock on a flight
+  // whose leader died. Publication happens before unregistration, so a
+  // thread that finds no flight is guaranteed to find the cache entry
+  // (the Peek above closes the other ordering).
+  struct FlightCompleter {
+    GuidanceProvider* provider;
+    const GuidanceKey& key;
+    const std::shared_ptr<Flight>& flight;
+    std::shared_ptr<const RRGuidance> result;
+    ~FlightCompleter() {
+      {
+        std::lock_guard<std::mutex> lock(flight->mu);
+        flight->result = result;
+        flight->done = true;
+      }
+      flight->cv.notify_all();
+      std::lock_guard<std::mutex> lock(provider->flights_mu_);
+      provider->flights_.erase(key);
+    }
+  } completer{this, key, flight, nullptr};
+
+  result.guidance = GenerateNow(graph, roots);
+  cache_.Insert(key, result.guidance);
+  completer.result = result.guidance;
   result.acquire_seconds = timer.Seconds();
   return result;
+}
+
+std::shared_ptr<const RRGuidance> GuidanceProvider::GenerateNow(
+    const Graph& graph, const std::vector<VertexId>& roots) {
+  // The pool's ParallelRun is single-job; serialize generators on it.
+  // (Concurrent misses on one key never reach here twice — singleflight
+  // coalesces them — so this lock only queues sweeps for DIFFERENT keys,
+  // which would otherwise fight over the workers.)
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  auto guidance = std::make_shared<const RRGuidance>(
+      RRGuidance::Generate(graph, roots, GenerationPool()));
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.generations;
+  }
+  return guidance;
+}
+
+bool GuidanceProvider::NegativeLookup(const NegativeKey& key) {
+  std::lock_guard<std::mutex> lock(negative_mu_);
+  if (negative_.find(key) == negative_.end()) return false;
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.negative_hits;
+  }
+  return true;
+}
+
+void GuidanceProvider::NegativeInsert(const NegativeKey& key) {
+  if (options_.negative_cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(negative_mu_);
+  if (!negative_.insert(key).second) return;
+  negative_fifo_.push_back(key);
+  while (negative_fifo_.size() > options_.negative_cache_capacity) {
+    negative_.erase(negative_fifo_.front());
+    negative_fifo_.pop_front();
+  }
+}
+
+void GuidanceProvider::ClearNegativeCache() {
+  std::lock_guard<std::mutex> lock(negative_mu_);
+  negative_.clear();
+  negative_fifo_.clear();
+}
+
+GuidanceProviderStats GuidanceProvider::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 size_t GuidanceProvider::generation_threads() const {

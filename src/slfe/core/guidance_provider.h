@@ -1,13 +1,19 @@
 #ifndef SLFE_CORE_GUIDANCE_PROVIDER_H_
 #define SLFE_CORE_GUIDANCE_PROVIDER_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "slfe/common/thread_pool.h"
 #include "slfe/core/guidance_cache.h"
+#include "slfe/core/guidance_store.h"
 #include "slfe/core/rr_guidance.h"
 #include "slfe/graph/graph.h"
 #include "slfe/graph/types.h"
@@ -41,12 +47,16 @@ struct GuidanceRequest {
 /// What Acquire hands back: shared ownership of the guidance (engines and
 /// runners may outlive cache eviction), whether this was the paper's §4.4
 /// amortized path, and the wall cost actually paid by THIS job — the
-/// generation time on a miss, the (near-zero) lookup time on a hit. The
-/// Fig. 8 overhead accounting uses acquire_seconds, so repeated jobs show
-/// the amortization directly.
+/// generation time on a miss, the (near-zero) lookup time on a hit, the
+/// leader's remaining generation time when the request was coalesced onto
+/// an in-flight generation. The Fig. 8 overhead accounting uses
+/// acquire_seconds, so repeated jobs show the amortization directly.
 struct GuidanceAcquisition {
   std::shared_ptr<const RRGuidance> guidance;
   bool cache_hit = false;
+  /// True when this request waited on (and shares the result of) another
+  /// thread's in-flight generation instead of sweeping itself.
+  bool coalesced = false;
   double acquire_seconds = 0;
 
   const RRGuidance* get() const { return guidance.get(); }
@@ -59,15 +69,57 @@ struct GuidanceProviderOptions {
   /// Workers for parallel generation; 0 = hardware concurrency. A value of
   /// 1 forces the serial reference sweep.
   size_t generation_threads = 0;
+  /// Non-empty = persist cache entries as fingerprint-keyed files in this
+  /// directory (typically next to the ooc shard files), so the §4.4
+  /// amortization survives process restarts. Empty = in-memory only.
+  std::string store_dir;
+  /// Maximum remembered unproducible requests (see the negative cache
+  /// note on GuidanceProvider). 0 disables negative caching.
+  size_t negative_cache_capacity = 64;
 };
+
+/// Provider-level counters (the cache and store keep their own).
+struct GuidanceProviderStats {
+  /// Sweeps actually executed (each one paid O(|E|)).
+  uint64_t generations = 0;
+  /// Requests that piggybacked on another thread's in-flight sweep.
+  uint64_t coalesced = 0;
+  /// Requests short-circuited by the negative cache.
+  uint64_t negative_hits = 0;
+};
+
+class GuidanceProvider;
+
+/// The one rule for resolving an optional provider argument: nullptr means
+/// the process-global instance. Shared by every guided entry point
+/// (app_common's AcquireGuidance, the guided GAS and ooc apps).
+GuidanceProvider& ResolveProvider(GuidanceProvider* provider);
 
 /// The single guidance entry point shared by the apps, the distributed
 /// engine (via EngineOptions::guidance), and the out-of-core engine:
-/// selects roots per policy, serves repeated jobs from the GuidanceCache,
-/// and generates misses with the frontier-parallel sweep. Thread-safe;
-/// concurrent misses on the same key may generate twice, and the cache
-/// keeps the newest result (generation is deterministic, so both are
-/// identical).
+/// selects roots per policy, serves repeated jobs from the GuidanceCache
+/// (and, when a store directory is configured, from disk across process
+/// restarts), and generates misses with the frontier-parallel sweep.
+///
+/// Thread-safe, with two multi-tenant protections:
+///
+///  * **Singleflight.** Concurrent misses on one key are coalesced: the
+///    first thread becomes the generation leader, every other thread
+///    blocks on its flight and shares the one result (acquisitions report
+///    coalesced = true). Exactly one O(|E|) sweep runs per key no matter
+///    how many tenants request it simultaneously.
+///
+///  * **Negative cache.** Requests that cannot yield useful guidance —
+///    the root policy selected an empty root set, which makes the sweep a
+///    no-op that disables all redundancy reduction — are remembered, and
+///    repeats return a null acquisition (baseline mode) immediately,
+///    skipping both the O(V+E) root-selection rescan and the no-op sweep.
+///    Eviction policy: a bounded FIFO of `negative_cache_capacity` request
+///    keys (fingerprint, policy, root); when full, the oldest entry is
+///    dropped. Entries are never revalidated by time — a Graph is
+///    immutable, so an empty root set is a permanent property of
+///    (topology, policy) — but ClearNegativeCache() resets the set (e.g.
+///    for tests reusing fingerprints across synthetic graphs).
 class GuidanceProvider {
  public:
   explicit GuidanceProvider(GuidanceProviderOptions options = {});
@@ -81,7 +133,9 @@ class GuidanceProvider {
   GuidanceAcquisition Acquire(const Graph& graph,
                               const GuidanceRequest& request);
 
-  /// Explicit-roots acquisition (benches / tests / custom apps).
+  /// Explicit-roots acquisition (benches / tests / custom apps). An empty
+  /// root set returns a null acquisition (baseline mode) — see the
+  /// negative cache note above.
   GuidanceAcquisition AcquireForRoots(const Graph& graph,
                                       const std::vector<VertexId>& roots,
                                       bool use_cache = true);
@@ -93,18 +147,77 @@ class GuidanceProvider {
 
   GuidanceCache& cache() { return cache_; }
   GuidanceCacheStats cache_stats() const { return cache_.stats(); }
+  GuidanceProviderStats stats() const;
+
+  /// The persistent spill layer, or nullptr when store_dir was empty.
+  GuidanceStore* store() const { return store_.get(); }
+
+  /// Forgets every negatively cached request.
+  void ClearNegativeCache();
 
   /// Number of workers generation will use (resolves the 0 = hardware
   /// default).
   size_t generation_threads() const;
 
  private:
+  /// A negatively cached request: the graph plus the policy inputs that
+  /// produced an empty root set.
+  struct NegativeKey {
+    uint64_t graph_fingerprint = 0;
+    GuidanceRootPolicy policy = GuidanceRootPolicy::kSourceVertices;
+    VertexId root = 0;
+
+    bool operator==(const NegativeKey& o) const {
+      return graph_fingerprint == o.graph_fingerprint && policy == o.policy &&
+             root == o.root;
+    }
+  };
+  struct NegativeKeyHash {
+    size_t operator()(const NegativeKey& k) const {
+      uint64_t h = k.graph_fingerprint;
+      h ^= static_cast<uint64_t>(k.policy) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(k.root) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// One in-flight generation; followers block on cv until the leader
+  /// publishes `result` and flips `done`.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const RRGuidance> result;
+  };
+
+  bool NegativeLookup(const NegativeKey& key);
+  void NegativeInsert(const NegativeKey& key);
+
+  /// The uncached sweep (leader path); counts a generation.
+  std::shared_ptr<const RRGuidance> GenerateNow(
+      const Graph& graph, const std::vector<VertexId>& roots);
+
   ThreadPool* GenerationPool();
 
   GuidanceProviderOptions options_;
   GuidanceCache cache_;
+  std::shared_ptr<GuidanceStore> store_;  // null = in-memory only
+
   std::mutex pool_mu_;
   std::unique_ptr<ThreadPool> pool_;  // lazily built, serial mode = none
+
+  std::mutex flights_mu_;
+  std::unordered_map<GuidanceKey, std::shared_ptr<Flight>, GuidanceKeyHash>
+      flights_;
+
+  mutable std::mutex negative_mu_;
+  std::unordered_set<NegativeKey, NegativeKeyHash> negative_;
+  std::deque<NegativeKey> negative_fifo_;  // front = oldest, next to evict
+
+  mutable std::mutex stats_mu_;
+  GuidanceProviderStats stats_;
 };
 
 }  // namespace slfe

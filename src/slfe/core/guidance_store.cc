@@ -1,0 +1,253 @@
+#include "slfe/core/guidance_store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "slfe/common/fnv.h"
+#include "slfe/common/scoped_file.h"
+
+namespace slfe {
+
+namespace {
+
+/// Fixed-width on-disk header (see the format comment in the header file).
+/// Every field is an exact-width integer, so the packed size is the same on
+/// every platform we build for; the static_assert guards against padding.
+struct StoreHeader {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t graph_fingerprint = 0;
+  uint64_t roots_digest = 0;
+  uint64_t num_roots = 0;
+  uint32_t num_vertices = 0;
+  uint32_t depth = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t payload_checksum = 0;  // must stay the last field (see Checksum)
+};
+static_assert(sizeof(StoreHeader) == 56, "StoreHeader must pack to 56 bytes");
+
+/// Everything before the checksum field is covered by the checksum too —
+/// magic/version/key are independently validated against expectations, but
+/// num_vertices/depth/payload_bytes have no other witness, and a flipped
+/// depth would otherwise load "valid" and silently change guided-run
+/// iteration bounds.
+constexpr size_t kChecksummedHeaderBytes =
+    offsetof(StoreHeader, payload_checksum);
+
+uint64_t Checksum(const StoreHeader& header, const uint32_t* last_iter,
+                  const uint8_t* visited, uint64_t n) {
+  uint64_t h = Fnv1aBytes(&header, kChecksummedHeaderBytes, kFnvBasis);
+  h = Fnv1aBytes(last_iter, n * sizeof(uint32_t), h);
+  return Fnv1aBytes(visited, n * sizeof(uint8_t), h);
+}
+
+std::string Hex(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+GuidanceStore::GuidanceStore(std::string dir) : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0755);
+  // Sweep temp files orphaned by a crash mid-save (RemoveAll/RemoveGraph
+  // only touch *.rrg, so nothing else reclaims them). Racing a live saver
+  // in another process is benign: its fwrite continues into the unlinked
+  // file and its rename fails cleanly into a logged, regenerable miss.
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.find(".rrg.tmp.") != std::string::npos) {
+      std::remove((dir_ + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+std::string GuidanceStore::EntryPath(const GuidanceKey& key) const {
+  return dir_ + "/g" + Hex(key.graph_fingerprint) + "_r" +
+         Hex(key.roots_digest) + "_n" + Hex(key.num_roots) + ".rrg";
+}
+
+Status GuidanceStore::Save(const GuidanceKey& key,
+                           const RRGuidance& guidance) {
+  const std::vector<VertexGuidance>& raw = guidance.raw();
+  VertexId n = guidance.num_vertices();
+
+  // Split the AoS records into the two packed on-disk planes.
+  std::vector<uint32_t> last_iter(n);
+  std::vector<uint8_t> visited(n);
+  for (VertexId v = 0; v < n; ++v) {
+    last_iter[v] = raw[v].last_iter;
+    visited[v] = raw[v].visited ? 1 : 0;
+  }
+
+  StoreHeader header;
+  header.magic = kMagic;
+  header.version = kFormatVersion;
+  header.graph_fingerprint = key.graph_fingerprint;
+  header.roots_digest = key.roots_digest;
+  header.num_roots = key.num_roots;
+  header.num_vertices = n;
+  header.depth = guidance.depth();
+  header.payload_bytes =
+      static_cast<uint64_t>(n) * (sizeof(uint32_t) + sizeof(uint8_t));
+  header.payload_checksum =
+      Checksum(header, last_iter.data(), visited.data(), n);
+
+  // Unique temp name: mu_ only serializes savers within THIS process, but
+  // the store directory is shared across processes (restart survival), so
+  // a fixed ".tmp" would let two processes interleave writes into one
+  // file and rename a torn result into place.
+  static std::atomic<uint64_t> tmp_counter{0};
+  std::string path = EntryPath(key);
+  std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(tmp_counter.fetch_add(1));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    ScopedFile f(tmp, "wb");
+    if (!f.ok()) return Status::IOError("cannot create " + tmp);
+    if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1 ||
+        (n > 0 &&
+         (std::fwrite(last_iter.data(), sizeof(uint32_t), n, f.get()) != n ||
+          std::fwrite(visited.data(), sizeof(uint8_t), n, f.get()) != n))) {
+      std::remove(tmp.c_str());
+      return Status::IOError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " into place");
+  }
+  ++stats_.saves;
+  return Status::OK();
+}
+
+Result<RRGuidance> GuidanceStore::Load(const GuidanceKey& key) {
+  std::string path = EntryPath(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  ScopedFile f(path, "rb");
+  if (!f.ok()) {
+    ++stats_.load_misses;
+    return Status::NotFound("no store entry at " + path);
+  }
+
+  auto corrupt = [&](const std::string& why) -> Status {
+    ++stats_.load_errors;
+    return Status::Corruption(path + ": " + why);
+  };
+
+  StoreHeader header;
+  if (std::fread(&header, sizeof(header), 1, f.get()) != 1) {
+    return corrupt("truncated header");
+  }
+  if (header.magic != kMagic) return corrupt("bad magic");
+  if (header.version != kFormatVersion) {
+    return corrupt("unsupported format version " +
+                   std::to_string(header.version));
+  }
+  if (header.graph_fingerprint != key.graph_fingerprint ||
+      header.roots_digest != key.roots_digest ||
+      header.num_roots != key.num_roots) {
+    return corrupt("key mismatch (stale or colliding entry)");
+  }
+  uint64_t n = header.num_vertices;
+  if (header.payload_bytes != n * (sizeof(uint32_t) + sizeof(uint8_t))) {
+    return corrupt("payload size inconsistent with vertex count");
+  }
+  // Validate the real file size against the header BEFORE sizing buffers
+  // from it: a corrupt-but-self-consistent header must cost a Corruption
+  // status, not a multi-GB allocation. This also rejects truncation and
+  // trailing garbage in one check.
+  struct ::stat st;
+  if (::fstat(::fileno(f.get()), &st) != 0) {
+    ++stats_.load_errors;  // present but unreadable counts as rejected
+    return Status::IOError("cannot stat " + path);
+  }
+  if (static_cast<uint64_t>(st.st_size) !=
+      sizeof(StoreHeader) + header.payload_bytes) {
+    return corrupt("file size does not match header");
+  }
+
+  std::vector<uint32_t> last_iter(n);
+  std::vector<uint8_t> visited(n);
+  if (n > 0 &&
+      (std::fread(last_iter.data(), sizeof(uint32_t), n, f.get()) != n ||
+       std::fread(visited.data(), sizeof(uint8_t), n, f.get()) != n)) {
+    return corrupt("truncated payload");
+  }
+
+  if (Checksum(header, last_iter.data(), visited.data(), n) !=
+      header.payload_checksum) {
+    return corrupt("checksum mismatch");
+  }
+
+  std::vector<VertexGuidance> records(n);
+  for (uint64_t v = 0; v < n; ++v) {
+    records[v].last_iter = last_iter[v];
+    records[v].visited = visited[v] != 0;
+  }
+  ++stats_.loads;
+  return RRGuidance::FromParts(std::move(records), header.depth);
+}
+
+bool GuidanceStore::Contains(const GuidanceKey& key) const {
+  struct ::stat st;
+  return ::stat(EntryPath(key).c_str(), &st) == 0;
+}
+
+Status GuidanceStore::Remove(const GuidanceKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::remove(EntryPath(key).c_str());
+  return Status::OK();
+}
+
+Result<size_t> GuidanceStore::RemoveGraph(uint64_t graph_fingerprint) {
+  std::string prefix = "g" + Hex(graph_fingerprint) + "_";
+  std::lock_guard<std::mutex> lock(mu_);
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return Status::IOError("cannot open " + dir_);
+  size_t removed = 0;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.size() < 4 || name.compare(name.size() - 4, 4, ".rrg") != 0) {
+      continue;
+    }
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (std::remove((dir_ + "/" + name).c_str()) == 0) ++removed;
+  }
+  ::closedir(d);
+  return removed;
+}
+
+Status GuidanceStore::RemoveAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return Status::IOError("cannot open " + dir_);
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".rrg") == 0) {
+      std::remove((dir_ + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
+  return Status::OK();
+}
+
+GuidanceStoreStats GuidanceStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace slfe

@@ -1,0 +1,116 @@
+#ifndef SLFE_CORE_GUIDANCE_STORE_H_
+#define SLFE_CORE_GUIDANCE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "slfe/common/status.h"
+#include "slfe/core/guidance_cache.h"
+#include "slfe/core/rr_guidance.h"
+
+namespace slfe {
+
+/// Persistence counters, split by direction so benches can report the
+/// amortization that survives a restart (saves during the warm run, loads
+/// instead of regenerations after it).
+struct GuidanceStoreStats {
+  uint64_t saves = 0;
+  uint64_t loads = 0;        ///< successful reloads from disk
+  uint64_t load_misses = 0;  ///< no file for the key (a cold store)
+  uint64_t load_errors = 0;  ///< file present but rejected (see Load)
+};
+
+/// Durable spill layer for the GuidanceCache: one file per cache entry,
+/// named by the full cache key (graph fingerprint + roots digest + root
+/// count), living in a caller-chosen directory — typically next to the ooc
+/// shard files, so a graph's preprocessing artifacts travel together. This
+/// is what lets the paper's §4.4 amortization (~8.7 jobs per graph) survive
+/// process restarts: the first process pays the O(|E|) sweep, every later
+/// process pays one sequential file read.
+///
+/// ## File format (version 1, little-endian, `*.rrg`)
+///
+///   [StoreHeader — 56 bytes]
+///     magic              u32   0x53'4C'46'47 ("SLFG")
+///     version            u32   1
+///     graph_fingerprint  u64   ┐
+///     roots_digest       u64   ├ must equal the requested key on load
+///     num_roots          u64   ┘
+///     num_vertices       u32
+///     depth              u32   sweep depth (RRGuidance::depth())
+///     payload_bytes      u64   5 * num_vertices
+///     payload_checksum   u64   FNV-1a over the 48 header bytes above AND
+///                              the payload (depth etc. have no other
+///                              witness, so the checksum must cover them)
+///   [payload]
+///     last_iter          u32 * num_vertices
+///     visited            u8  * num_vertices
+///
+/// The two per-vertex arrays are written as separate packed planes (not the
+/// in-memory VertexGuidance struct) so the on-disk layout is independent of
+/// compiler padding. Load rejects — with kCorruption/kIOError, never a
+/// partial object, and with the real file size validated against the
+/// header BEFORE any header-derived allocation — any file with a wrong
+/// magic/version, a key mismatch (hash-collision guard), a size mismatch,
+/// truncation or trailing bytes, or a checksum mismatch. Writes go to a
+/// uniquely-named `.tmp.<pid>.<n>` sibling first and rename into place, so
+/// a crash mid-save — or two processes saving the same key into a shared
+/// store directory — can only ever leave a temp file behind, never a torn
+/// entry; orphaned temp files are swept by the next GuidanceStore
+/// constructed over the directory.
+///
+/// Thread-safe: per-key operations serialize on one mutex (guidance files
+/// are a few MB at most and the provider's singleflight already coalesces
+/// concurrent generation, so finer-grained locking has nothing to win).
+class GuidanceStore {
+ public:
+  static constexpr uint32_t kMagic = 0x53'4C'46'47;  // "SLFG"
+  static constexpr uint32_t kFormatVersion = 1;
+
+  /// Uses `dir` (created if needed) for all entry files.
+  explicit GuidanceStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// `<dir>/g<fingerprint>_r<digest>_n<num_roots>.rrg` (hex fields). The
+  /// fingerprint comes first so directory scans can group a graph's
+  /// entries (RemoveGraph relies on this prefix).
+  std::string EntryPath(const GuidanceKey& key) const;
+
+  /// Writes (or atomically replaces) the entry for `key`.
+  Status Save(const GuidanceKey& key, const RRGuidance& guidance);
+
+  /// Reads the entry for `key` back into a fresh RRGuidance. Returns
+  /// kNotFound for an absent file, kCorruption for a failed validation
+  /// (wrong magic/version/key/checksum, truncation), kIOError for read
+  /// failures.
+  Result<RRGuidance> Load(const GuidanceKey& key);
+
+  /// True iff an entry file exists for `key` (no validation).
+  bool Contains(const GuidanceKey& key) const;
+
+  /// Removes the entry for `key`; OK if it did not exist.
+  Status Remove(const GuidanceKey& key);
+
+  /// Removes every entry generated for `graph_fingerprint` (the persistent
+  /// counterpart of GuidanceCache::InvalidateGraph). Returns the number of
+  /// files removed.
+  Result<size_t> RemoveGraph(uint64_t graph_fingerprint);
+
+  /// Removes all `*.rrg` entries (tests / cache-busting).
+  Status RemoveAll();
+
+  GuidanceStoreStats stats() const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;
+  GuidanceStoreStats stats_;
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_CORE_GUIDANCE_STORE_H_

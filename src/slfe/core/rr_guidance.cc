@@ -195,6 +195,14 @@ RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
   return rrg;
 }
 
+RRGuidance RRGuidance::FromParts(std::vector<VertexGuidance> guidance,
+                                 uint32_t depth) {
+  RRGuidance rrg;
+  rrg.guidance_ = std::move(guidance);
+  rrg.depth_ = depth;
+  return rrg;
+}
+
 RRGuidance RRGuidance::GenerateAllRoots(const Graph& graph,
                                         ThreadPool* pool) {
   // Natural propagation sources (zero-in-degree vertices, with the

@@ -64,6 +64,13 @@ class RRGuidance {
   static RRGuidance GenerateAllRoots(const Graph& graph,
                                      ThreadPool* pool = nullptr);
 
+  /// Reassembles a guidance object from previously generated parts — the
+  /// deserialization entry point for GuidanceStore. `generation_seconds` is
+  /// zero: a reloaded guidance paid no sweep cost (the load cost is
+  /// accounted by the acquiring layer instead).
+  static RRGuidance FromParts(std::vector<VertexGuidance> guidance,
+                              uint32_t depth);
+
   bool empty() const { return guidance_.empty(); }
   VertexId num_vertices() const {
     return static_cast<VertexId>(guidance_.size());
@@ -89,6 +96,27 @@ class RRGuidance {
   uint32_t depth_ = 0;
   double generation_seconds_ = 0;
 };
+
+/// Stability horizon for "finish early" (Algorithm 5): how many
+/// consecutive exactly-stable rounds vertex v needs before it may freeze.
+/// Shared by every arithmetic consumer (ArithRunner, OocPrGuided) so the
+/// rules stay in one place:
+///  * unvisited vertices (the guidance roots did not reach them) never
+///    freeze;
+///  * the horizon is lastIter + 1, because guidance levels are
+///    propagation distances while a source's own first value change only
+///    lands at iteration 1 — influence can arrive one iteration after
+///    lastIter (on a chain, a vertex stable since the start would
+///    otherwise freeze exactly one iteration before the update wave
+///    reaches it);
+///  * never below `min_rounds`, guarding small-lastIter vertices on
+///    cycle-bound graphs from freezing on a coincidental stable streak.
+inline uint64_t StabilityHorizon(const RRGuidance* guidance, VertexId v,
+                                 uint64_t min_rounds) {
+  if (guidance == nullptr || !guidance->visited(v)) return UINT64_MAX;
+  uint64_t li = static_cast<uint64_t>(guidance->last_iter(v)) + 1;
+  return li < min_rounds ? min_rounds : li;
+}
 
 }  // namespace slfe
 

@@ -376,13 +376,10 @@ class ArithRunner {
   }
 
  private:
-  /// Stability horizon for v. Unvisited vertices (guidance roots did not
-  /// reach them) never freeze; visited ones need at least
-  /// min_stable_rounds_ stable rounds.
-  uint32_t EffectiveLastIter(VertexId v) const {
-    if (!guidance_->visited(v)) return UINT32_MAX;
-    uint32_t li = guidance_->last_iter(v);
-    return li < min_stable_rounds_ ? min_stable_rounds_ : li;
+  /// Stability horizon for v (see StabilityHorizon in rr_guidance.h for
+  /// the rules; this just binds the runner's configured floor).
+  uint64_t EffectiveLastIter(VertexId v) const {
+    return StabilityHorizon(guidance_, v, min_stable_rounds_);
   }
 
   DistEngine<V>* engine_;

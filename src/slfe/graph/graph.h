@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "slfe/common/fnv.h"
 #include "slfe/graph/csr.h"
 #include "slfe/graph/edge_list.h"
 #include "slfe/graph/types.h"
@@ -61,15 +62,11 @@ class Graph {
 
  private:
   static uint64_t ComputeFingerprint(const Graph& g) {
-    uint64_t h = 14695981039346656037ull;  // FNV offset basis
-    auto mix = [&h](uint64_t v) {
-      h ^= v;
-      h *= 1099511628211ull;  // FNV prime
-    };
-    mix(g.num_vertices_);
-    mix(g.num_edges_);
-    for (EdgeId o : g.out_.offsets()) mix(o);
-    for (VertexId v : g.out_.neighbors()) mix(v);
+    uint64_t h = kFnvBasis;
+    h = Fnv1aMix(h, g.num_vertices_);
+    h = Fnv1aMix(h, g.num_edges_);
+    for (EdgeId o : g.out_.offsets()) h = Fnv1aMix(h, o);
+    for (VertexId v : g.out_.neighbors()) h = Fnv1aMix(h, v);
     return h != 0 ? h : 1;  // 0 is the "not yet computed" sentinel
   }
 

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "slfe/common/logging.h"
+#include "slfe/common/scoped_file.h"
 #include "slfe/common/timer.h"
 
 namespace slfe::ooc {
@@ -18,22 +19,6 @@ struct Record {
   uint32_t src;
   uint32_t dst;
   float weight;
-};
-
-class File {
- public:
-  File(const std::string& path, const char* mode)
-      : f_(std::fopen(path.c_str(), mode)) {}
-  ~File() {
-    if (f_ != nullptr) std::fclose(f_);
-  }
-  File(const File&) = delete;
-  File& operator=(const File&) = delete;
-  std::FILE* get() const { return f_; }
-  bool ok() const { return f_ != nullptr; }
-
- private:
-  std::FILE* f_;
 };
 
 }  // namespace
@@ -63,7 +48,7 @@ Result<OocEngine> OocEngine::Build(const Graph& graph,
   VertexId span = (graph.num_vertices() + num_shards - 1) / num_shards;
   const Csr& in = graph.in();
   for (uint32_t s = 0; s < num_shards; ++s) {
-    File f(engine.ShardPath(s), "wb");
+    ScopedFile f(engine.ShardPath(s), "wb");
     if (!f.ok()) {
       return Status::IOError("cannot create shard " + engine.ShardPath(s));
     }
@@ -87,7 +72,7 @@ Status OocEngine::RunIteration(
   std::vector<Record> buf(8192);
   for (uint32_t s = 0; s < num_shards_; ++s) {
     Timer io_timer;
-    File f(ShardPath(s), "rb");
+    ScopedFile f(ShardPath(s), "rb");
     if (!f.ok()) return Status::IOError("missing shard " + ShardPath(s));
     while (true) {
       size_t got = std::fread(buf.data(), sizeof(Record), buf.size(), f.get());
@@ -143,6 +128,68 @@ OocStats OocPr(OocEngine& engine, const Graph& graph, uint32_t iterations,
   return stats;
 }
 
+OocStats OocPrGuided(OocEngine& engine, const Graph& graph,
+                     uint32_t iterations, std::vector<float>* ranks,
+                     GuidanceProvider* provider) {
+  OocStats stats;
+  VertexId n = engine.num_vertices();
+  SLFE_CHECK_EQ(graph.num_vertices(), n);
+  SLFE_CHECK_EQ(graph.num_edges(), engine.num_edges());
+  ranks->assign(n, 1.0f);
+  std::vector<float>& r = *ranks;
+  std::vector<float> contrib(n), acc(n);
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId od = graph.out_degree(v);
+    contrib[v] = od > 0 ? 1.0f / static_cast<float>(od) : 1.0f;
+  }
+
+  GuidanceProvider& p = ResolveProvider(provider);
+  GuidanceRequest request;
+  request.policy = GuidanceRootPolicy::kSourceVertices;
+  GuidanceAcquisition acq = p.Acquire(graph, request);
+  stats.guidance_seconds = acq.acquire_seconds;
+  const RRGuidance* rrg = acq.get();
+
+  // Finish early (ArithRunner's multiRuler, out-of-core form): RulerS[v]
+  // counts consecutive sweeps with an exactly unchanged damped rank; once
+  // it reaches v's stability horizon (StabilityHorizon in rr_guidance.h)
+  // the vertex freezes and its in-edge accumulations are skipped.
+  constexpr uint64_t kMinStableRounds = 8;
+  std::vector<uint32_t> stable_cnt(n, 0);
+  std::vector<uint8_t> frozen(n, 0);
+
+  uint64_t skipped = 0;
+  for (uint32_t it = 0; it < iterations; ++it) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    engine.RunIteration(
+        [&](VertexId src, VertexId dst, Weight) {
+          if (frozen[dst] != 0) {
+            ++skipped;
+            return;
+          }
+          acc[dst] += contrib[src];
+        },
+        &stats);
+    for (VertexId v = 0; v < n; ++v) {
+      if (frozen[v] != 0) continue;  // EC: the cached value stands in
+      float next = 0.15f + 0.85f * acc[v];
+      if (next == r[v]) {
+        if (++stable_cnt[v] >= StabilityHorizon(rrg, v, kMinStableRounds)) {
+          frozen[v] = 1;
+        }
+      } else {
+        stable_cnt[v] = 0;
+      }
+      r[v] = next;
+      VertexId od = graph.out_degree(v);
+      contrib[v] = od > 0 ? next / static_cast<float>(od) : next;
+    }
+  }
+  stats.skipped = skipped;
+  stats.computations -= skipped;  // bypassed evaluations are not work done
+  return stats;
+}
+
 OocStats OocCc(OocEngine& engine, std::vector<uint32_t>* labels) {
   OocStats stats;
   VertexId n = engine.num_vertices();
@@ -177,8 +224,7 @@ OocStats OocCcGuided(OocEngine& engine, const Graph& graph,
   std::iota(labels->begin(), labels->end(), 0u);
   std::vector<uint32_t>& l = *labels;
 
-  GuidanceProvider& p =
-      provider != nullptr ? *provider : GuidanceProvider::Global();
+  GuidanceProvider& p = ResolveProvider(provider);
   GuidanceRequest request;
   request.policy = GuidanceRootPolicy::kLocalMinima;
   GuidanceAcquisition acq = p.Acquire(graph, request);

@@ -69,6 +69,23 @@ class OocEngine {
 OocStats OocPr(OocEngine& engine, const Graph& graph, uint32_t iterations,
                std::vector<float>* ranks);
 
+/// PageRank with RR guidance applied to the shard sweeps, the arithmetic
+/// counterpart of OocCcGuided. For arithmetic apps the paper's guidance
+/// form is "finish early" rather than "start late" (Algorithm 5's
+/// multiRuler): once a destination's damped rank has been exactly stable
+/// for lastIter consecutive sweeps (with a small floor guarding short
+/// cycle-bound horizons, and never for vertices the sweep did not visit),
+/// it is early-converged — its in-edge accumulations are bypassed for the
+/// remaining sweeps and the cached value stands in. Ranks match OocPr to
+/// float precision (a frozen value is by construction the value the next
+/// sweeps keep reproducing); `stats.skipped` counts the bypassed edge
+/// updates. Guidance comes from `provider` (nullptr =
+/// GuidanceProvider::Global()) with the kSourceVertices policy, sharing
+/// the cache/store with every other engine.
+OocStats OocPrGuided(OocEngine& engine, const Graph& graph,
+                     uint32_t iterations, std::vector<float>* ranks,
+                     GuidanceProvider* provider = nullptr);
+
 /// GraphChi-style connected components (iterate min-label sweeps to a
 /// fixpoint), Fig. 6a/6b comparator.
 OocStats OocCc(OocEngine& engine, std::vector<uint32_t>* labels);

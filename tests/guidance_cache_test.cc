@@ -1,17 +1,22 @@
 // Tests for the guidance amortization layer (paper §4.4: ~8.7 jobs share
 // one graph): GuidanceCache hit/miss/eviction/invalidation behavior, the
-// GuidanceProvider's policy-driven acquisition, graph fingerprinting, and
-// the end-to-end app path (a repeated job retrieves cached guidance and
-// computes identical results).
+// GuidanceProvider's policy-driven acquisition, singleflight coalescing,
+// the negative cache, persistence through the GuidanceStore (spill →
+// clear/evict → reload), graph fingerprinting, and the end-to-end app path
+// (a repeated job retrieves cached guidance and computes identical
+// results).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "slfe/apps/sssp.h"
 #include "slfe/core/guidance_cache.h"
 #include "slfe/core/guidance_provider.h"
+#include "slfe/core/guidance_store.h"
 #include "slfe/core/roots.h"
 #include "slfe/core/rr_guidance.h"
 #include "slfe/graph/generators.h"
@@ -22,6 +27,27 @@ namespace {
 std::shared_ptr<const RRGuidance> Gen(const Graph& g,
                                       const std::vector<VertexId>& roots) {
   return std::make_shared<const RRGuidance>(RRGuidance::GenerateSerial(g, roots));
+}
+
+/// Field-by-field equality of two guidance objects (the arrays the store
+/// round-trips, plus the sweep depth).
+void ExpectGuidanceEqual(const RRGuidance& a, const RRGuidance& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.depth(), b.depth());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.last_iter(v), b.last_iter(v)) << "v=" << v;
+    ASSERT_EQ(a.visited(v), b.visited(v)) << "v=" << v;
+  }
+}
+
+/// A provider persisting to a fresh (emptied) per-test store directory.
+GuidanceProviderOptions StoreOptions(const std::string& name,
+                                     size_t cache_capacity = 32) {
+  GuidanceProviderOptions options;
+  options.cache_capacity = cache_capacity;
+  options.generation_threads = 1;
+  options.store_dir = ::testing::TempDir() + name;
+  return options;
 }
 
 // ------------------------------------------------------------ Fingerprint
@@ -203,6 +229,176 @@ TEST(GuidanceProviderTest, CachedMatchesRegeneratedAfterClear) {
               regenerated.guidance->last_iter(v));
     ASSERT_EQ(cached.guidance->visited(v), regenerated.guidance->visited(v));
   }
+}
+
+// ---------------------------------------------------------- Singleflight
+
+TEST(GuidanceProviderTest, ConcurrentMissesGenerateExactlyOnce) {
+  RmatOptions opt;
+  opt.num_vertices = 4096;
+  opt.num_edges = 20000;
+  opt.seed = 5;
+  Graph g = Graph::FromEdges(GenerateRmat(opt));
+
+  GuidanceProviderOptions popt;
+  popt.generation_threads = 1;
+  GuidanceProvider provider(popt);
+
+  constexpr int kThreads = 8;
+  std::vector<GuidanceAcquisition> acquisitions(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ++ready;
+      while (ready.load() < kThreads) std::this_thread::yield();
+      GuidanceRequest req;
+      req.policy = GuidanceRootPolicy::kLocalMinima;
+      acquisitions[t] = provider.Acquire(g, req);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // The singleflight contract: one O(|E|) sweep, shared by everyone.
+  EXPECT_EQ(provider.stats().generations, 1u);
+  int leaders = 0, followers = 0;
+  for (const GuidanceAcquisition& a : acquisitions) {
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a.get(), acquisitions[0].get());  // one shared object
+    if (a.cache_hit || a.coalesced) {
+      ++followers;
+    } else {
+      ++leaders;
+    }
+  }
+  EXPECT_EQ(leaders, 1);  // everyone else coalesced or hit the cache
+  EXPECT_EQ(followers, kThreads - 1);
+}
+
+// -------------------------------------------------------- Negative cache
+
+TEST(GuidanceProviderTest, UnproducibleRequestsAreNegativelyCached) {
+  Graph empty;  // zero vertices: every policy selects an empty root set
+  GuidanceProvider provider;
+  GuidanceRequest req;
+  req.policy = GuidanceRootPolicy::kSourceVertices;
+
+  GuidanceAcquisition first = provider.Acquire(empty, req);
+  EXPECT_FALSE(first);  // null guidance = baseline mode
+  EXPECT_EQ(provider.stats().negative_hits, 0u);
+
+  GuidanceAcquisition second = provider.Acquire(empty, req);
+  EXPECT_FALSE(second);
+  EXPECT_EQ(provider.stats().negative_hits, 1u);  // remembered
+
+  EXPECT_EQ(provider.stats().generations, 0u);  // no no-op sweeps ran
+  EXPECT_EQ(provider.cache().size(), 0u);       // nothing useless cached
+
+  provider.ClearNegativeCache();
+  provider.Acquire(empty, req);
+  EXPECT_EQ(provider.stats().negative_hits, 1u);  // re-learned, not hit
+}
+
+TEST(GuidanceProviderTest, ExplicitEmptyRootsReturnBaselineMode) {
+  Graph g = Graph::FromEdges(GenerateChain(8));
+  GuidanceProvider provider;
+  GuidanceAcquisition a = provider.AcquireForRoots(g, {});
+  EXPECT_FALSE(a);
+  EXPECT_EQ(provider.stats().generations, 0u);
+  EXPECT_EQ(provider.cache().size(), 0u);
+}
+
+// ------------------------------------------------------------ Store spill
+
+TEST(GuidanceStoreIntegrationTest, SpillClearReloadMatchesRegeneration) {
+  RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 1500;
+  opt.seed = 13;
+  Graph g = Graph::FromEdges(GenerateRmat(opt));
+
+  GuidanceProvider provider(StoreOptions("slfe_store_roundtrip"));
+  ASSERT_NE(provider.store(), nullptr);
+  ASSERT_TRUE(provider.store()->RemoveAll().ok());  // isolate reruns
+
+  GuidanceRequest req;
+  req.policy = GuidanceRootPolicy::kLocalMinima;
+  GuidanceAcquisition generated = provider.Acquire(g, req);  // miss: spills
+  ASSERT_TRUE(generated);
+  EXPECT_FALSE(generated.cache_hit);
+
+  provider.cache().Clear();  // memory gone, files survive
+  GuidanceAcquisition reloaded = provider.Acquire(g, req);
+  ASSERT_TRUE(reloaded);
+  EXPECT_TRUE(reloaded.cache_hit);
+  EXPECT_EQ(provider.cache_stats().store_hits, 1u);
+  EXPECT_EQ(provider.stats().generations, 1u);  // the reload swept nothing
+
+  // The store round-trip must be indistinguishable from a fresh sweep.
+  RRGuidance fresh = RRGuidance::GenerateSerial(g, SelectLocalMinimaRoots(g));
+  ExpectGuidanceEqual(*reloaded.guidance, fresh);
+  ExpectGuidanceEqual(*reloaded.guidance, *generated.guidance);
+}
+
+TEST(GuidanceStoreIntegrationTest, EvictedEntryReloadsFromDisk) {
+  Graph g = Graph::FromEdges(GenerateChain(24));
+  GuidanceProvider provider(StoreOptions("slfe_store_evict", 1));
+  ASSERT_TRUE(provider.store()->RemoveAll().ok());
+
+  GuidanceAcquisition a0 = provider.AcquireForRoots(g, {0});
+  provider.AcquireForRoots(g, {1});  // capacity 1: evicts {0}
+  EXPECT_EQ(provider.cache_stats().evictions, 1u);
+
+  GuidanceAcquisition again = provider.AcquireForRoots(g, {0});
+  ASSERT_TRUE(again);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(provider.cache_stats().store_hits, 1u);
+  EXPECT_EQ(provider.stats().generations, 2u);  // no third sweep
+  ExpectGuidanceEqual(*again.guidance, *a0.guidance);
+}
+
+TEST(GuidanceStoreIntegrationTest, PersistenceSurvivesProviderRestart) {
+  RmatOptions opt;
+  opt.num_vertices = 128;
+  opt.num_edges = 700;
+  opt.seed = 21;
+  Graph g = Graph::FromEdges(GenerateRmat(opt));
+  GuidanceProviderOptions popt = StoreOptions("slfe_store_restart");
+
+  GuidanceRequest req;
+  req.policy = GuidanceRootPolicy::kSourceVertices;
+  GuidanceAcquisition first;
+  {
+    GuidanceProvider warm(popt);
+    ASSERT_TRUE(warm.store()->RemoveAll().ok());
+    first = warm.Acquire(g, req);
+    ASSERT_FALSE(first.cache_hit);
+  }  // "process exit": the provider and its in-memory cache are gone
+
+  GuidanceProvider cold(popt);
+  GuidanceAcquisition reloaded = cold.Acquire(g, req);
+  ASSERT_TRUE(reloaded);
+  EXPECT_TRUE(reloaded.cache_hit);
+  EXPECT_EQ(cold.stats().generations, 0u);  // restart paid a read, no sweep
+  EXPECT_EQ(cold.cache_stats().store_hits, 1u);
+  ExpectGuidanceEqual(*reloaded.guidance, *first.guidance);
+}
+
+TEST(GuidanceStoreIntegrationTest, InvalidateGraphAlsoDropsFiles) {
+  Graph g = Graph::FromEdges(GenerateChain(16));
+  GuidanceProvider provider(StoreOptions("slfe_store_inval"));
+  ASSERT_TRUE(provider.store()->RemoveAll().ok());
+
+  provider.AcquireForRoots(g, {0});
+  GuidanceKey key = GuidanceCache::MakeKey(g.fingerprint(), {0});
+  ASSERT_TRUE(provider.store()->Contains(key));
+
+  provider.cache().InvalidateGraph(g.fingerprint());
+  EXPECT_FALSE(provider.store()->Contains(key));
+  GuidanceAcquisition again = provider.AcquireForRoots(g, {0});
+  EXPECT_FALSE(again.cache_hit);  // both levels were dropped
+  EXPECT_EQ(provider.stats().generations, 2u);
 }
 
 // ------------------------------------------------------------- App layer
