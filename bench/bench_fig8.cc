@@ -4,18 +4,28 @@
 // "extremely small" on the smaller graphs and an average 25.1% end-to-end
 // improvement including preprocessing; the guidance is also reusable
 // across jobs (~8.7 jobs per graph at Facebook), amortizing it further.
-// Two follow-up sections quantify the amortization machinery itself:
-// serial vs frontier-parallel generation, and cache-hit retrieval cost
-// across repeated jobs on one graph.
+// Three follow-up sections quantify the amortization machinery itself:
+// serial vs parallel generation (with the per-iteration bookkeeping cost
+// split out, so the crossover is measurable even where wall clock is
+// noisy), cache-hit retrieval cost across repeated jobs on one graph, and
+// warm-restart amortization through the on-disk GuidanceStore (reload vs
+// resweep). Run with --smoke for the CI wiring check: a tiny graph through
+// the warm-restart path only, exiting non-zero if the store did not serve
+// the restarted provider.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "slfe/apps/sssp.h"
 #include "slfe/common/thread_pool.h"
 #include "slfe/core/guidance_provider.h"
+#include "slfe/core/guidance_store.h"
 #include "slfe/core/rr_guidance.h"
 
 namespace slfe {
@@ -60,9 +70,14 @@ void OverheadSection() {
 }
 
 void GenerationSection() {
-  bench::PrintHeader("Fig. 8b: guidance generation, serial vs parallel");
-  std::printf("%-8s %-12s %-14s %-14s %-10s\n", "graph", "depth",
-              "serial(s)", "parallel4(s)", "speedup");
+  bench::PrintHeader(
+      "Fig. 8b: guidance generation, serial vs uniform vs partitioned "
+      "[CAVEAT: 1-core host — parallel sweeps lose to serial here; the "
+      "bookkeeping (bk) columns isolate the per-iteration overhead that "
+      "decides the crossover on real multicore hardware]");
+  std::printf("%-8s %-8s %-12s %-12s %-12s %-12s %-12s %-10s\n", "graph",
+              "depth", "serial(s)", "uniform4(s)", "bk-unif(s)",
+              "part4(s)", "bk-part(s)", "part vs serial");
   bench::PrintRule();
   ThreadPool pool(4);
   for (const std::string& alias : bench::PaperGraphs()) {
@@ -71,17 +86,90 @@ void GenerationSection() {
     auto serial = [&] {
       return RRGuidance::GenerateSerial(g, {0}).generation_seconds();
     };
-    auto parallel = [&] {
-      return RRGuidance::GenerateParallel(g, {0}, pool).generation_seconds();
-    };
+    // Medians of 3 for wall clock; the matching bookkeeping medians come
+    // from the same runs so the two columns describe the same sweeps.
+    std::vector<double> u_total, u_bk, p_total, p_bk;
+    for (int i = 0; i < 3; ++i) {
+      RRGuidance u = RRGuidance::GenerateParallel(g, {0}, pool);
+      u_total.push_back(u.generation_seconds());
+      u_bk.push_back(u.bookkeeping_seconds());
+      RRGuidance p = RRGuidance::GeneratePartitioned(g, {0}, pool);
+      p_total.push_back(p.generation_seconds());
+      p_bk.push_back(p.bookkeeping_seconds());
+    }
     double s =
         bench::Median({reference.generation_seconds(), serial(), serial()});
-    double p = bench::Median({parallel(), parallel(), parallel()});
-    std::printf("%-8s %-12u %-14.5f %-14.5f %.2fx\n", alias.c_str(),
-                reference.depth(), s, p, p > 0 ? s / p : 0.0);
+    double u = bench::Median(u_total);
+    double p = bench::Median(p_total);
+    std::printf("%-8s %-8u %-12.5f %-12.5f %-12.5f %-12.5f %-12.5f %.2fx\n",
+                alias.c_str(), reference.depth(), s, u,
+                bench::Median(u_bk), p, bench::Median(p_bk),
+                p > 0 ? s / p : 0.0);
   }
-  std::printf("(speedup tracks available cores; on a single-core host the "
-              "parallel sweep's bookkeeping shows as overhead)\n");
+  std::printf(
+      "(bk isolates the per-iteration frontier-edge counting and merge "
+      "overhead; the partitioned strategy fuses the counting pass into "
+      "the merge, trading it for parallel-merge dispatch — on this 1-core "
+      "host dispatch dominates, so compare bk columns on real cores "
+      "before concluding a crossover)\n");
+}
+
+/// Warm-restart amortization: the §4.4 story across process lifetimes. A
+/// provider with a store_dir pays the sweep once; a second provider over
+/// the same directory — a simulated restart with a cold memory cache —
+/// pays one file read. Returns false if the restarted provider did not
+/// load from the store (the CI smoke check).
+bool WarmRestartSection(bool smoke) {
+  bench::PrintHeader(
+      "Fig. 8d: warm-restart amortization via GuidanceStore (reload vs "
+      "resweep)");
+  std::printf("%-8s %-14s %-14s %-16s %-10s\n", "graph", "resweep(s)",
+              "reload(s)", "reload cheaper by", "served-by");
+  bench::PrintRule();
+  bool all_from_store = true;
+  // PID-suffixed so concurrent bench/CI runs on one machine cannot wipe
+  // each other's entries between the first-process and restarted
+  // providers; removed again at the end of the section.
+  std::string dir = "/tmp/slfe_bench_guidance_store." +
+                    std::to_string(::getpid());
+  std::vector<std::string> graphs =
+      smoke ? std::vector<std::string>{"PK"} : bench::PaperGraphs();
+  for (const std::string& alias : graphs) {
+    const Graph& g = bench::LoadGraph(alias);
+    {
+      GuidanceStore wipe(dir);  // cold start: drop any previous entries
+      wipe.RemoveAll();
+    }
+    GuidanceProviderOptions opt;
+    opt.store_dir = dir;
+    // Production-shaped lifecycle: budgets generous enough to never evict
+    // the live entry, but present so every bench run exercises the
+    // construction-time sweep.
+    opt.store_gc.max_entries = 256;
+    opt.store_gc.ttl_seconds = 24 * 3600;
+    double resweep = 0;
+    {
+      GuidanceProvider first_process(opt);
+      resweep = first_process.AcquireForRoots(g, {0}).acquire_seconds;
+    }
+    GuidanceProvider restarted(opt);  // same dir, cold memory cache
+    GuidanceAcquisition a = restarted.AcquireForRoots(g, {0});
+    bool from_store = restarted.cache_stats().store_hits == 1 &&
+                      restarted.stats().generations == 0;
+    all_from_store = all_from_store && from_store;
+    std::printf("%-8s %-14.6f %-14.6f %-16.0fx %-10s\n", alias.c_str(),
+                resweep, a.acquire_seconds,
+                a.acquire_seconds > 0 ? resweep / a.acquire_seconds : 0.0,
+                from_store ? "store" : "RESWEEP!");
+  }
+  {
+    GuidanceStore cleanup(dir);
+    cleanup.RemoveAll();
+  }
+  ::rmdir(dir.c_str());
+  std::printf("(reload is one checksummed sequential file read; the ratio "
+              "is the §4.4 amortization that survives restarts)\n");
+  return all_from_store;
 }
 
 void AmortizationSection() {
@@ -117,16 +205,26 @@ void AmortizationSection() {
               "acceptance bar is >=10x cheaper than regeneration)\n");
 }
 
-void Run() {
+int Run(bool smoke) {
+  if (smoke) {
+    // CI wiring check: tiny graph, warm-restart path only, non-zero exit
+    // if the store did not serve the restarted provider.
+    return WarmRestartSection(/*smoke=*/true) ? 0 : 1;
+  }
   OverheadSection();
   GenerationSection();
   AmortizationSection();
+  WarmRestartSection(/*smoke=*/false);
+  return 0;
 }
 
 }  // namespace
 }  // namespace slfe
 
-int main() {
-  slfe::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return slfe::Run(smoke);
 }

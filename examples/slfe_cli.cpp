@@ -4,6 +4,8 @@
 //
 //   slfe_cli --app=sssp --dataset=PK --nodes=8 --rr
 //   slfe_cli --app=pr --file=edges.txt --iters=100
+//   slfe_cli --app=sssp --dataset=PK --rr --store-dir=/var/cache/slfe \
+//            --store-max-entries=128 --store-ttl=86400
 //   slfe_cli --list
 //
 // Exits non-zero with a usage message on bad arguments.
@@ -12,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -23,6 +26,8 @@
 #include "slfe/apps/tr.h"
 #include "slfe/apps/triangle_count.h"
 #include "slfe/apps/wp.h"
+#include "slfe/core/guidance_provider.h"
+#include "slfe/core/guidance_store.h"
 #include "slfe/graph/generators.h"
 #include "slfe/graph/loader.h"
 
@@ -39,6 +44,14 @@ struct CliOptions {
   uint32_t iters = 50;
   slfe::VertexId root = 0;
   uint32_t scale_divisor = 4;
+  // Guidance subsystem knobs (only consulted with --rr): persistent store
+  // directory + its GC policy, and the generation strategy.
+  std::string store_dir;
+  uint64_t store_max_entries = 0;
+  uint64_t store_max_bytes = 0;
+  double store_ttl = 0;
+  std::string gen_strategy = "auto";
+  uint32_t gen_threads = 0;
 };
 
 void PrintUsage() {
@@ -55,6 +68,14 @@ void PrintUsage() {
       "  --iters=N        iteration cap for PR/TR (default 50)\n"
       "  --root=V         root vertex for sssp/bfs/wp (default 0)\n"
       "  --scale=N        dataset shrink divisor (default 4)\n"
+      "  --store-dir=PATH persist guidance to PATH (reused across runs)\n"
+      "  --store-max-entries=N  guidance store GC: keep at most N entries\n"
+      "  --store-max-bytes=N    guidance store GC: keep at most N bytes\n"
+      "  --store-ttl=SECS       guidance store GC: drop entries older\n"
+      "                         than SECS (swept when the store opens)\n"
+      "  --gen-strategy=S guidance generation: auto|serial|uniform|\n"
+      "                   partitioned (default auto)\n"
+      "  --gen-threads=N  guidance generation workers (default: cores)\n"
       "  --list           print the dataset suite and exit\n");
 }
 
@@ -89,6 +110,18 @@ int main(int argc, char** argv) {
       opt.root = static_cast<slfe::VertexId>(std::atoi(value.c_str()));
     } else if (ParseFlag(argv[i], "--scale", &value)) {
       opt.scale_divisor = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "--store-dir", &value)) {
+      opt.store_dir = value;
+    } else if (ParseFlag(argv[i], "--store-max-entries", &value)) {
+      opt.store_max_entries = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--store-max-bytes", &value)) {
+      opt.store_max_bytes = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--store-ttl", &value)) {
+      opt.store_ttl = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--gen-strategy", &value)) {
+      opt.gen_strategy = value;
+    } else if (ParseFlag(argv[i], "--gen-threads", &value)) {
+      opt.gen_threads = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (std::strcmp(argv[i], "--rr") == 0) {
       opt.rr = true;
     } else if (std::strcmp(argv[i], "--no-stealing") == 0) {
@@ -153,6 +186,56 @@ int main(int argc, char** argv) {
   cfg.enable_stealing = !opt.no_stealing;
   cfg.max_iters = opt.iters;
   cfg.root = opt.root;
+
+  // A private provider when any guidance knob was set; otherwise the apps
+  // use the process-global one. The strategy choice is observable in
+  // `guidance=` (serial pays more wall time than partitioned on real
+  // cores) and the store in the persisted-guidance stats printed below.
+  std::unique_ptr<slfe::GuidanceProvider> provider;
+  {
+    slfe::GuidanceProviderOptions popt;
+    bool custom = false;
+    bool has_gc_flags = opt.store_max_entries > 0 ||
+                        opt.store_max_bytes > 0 || opt.store_ttl > 0;
+    if (!opt.store_dir.empty()) {
+      popt.store_dir = opt.store_dir;
+      popt.store_gc.max_entries = opt.store_max_entries;
+      popt.store_gc.max_bytes = opt.store_max_bytes;
+      popt.store_gc.ttl_seconds = opt.store_ttl;
+      custom = true;
+    } else if (has_gc_flags) {
+      // Silently ignoring a GC budget would let the user believe the
+      // store is bounded when there is no store at all.
+      std::fprintf(stderr,
+                   "--store-max-entries/--store-max-bytes/--store-ttl "
+                   "require --store-dir\n");
+      PrintUsage();
+      return 2;
+    }
+    if (opt.gen_threads > 0) {
+      popt.generation_threads = opt.gen_threads;
+      custom = true;
+    }
+    if (opt.gen_strategy == "serial") {
+      popt.generation_strategy = slfe::GuidanceGenerationStrategy::kSerial;
+    } else if (opt.gen_strategy == "uniform") {
+      popt.generation_strategy =
+          slfe::GuidanceGenerationStrategy::kUniformParallel;
+    } else if (opt.gen_strategy == "partitioned") {
+      popt.generation_strategy =
+          slfe::GuidanceGenerationStrategy::kPartitionedParallel;
+    } else if (opt.gen_strategy != "auto") {
+      std::fprintf(stderr, "unknown --gen-strategy: %s\n",
+                   opt.gen_strategy.c_str());
+      PrintUsage();
+      return 2;
+    }
+    if (opt.gen_strategy != "auto") custom = true;
+    if (custom) {
+      provider = std::make_unique<slfe::GuidanceProvider>(popt);
+      cfg.guidance_provider = provider.get();
+    }
+  }
 
   auto report = [&](const slfe::AppRunInfo& info, const char* extra) {
     std::printf("%s\n", extra);
@@ -221,6 +304,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown app: %s\n", opt.app.c_str());
     PrintUsage();
     return 2;
+  }
+
+  if (provider != nullptr && provider->store() != nullptr) {
+    // Surface the persistence counters so warm vs cold runs against the
+    // same --store-dir are distinguishable from the shell.
+    slfe::GuidanceStoreStats ss = provider->store()->stats();
+    slfe::GuidanceCacheStats cs = provider->cache_stats();
+    std::printf(
+        "guidance store: saves=%llu loads=%llu store_hits=%llu "
+        "gc_removed=%llu (dir=%s, strategy=%s)\n",
+        static_cast<unsigned long long>(ss.saves),
+        static_cast<unsigned long long>(ss.loads),
+        static_cast<unsigned long long>(cs.store_hits),
+        static_cast<unsigned long long>(ss.gc_removed),
+        provider->store()->dir().c_str(), opt.gen_strategy.c_str());
   }
   return 0;
 }

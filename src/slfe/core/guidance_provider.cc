@@ -11,7 +11,8 @@ namespace slfe {
 GuidanceProvider::GuidanceProvider(GuidanceProviderOptions options)
     : options_(std::move(options)), cache_(options_.cache_capacity) {
   if (!options_.store_dir.empty()) {
-    store_ = std::make_shared<GuidanceStore>(options_.store_dir);
+    store_ = std::make_shared<GuidanceStore>(options_.store_dir,
+                                             options_.store_gc);
     cache_.AttachStore(store_);
   }
 }
@@ -177,8 +178,9 @@ std::shared_ptr<const RRGuidance> GuidanceProvider::GenerateNow(
   // coalesces them — so this lock only queues sweeps for DIFFERENT keys,
   // which would otherwise fight over the workers.)
   std::lock_guard<std::mutex> lock(pool_mu_);
-  auto guidance = std::make_shared<const RRGuidance>(
-      RRGuidance::Generate(graph, roots, GenerationPool()));
+  auto guidance =
+      std::make_shared<const RRGuidance>(RRGuidance::GenerateWithStrategy(
+          graph, roots, options_.generation_strategy, GenerationPool()));
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.generations;

@@ -69,10 +69,21 @@ struct GuidanceProviderOptions {
   /// Workers for parallel generation; 0 = hardware concurrency. A value of
   /// 1 forces the serial reference sweep.
   size_t generation_threads = 0;
+  /// Which sweep implementation misses are generated with. kAuto =
+  /// partitioned-parallel when generation_threads > 1, serial otherwise;
+  /// kUniformParallel keeps the pre-partitioning slicing (ablations). All
+  /// strategies produce bit-identical guidance.
+  GuidanceGenerationStrategy generation_strategy =
+      GuidanceGenerationStrategy::kAuto;
   /// Non-empty = persist cache entries as fingerprint-keyed files in this
   /// directory (typically next to the ooc shard files), so the §4.4
   /// amortization survives process restarts. Empty = in-memory only.
   std::string store_dir;
+  /// Lifecycle policy for the store directory (ignored when store_dir is
+  /// empty): TTL + LRU-by-mtime byte/entry budgets, swept when the store
+  /// is constructed and on GuidanceStore::Sweep(). Defaults keep
+  /// everything forever.
+  GuidanceStoreGcOptions store_gc;
   /// Maximum remembered unproducible requests (see the negative cache
   /// note on GuidanceProvider). 0 disables negative caching.
   size_t negative_cache_capacity = 64;

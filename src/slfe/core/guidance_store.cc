@@ -4,11 +4,15 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "slfe/common/fnv.h"
 #include "slfe/common/scoped_file.h"
@@ -57,21 +61,138 @@ std::string Hex(uint64_t v) {
 
 }  // namespace
 
-GuidanceStore::GuidanceStore(std::string dir) : dir_(std::move(dir)) {
+GuidanceStore::GuidanceStore(std::string dir, GuidanceStoreGcOptions gc)
+    : dir_(std::move(dir)), gc_(gc) {
   ::mkdir(dir_.c_str(), 0755);
   // Sweep temp files orphaned by a crash mid-save (RemoveAll/RemoveGraph
   // only touch *.rrg, so nothing else reclaims them). Racing a live saver
   // in another process is benign: its fwrite continues into the unlinked
   // file and its rename fails cleanly into a logged, regenerable miss.
   DIR* d = ::opendir(dir_.c_str());
-  if (d == nullptr) return;
-  while (struct dirent* entry = ::readdir(d)) {
-    std::string name = entry->d_name;
-    if (name.find(".rrg.tmp.") != std::string::npos) {
-      std::remove((dir_ + "/" + name).c_str());
+  if (d != nullptr) {
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name.find(".rrg.tmp.") != std::string::npos) {
+        std::remove((dir_ + "/" + name).c_str());
+      }
     }
+    ::closedir(d);
   }
-  ::closedir(d);
+  if (gc_.HasLimits() && gc_.sweep_on_construction) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SweepLocked();
+  }
+}
+
+GuidanceStoreSweepStats GuidanceStore::Sweep() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SweepLocked();
+}
+
+GuidanceStoreSweepStats GuidanceStore::SweepLocked() {
+  GuidanceStoreSweepStats sweep;
+  struct EntryInfo {
+    std::string name;
+    uint64_t bytes = 0;
+    // Nanosecond mtime so LRU ordering is stable on filesystems with
+    // sub-second timestamps; ties (coarse filesystems, batch saves within
+    // one tick) break on the name for determinism.
+    int64_t mtime_ns = 0;
+  };
+  std::vector<EntryInfo> entries;
+  {
+    DIR* d = ::opendir(dir_.c_str());
+    if (d == nullptr) return sweep;  // nothing to scan, nothing to do
+    while (struct dirent* de = ::readdir(d)) {
+      std::string name = de->d_name;
+      if (name.size() < 4 || name.compare(name.size() - 4, 4, ".rrg") != 0) {
+        continue;  // GC owns only the entry files, never temps or strangers
+      }
+      struct ::stat st;
+      if (::stat((dir_ + "/" + name).c_str(), &st) != 0) continue;
+      entries.push_back(EntryInfo{
+          name, static_cast<uint64_t>(st.st_size),
+          static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+              st.st_mtim.tv_nsec});
+    }
+    ::closedir(d);
+  }
+  sweep.scanned = entries.size();
+  ++stats_.sweeps;
+
+  auto remove_entry = [&](const EntryInfo& e, bool ttl) {
+    if (std::remove((dir_ + "/" + e.name).c_str()) != 0) return false;
+    sweep.bytes_reclaimed += e.bytes;
+    if (ttl) {
+      ++sweep.ttl_removed;
+    } else {
+      ++sweep.budget_removed;
+    }
+    return true;
+  };
+
+  // Phase 1: TTL. Age is measured against the wall clock because mtimes
+  // are wall-clock stamps shared across processes.
+  std::vector<EntryInfo> live;
+  live.reserve(entries.size());
+  if (gc_.ttl_seconds > 0) {
+    struct ::timespec now;
+    ::clock_gettime(CLOCK_REALTIME, &now);
+    int64_t now_ns =
+        static_cast<int64_t>(now.tv_sec) * 1000000000 + now.tv_nsec;
+    // Clamp before the cast: a "keep forever" TTL like 1e10 seconds would
+    // otherwise overflow the int64 nanosecond range (UB, and in practice
+    // a negative TTL that deletes everything).
+    double ttl_ns_d = gc_.ttl_seconds * 1e9;
+    int64_t ttl_ns = ttl_ns_d >= static_cast<double>(INT64_MAX)
+                         ? INT64_MAX
+                         : static_cast<int64_t>(ttl_ns_d);
+    for (const EntryInfo& e : entries) {
+      if (now_ns - e.mtime_ns > ttl_ns) {
+        if (remove_entry(e, /*ttl=*/true)) continue;
+      }
+      live.push_back(e);
+    }
+  } else {
+    live = std::move(entries);
+  }
+
+  // Phase 2: budgets, LRU-by-mtime — evict the stalest survivors until
+  // both the entry and byte budgets hold.
+  uint64_t live_bytes = 0;
+  for (const EntryInfo& e : live) live_bytes += e.bytes;
+  if (gc_.max_bytes > 0 || gc_.max_entries > 0) {
+    std::sort(live.begin(), live.end(),
+              [](const EntryInfo& a, const EntryInfo& b) {
+                if (a.mtime_ns != b.mtime_ns) return a.mtime_ns < b.mtime_ns;
+                return a.name < b.name;
+              });
+    size_t cursor = 0;
+    size_t unlink_failed = 0;  // victims that survived a failed remove
+    while (cursor < live.size() &&
+           ((gc_.max_entries > 0 &&
+             live.size() - cursor + unlink_failed > gc_.max_entries) ||
+            (gc_.max_bytes > 0 && live_bytes > gc_.max_bytes))) {
+      const EntryInfo& victim = live[cursor];
+      if (remove_entry(victim, /*ttl=*/false)) {
+        live_bytes -= victim.bytes;
+      } else {
+        // Still on disk (e.g. the directory turned read-only): it must
+        // count as remaining, or Sweep() would report budgets satisfied
+        // while the store is over them.
+        ++unlink_failed;
+      }
+      ++cursor;
+    }
+    sweep.remaining_entries = live.size() - cursor + unlink_failed;
+  } else {
+    sweep.remaining_entries = live.size();
+  }
+  sweep.remaining_bytes = live_bytes;
+
+  stats_.gc_removed += sweep.ttl_removed + sweep.budget_removed;
+  stats_.gc_bytes_reclaimed += sweep.bytes_reclaimed;
+  return sweep;
 }
 
 std::string GuidanceStore::EntryPath(const GuidanceKey& key) const {
@@ -198,6 +319,10 @@ Result<RRGuidance> GuidanceStore::Load(const GuidanceKey& key) {
     records[v].last_iter = last_iter[v];
     records[v].visited = visited[v] != 0;
   }
+  // Mark the entry recently-used for the LRU-by-mtime GC: without the
+  // touch, a hot entry that is only ever read would look as stale as an
+  // abandoned one. Best-effort — a failed touch just ages the entry.
+  ::futimens(::fileno(f.get()), nullptr);
   ++stats_.loads;
   return RRGuidance::FromParts(std::move(records), header.depth);
 }

@@ -21,6 +21,43 @@ struct GuidanceStoreStats {
   uint64_t loads = 0;        ///< successful reloads from disk
   uint64_t load_misses = 0;  ///< no file for the key (a cold store)
   uint64_t load_errors = 0;  ///< file present but rejected (see Load)
+  uint64_t sweeps = 0;       ///< GC sweeps executed (construction + manual)
+  uint64_t gc_removed = 0;   ///< entries removed by GC (TTL + budget)
+  uint64_t gc_bytes_reclaimed = 0;
+};
+
+/// Lifecycle policy for the on-disk entries. All limits are opt-in: the
+/// zero defaults keep every entry forever (the pre-GC behavior). With any
+/// limit set, a sweep runs when the store is constructed over the
+/// directory and whenever Sweep() is called explicitly — there is no
+/// background thread, so multi-tenant deployments sweep from whatever
+/// maintenance cadence they already have.
+struct GuidanceStoreGcOptions {
+  /// Entries whose last use is older than this are removed first.
+  /// 0 = no TTL.
+  double ttl_seconds = 0;
+  /// After TTL expiry, oldest-first eviction until the remaining entries
+  /// fit both budgets. 0 = unlimited.
+  uint64_t max_bytes = 0;
+  uint64_t max_entries = 0;
+  /// Run a sweep from the constructor (only meaningful when some limit
+  /// above is set). Disable for tests that stage files before sweeping.
+  bool sweep_on_construction = true;
+
+  bool HasLimits() const {
+    return ttl_seconds > 0 || max_bytes > 0 || max_entries > 0;
+  }
+};
+
+/// What one GC sweep did — returned by Sweep() so callers (and the GC
+/// tests) can assert exactly which work happened.
+struct GuidanceStoreSweepStats {
+  uint64_t scanned = 0;         ///< *.rrg entries examined
+  uint64_t ttl_removed = 0;     ///< removed because older than the TTL
+  uint64_t budget_removed = 0;  ///< removed (oldest first) to fit budgets
+  uint64_t bytes_reclaimed = 0;
+  uint64_t remaining_entries = 0;
+  uint64_t remaining_bytes = 0;
 };
 
 /// Durable spill layer for the GuidanceCache: one file per cache entry,
@@ -70,10 +107,26 @@ class GuidanceStore {
   static constexpr uint32_t kMagic = 0x53'4C'46'47;  // "SLFG"
   static constexpr uint32_t kFormatVersion = 1;
 
-  /// Uses `dir` (created if needed) for all entry files.
-  explicit GuidanceStore(std::string dir);
+  /// Uses `dir` (created if needed) for all entry files. When `gc` sets
+  /// any limit (and sweep_on_construction is left on), the constructor
+  /// runs one Sweep() after reclaiming orphaned temp files, so a store
+  /// opened over a stale multi-tenant directory starts within budget.
+  explicit GuidanceStore(std::string dir, GuidanceStoreGcOptions gc = {});
 
   const std::string& dir() const { return dir_; }
+  const GuidanceStoreGcOptions& gc_options() const { return gc_; }
+
+  /// Garbage-collects on-disk entries per the construction-time policy:
+  /// first every entry whose age (now - mtime) exceeds the TTL, then —
+  /// still over max_bytes/max_entries — the least-recently-used entries,
+  /// oldest mtime first, until both budgets hold. mtime approximates
+  /// recency because Save rewrites the file and a successful Load
+  /// refreshes the timestamp, so live entries stay young. Entries inside
+  /// budget and TTL are never touched. Safe to call concurrently with
+  /// Save/Load (everything serializes on the store mutex); removing an
+  /// entry a cache still holds in memory is benign — the next memory miss
+  /// regenerates and re-saves it.
+  GuidanceStoreSweepStats Sweep();
 
   /// `<dir>/g<fingerprint>_r<digest>_n<num_roots>.rrg` (hex fields). The
   /// fingerprint comes first so directory scans can group a graph's
@@ -106,7 +159,10 @@ class GuidanceStore {
   GuidanceStoreStats stats() const;
 
  private:
+  GuidanceStoreSweepStats SweepLocked();
+
   std::string dir_;
+  GuidanceStoreGcOptions gc_;
   mutable std::mutex mu_;
   GuidanceStoreStats stats_;
 };

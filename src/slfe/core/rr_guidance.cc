@@ -6,9 +6,25 @@
 #include "slfe/common/direction.h"
 #include "slfe/common/logging.h"
 #include "slfe/common/timer.h"
+#include "slfe/common/work_stealing.h"
 #include "slfe/core/roots.h"
+#include "slfe/engine/dist_graph.h"
 
 namespace slfe {
+
+const char* GuidanceGenerationStrategyName(GuidanceGenerationStrategy s) {
+  switch (s) {
+    case GuidanceGenerationStrategy::kAuto:
+      return "auto";
+    case GuidanceGenerationStrategy::kSerial:
+      return "serial";
+    case GuidanceGenerationStrategy::kUniformParallel:
+      return "uniform";
+    case GuidanceGenerationStrategy::kPartitionedParallel:
+      return "partitioned";
+  }
+  return "unknown";
+}
 
 RRGuidance RRGuidance::Generate(const Graph& graph,
                                 const std::vector<VertexId>& roots,
@@ -20,9 +36,26 @@ RRGuidance RRGuidance::Generate(const Graph& graph,
            "should use GenerateAllRoots or the selectors in roots.h.";
   }
   if (pool != nullptr && pool->num_threads() > 1) {
-    return GenerateParallel(graph, roots, *pool);
+    return GeneratePartitioned(graph, roots, *pool);
   }
   return GenerateSerial(graph, roots);
+}
+
+RRGuidance RRGuidance::GenerateWithStrategy(
+    const Graph& graph, const std::vector<VertexId>& roots,
+    GuidanceGenerationStrategy strategy, ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      strategy == GuidanceGenerationStrategy::kSerial) {
+    return GenerateSerial(graph, roots);
+  }
+  switch (strategy) {
+    case GuidanceGenerationStrategy::kUniformParallel:
+      return GenerateParallel(graph, roots, *pool);
+    case GuidanceGenerationStrategy::kAuto:
+    case GuidanceGenerationStrategy::kPartitionedParallel:
+    default:
+      return GeneratePartitioned(graph, roots, *pool);
+  }
 }
 
 RRGuidance RRGuidance::GenerateSerial(const Graph& graph,
@@ -80,6 +113,7 @@ RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
                                         ThreadPool& pool,
                                         double dense_fraction) {
   Timer timer;
+  AccumTimer bookkeeping;
   RRGuidance rrg;
   VertexId n = graph.num_vertices();
   rrg.guidance_.assign(n, VertexGuidance{});
@@ -112,7 +146,11 @@ RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
     std::fill(touched.begin(), touched.end(), uint8_t{0});
 
     // Direction choice, exactly as ShmEngine::EdgeMap: compare the
-    // frontier's outgoing edge count against |E| * dense_fraction.
+    // frontier's outgoing edge count against |E| * dense_fraction. This
+    // extra counting pass is the uniform strategy's per-iteration
+    // bookkeeping cost; GeneratePartitioned fuses it into the previous
+    // iteration's merge instead.
+    bookkeeping.Start();
     std::fill(edge_partial.begin(), edge_partial.end(), 0);
     pool.ParallelFor(0, frontier.size(), [&](size_t w, size_t lo, size_t hi) {
       uint64_t sum = 0;
@@ -121,6 +159,7 @@ RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
     });
     uint64_t frontier_edges = 0;
     for (uint64_t p : edge_partial) frontier_edges += p;
+    bookkeeping.Stop();
     bool dense = ChooseDense(frontier_edges, graph.num_edges(),
                              dense_fraction);
 
@@ -174,6 +213,7 @@ RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
       });
     }
 
+    bookkeeping.Start();
     for (uint8_t t : touched) {
       if (t != 0) deepest = level;
     }
@@ -181,6 +221,7 @@ RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
     for (const auto& local : next) {
       frontier.insert(frontier.end(), local.begin(), local.end());
     }
+    bookkeeping.Stop();
   }
 
   // Commit the visited bitmap into the per-vertex records.
@@ -192,6 +233,165 @@ RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
 
   rrg.depth_ = deepest;
   rrg.generation_seconds_ = timer.Seconds();
+  rrg.bookkeeping_seconds_ = bookkeeping.Seconds();
+  return rrg;
+}
+
+RRGuidance RRGuidance::GeneratePartitioned(const Graph& graph,
+                                           const std::vector<VertexId>& roots,
+                                           ThreadPool& pool,
+                                           double dense_fraction) {
+  Timer timer;
+  AccumTimer bookkeeping;
+  RRGuidance rrg;
+  VertexId n = graph.num_vertices();
+  rrg.guidance_.assign(n, VertexGuidance{});
+
+  // One contiguous vertex range per worker, cut exactly where
+  // DistGraph::Build would cut them for a cluster of pool-size nodes
+  // (edge-balanced, so the dense-pull phase is load-balanced without
+  // stealing and each worker touches only the range its socket owns).
+  // Setup cost, not per-iteration bookkeeping: O(V) once, outside the
+  // bookkeeping accounting so the bk columns in bench_fig8b isolate the
+  // per-iteration share the ROADMAP item is about.
+  size_t workers = pool.num_threads();
+  std::vector<VertexRange> ranges =
+      DistGraph::BuildRanges(graph, static_cast<int>(workers));
+
+  Bitmap visited(n);
+  // frontier[p] holds the frontier vertices partition p owns; the merge at
+  // the end of each iteration keeps this owner bucketing, so the dense
+  // phase reads NUMA-local buffers and the push phase drains own-band
+  // first (WorkStealingScheduler::RunBands).
+  std::vector<std::vector<VertexId>> frontier(workers);
+  size_t frontier_size = 0;
+  // Out-edge total of the CURRENT frontier, maintained incrementally:
+  // seeded from the roots, then folded into discovery (each newly visited
+  // vertex adds its out-degree as it is enqueued). This replaces the
+  // uniform strategy's per-iteration counting pass.
+  uint64_t frontier_edges = 0;
+  const Csr& out = graph.out();
+  const Csr& in = graph.in();
+  for (VertexId r : roots) {
+    SLFE_CHECK_LT(r, n);
+    if (visited.SetBit(r)) {
+      frontier[ChunkPartitioner::OwnerOf(ranges, r)].push_back(r);
+      frontier_edges += out.degree(r);
+      ++frontier_size;
+    }
+  }
+
+  // next_local[w][p]: vertices worker w discovered that partition p owns.
+  std::vector<std::vector<std::vector<VertexId>>> next_local(
+      workers, std::vector<std::vector<VertexId>>(workers));
+  std::vector<uint64_t> edge_sum(workers, 0);  // fused frontier-edge count
+  std::vector<uint8_t> touched(workers, 0);
+  Bitmap frontier_bits(n);  // dense-pull frontier membership
+  WorkStealingScheduler push_scheduler;
+  std::vector<size_t> band_sizes(workers);
+
+  uint32_t iter = 0;
+  uint32_t deepest = 0;
+  while (frontier_size > 0) {
+    ++iter;
+    const uint32_t level = iter;
+    for (auto& per_owner : next_local) {
+      for (auto& v : per_owner) v.clear();
+    }
+    std::fill(edge_sum.begin(), edge_sum.end(), 0);
+    std::fill(touched.begin(), touched.end(), uint8_t{0});
+    bool dense = ChooseDense(frontier_edges, graph.num_edges(),
+                             dense_fraction);
+
+    if (dense) {
+      // Pull: worker w scans ONLY its own vertex range, so the per-dst
+      // last_iter writes need no atomics and every discovered vertex is
+      // already in its owner's bucket.
+      bookkeeping.Start();
+      frontier_bits.Clear();
+      pool.ParallelRun([&](size_t w) {
+        for (VertexId v : frontier[w]) frontier_bits.SetBit(v);
+      });
+      bookkeeping.Stop();
+      pool.ParallelRun([&](size_t w) {
+        uint64_t local_edges = 0;
+        for (VertexId dst = ranges[w].begin; dst < ranges[w].end; ++dst) {
+          bool hit = false;
+          for (EdgeId e = in.begin(dst); e < in.end(dst); ++e) {
+            if (frontier_bits.TestBit(in.neighbor(e))) {
+              hit = true;
+              break;
+            }
+          }
+          if (!hit) continue;
+          rrg.guidance_[dst].last_iter = level;
+          touched[w] = 1;
+          if (visited.SetBit(dst)) {
+            next_local[w][w].push_back(dst);
+            local_edges += out.degree(dst);
+          }
+        }
+        edge_sum[w] = local_edges;
+      });
+    } else {
+      // Push: per-partition frontier bands, own band first, stealing for
+      // the tail (paper §3.6). Destinations can live anywhere, so
+      // last_iter needs the same-value relaxed atomic store and
+      // discoveries are routed to their owner's bucket.
+      for (size_t p = 0; p < workers; ++p) band_sizes[p] = frontier[p].size();
+      push_scheduler.RunBands(
+          pool, band_sizes, [&](size_t w, size_t band, size_t lo, size_t hi) {
+            uint64_t local_edges = 0;
+            const std::vector<VertexId>& band_frontier = frontier[band];
+            for (size_t i = lo; i < hi; ++i) {
+              VertexId src = band_frontier[i];
+              for (EdgeId e = out.begin(src); e < out.end(src); ++e) {
+                VertexId dst = out.neighbor(e);
+                __atomic_store_n(&rrg.guidance_[dst].last_iter, level,
+                                 __ATOMIC_RELAXED);
+                touched[w] = 1;
+                if (visited.SetBit(dst)) {
+                  next_local[w][ChunkPartitioner::OwnerOf(ranges, dst)]
+                      .push_back(dst);
+                  local_edges += out.degree(dst);
+                }
+              }
+            }
+            edge_sum[w] += local_edges;  // slot w is worker w's alone
+          });
+    }
+
+    // Merge, with the next iteration's frontier-edge count folded in: the
+    // only per-iteration bookkeeping the partitioned sweep pays.
+    bookkeeping.Start();
+    for (uint8_t t : touched) {
+      if (t != 0) deepest = level;
+    }
+    frontier_size = 0;
+    pool.ParallelRun([&](size_t p) {
+      frontier[p].clear();
+      for (size_t w = 0; w < workers; ++w) {
+        frontier[p].insert(frontier[p].end(), next_local[w][p].begin(),
+                           next_local[w][p].end());
+      }
+    });
+    for (size_t p = 0; p < workers; ++p) frontier_size += frontier[p].size();
+    frontier_edges = 0;
+    for (uint64_t s : edge_sum) frontier_edges += s;
+    bookkeeping.Stop();
+  }
+
+  // Commit the visited bitmap into the per-vertex records, each worker
+  // writing its own range.
+  pool.ParallelRun([&](size_t w) {
+    for (VertexId v = ranges[w].begin; v < ranges[w].end; ++v) {
+      rrg.guidance_[v].visited = visited.TestBit(v);
+    }
+  });
+
+  rrg.depth_ = deepest;
+  rrg.generation_seconds_ = timer.Seconds();
+  rrg.bookkeeping_seconds_ = bookkeeping.Seconds();
   return rrg;
 }
 

@@ -20,6 +20,26 @@ struct VertexGuidance {
   bool visited = false;
 };
 
+/// Which sweep implementation generates the guidance. All three produce
+/// bit-identical last_iter / visited / depth (the differential harness in
+/// tests/guidance_partition_test.cc enforces this across graph shapes), so
+/// the strategy is purely a performance/placement choice.
+enum class GuidanceGenerationStrategy {
+  /// Partitioned-parallel with a pool, serial without one (the default).
+  kAuto,
+  /// The single-threaded reference sweep, always.
+  kSerial,
+  /// Uniform frontier slicing across workers (the pre-partitioning
+  /// parallel sweep; kept as the ablation baseline).
+  kUniformParallel,
+  /// DistGraph-range partitioned work: each worker owns the contiguous
+  /// vertex range the distributed engine would assign it, with per-
+  /// partition frontier buffers and fused frontier-edge bookkeeping.
+  kPartitionedParallel,
+};
+
+const char* GuidanceGenerationStrategyName(GuidanceGenerationStrategy s);
+
 /// Result of the preprocessing stage (paper Algorithm 1): per-vertex
 /// propagation guidance plus the cost of producing it (Fig. 8 overhead).
 class RRGuidance {
@@ -39,10 +59,17 @@ class RRGuidance {
   /// reduction for that run, so Generate warns when it sees one.
   ///
   /// When `pool` is non-null (and has more than one worker) the sweep runs
-  /// frontier-parallel; results are bit-identical to the serial reference.
+  /// partition-parallel; results are bit-identical to the serial reference.
   static RRGuidance Generate(const Graph& graph,
                              const std::vector<VertexId>& roots,
                              ThreadPool* pool = nullptr);
+
+  /// Strategy-explicit entry point (the provider's path). A null pool — or
+  /// a 1-worker pool — forces the serial reference regardless of strategy.
+  static RRGuidance GenerateWithStrategy(const Graph& graph,
+                                         const std::vector<VertexId>& roots,
+                                         GuidanceGenerationStrategy strategy,
+                                         ThreadPool* pool);
 
   /// The single-threaded reference sweep (paper Algorithm 1, frontier
   /// form). Kept as the equivalence baseline for GenerateParallel.
@@ -57,6 +84,22 @@ class RRGuidance {
                                      const std::vector<VertexId>& roots,
                                      ThreadPool& pool,
                                      double dense_fraction = 0.05);
+
+  /// Partition-aware parallel sweep: vertices are split into the same
+  /// edge-balanced contiguous ranges DistGraph::Build assigns its nodes
+  /// (one per pool worker), each worker keeps a frontier buffer for its
+  /// own range, and the dense-pull phase touches only owned vertices (the
+  /// NUMA story: one socket, one range). The sparse-push phase drains the
+  /// per-partition frontiers through WorkStealingScheduler::RunBands —
+  /// own band first, steal leftovers — and the frontier-edge count that
+  /// drives push/pull switching is fused into the discovery path (each
+  /// newly visited vertex contributes its out-degree as it is enqueued),
+  /// eliminating the uniform sweep's extra per-iteration counting pass.
+  /// Bit-identical to the serial reference.
+  static RRGuidance GeneratePartitioned(const Graph& graph,
+                                        const std::vector<VertexId>& roots,
+                                        ThreadPool& pool,
+                                        double dense_fraction = 0.05);
 
   /// Convenience: sweep from the graph's natural propagation sources
   /// (zero-in-degree vertices, falling back to vertex 0 on cycle-bound
@@ -85,6 +128,15 @@ class RRGuidance {
   /// Wall time spent generating the guidance (Fig. 8 numerator).
   double generation_seconds() const { return generation_seconds_; }
 
+  /// The share of generation_seconds spent on per-iteration parallel
+  /// bookkeeping rather than edge traversal: the frontier-edge counting
+  /// pass (uniform strategy only — the partitioned strategy fuses it into
+  /// the merge) and the next-frontier merge. Zero for the serial sweep,
+  /// which has none; one-time setup (partitioning the vertex space) is
+  /// deliberately excluded. This is what makes the serial-vs-parallel
+  /// crossover measurable on few-core hosts (bench_fig8b).
+  double bookkeeping_seconds() const { return bookkeeping_seconds_; }
+
   /// The guidance is reusable across applications on the same graph
   /// (paper §4.4: Facebook runs ~8.7 jobs per graph); GuidanceCache /
   /// GuidanceProvider realize that amortization, keyed by
@@ -95,6 +147,7 @@ class RRGuidance {
   std::vector<VertexGuidance> guidance_;
   uint32_t depth_ = 0;
   double generation_seconds_ = 0;
+  double bookkeeping_seconds_ = 0;
 };
 
 /// Stability horizon for "finish early" (Algorithm 5): how many

@@ -4,12 +4,18 @@
 
 namespace slfe {
 
+std::vector<VertexRange> DistGraph::BuildRanges(const Graph& graph,
+                                                int num_nodes) {
+  SLFE_CHECK_GE(num_nodes, 1);
+  ChunkPartitioner partitioner;
+  return partitioner.Partition(graph, static_cast<size_t>(num_nodes));
+}
+
 DistGraph DistGraph::Build(const Graph& graph, int num_nodes) {
   SLFE_CHECK_GE(num_nodes, 1);
   DistGraph dg;
   dg.graph_ = &graph;
-  ChunkPartitioner partitioner;
-  dg.ranges_ = partitioner.Partition(graph, static_cast<size_t>(num_nodes));
+  dg.ranges_ = BuildRanges(graph, num_nodes);
 
   VertexId n = graph.num_vertices();
   dg.mirror_count_.assign(n, 0);

@@ -24,6 +24,13 @@ class DistGraph {
   /// mirror index for `num_nodes` nodes.
   static DistGraph Build(const Graph& graph, int num_nodes);
 
+  /// Just the ownership ranges Build would produce — exported so other
+  /// range-partitioned work (the partition-aware guidance generator) slices
+  /// vertices exactly the way the distributed engine does, keeping each
+  /// worker/socket on the vertex range it would own at execution time.
+  static std::vector<VertexRange> BuildRanges(const Graph& graph,
+                                              int num_nodes);
+
   const Graph& graph() const { return *graph_; }
   int num_nodes() const { return static_cast<int>(ranges_.size()); }
   const std::vector<VertexRange>& ranges() const { return ranges_; }

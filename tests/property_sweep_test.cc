@@ -6,12 +6,24 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "slfe/apps/belief_propagation.h"
+#include "slfe/apps/bfs.h"
 #include "slfe/apps/cc.h"
+#include "slfe/apps/heat_simulation.h"
+#include "slfe/apps/numpaths.h"
+#include "slfe/apps/pr.h"
 #include "slfe/apps/reference.h"
+#include "slfe/apps/spmv.h"
 #include "slfe/apps/sssp.h"
+#include "slfe/apps/tr.h"
 #include "slfe/apps/wp.h"
+#include "slfe/core/guidance_provider.h"
 #include "slfe/core/rr_guidance.h"
 #include "slfe/graph/degree_stats.h"
 #include "slfe/graph/generators.h"
@@ -160,6 +172,174 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{Family::kGrid, 1},
                       SweepParam{Family::kGrid, 2}),
     ParamName);
+
+// ---------------------------------------------------------------------------
+// Guidance strategy cross: every guidance-using app, run guided vs
+// unguided, across (engine shape x generation strategy) on the same seeded
+// random topologies. Min/max apps must agree exactly; arithmetic apps
+// within the tolerances their finish-early freezing is specified to keep
+// (the same bars apps_equivalence_test holds the defaults to). Because all
+// three strategies produce bit-identical guidance, any strategy-dependent
+// result difference here is an engine-integration bug, not a sweep bug.
+// ---------------------------------------------------------------------------
+
+/// (topology seed) x (generation strategy): the engine shapes are crossed
+/// inside the test body, one cluster size per app class.
+struct CrossParam {
+  SweepParam topology;
+  GuidanceGenerationStrategy strategy;
+};
+
+std::string CrossParamName(
+    const ::testing::TestParamInfo<CrossParam>& info) {
+  ::testing::TestParamInfo<SweepParam> inner(info.param.topology, 0);
+  return ParamName(inner) + "_" +
+         GuidanceGenerationStrategyName(info.param.strategy);
+}
+
+class GuidanceStrategyCrossTest
+    : public ::testing::TestWithParam<CrossParam> {
+ protected:
+  /// A private provider pinned to the strategy under test, so the run
+  /// cannot hit guidance generated by another strategy (or another test)
+  /// through the global provider.
+  AppConfig GuidedConfig(int num_nodes) {
+    GuidanceProviderOptions opt;
+    opt.generation_threads = 3;
+    opt.generation_strategy = GetParam().strategy;
+    provider_ = std::make_unique<GuidanceProvider>(opt);
+    AppConfig cfg;
+    cfg.num_nodes = num_nodes;
+    cfg.enable_rr = true;
+    cfg.guidance_provider = provider_.get();
+    return cfg;
+  }
+
+  static AppConfig BaselineConfig(int num_nodes) {
+    AppConfig cfg;
+    cfg.num_nodes = num_nodes;
+    cfg.enable_rr = false;
+    return cfg;
+  }
+
+  std::unique_ptr<GuidanceProvider> provider_;
+};
+
+TEST_P(GuidanceStrategyCrossTest, MinMaxAppsExactAcrossEngines) {
+  Graph g = MakeGraph(GetParam().topology, /*symmetric=*/false);
+  Graph gsym = MakeGraph(GetParam().topology, /*symmetric=*/true);
+  for (int nodes : {1, 3}) {
+    SCOPED_TRACE("nodes=" + std::to_string(nodes));
+    {  // SSSP
+      SsspResult guided = RunSssp(g, GuidedConfig(nodes));
+      SsspResult base = RunSssp(g, BaselineConfig(nodes));
+      for (size_t v = 0; v < base.dist.size(); ++v) {
+        ASSERT_FLOAT_EQ(guided.dist[v], base.dist[v]) << "sssp v=" << v;
+      }
+    }
+    {  // BFS
+      BfsResult guided = RunBfs(g, GuidedConfig(nodes));
+      BfsResult base = RunBfs(g, BaselineConfig(nodes));
+      for (size_t v = 0; v < base.levels.size(); ++v) {
+        ASSERT_EQ(guided.levels[v], base.levels[v]) << "bfs v=" << v;
+      }
+    }
+    {  // WP
+      WpResult guided = RunWp(g, GuidedConfig(nodes));
+      WpResult base = RunWp(g, BaselineConfig(nodes));
+      for (size_t v = 0; v < base.width.size(); ++v) {
+        ASSERT_FLOAT_EQ(guided.width[v], base.width[v]) << "wp v=" << v;
+      }
+    }
+    {  // CC (undirected closure)
+      CcResult guided = RunCc(gsym, GuidedConfig(nodes));
+      CcResult base = RunCc(gsym, BaselineConfig(nodes));
+      for (size_t v = 0; v < base.labels.size(); ++v) {
+        ASSERT_EQ(guided.labels[v], base.labels[v]) << "cc v=" << v;
+      }
+    }
+    {  // NumPaths (sum aggregation, but exact: bounded-length DP)
+      NumPathsResult guided = RunNumPaths(g, GuidedConfig(nodes), 12);
+      NumPathsResult base = RunNumPaths(g, BaselineConfig(nodes), 12);
+      for (size_t v = 0; v < base.paths.size(); ++v) {
+        ASSERT_DOUBLE_EQ(guided.paths[v], base.paths[v])
+            << "numpaths v=" << v;
+      }
+    }
+  }
+}
+
+TEST_P(GuidanceStrategyCrossTest, ArithmeticAppsWithinToleranceAcrossEngines) {
+  Graph g = MakeGraph(GetParam().topology, /*symmetric=*/false);
+  VertexId n = g.num_vertices();
+  std::vector<float> ones(n, 1.0f);
+  std::vector<float> hotspots(n, 0.0f);
+  for (VertexId v = 0; v < n; v += 37) hotspots[v] = 100.0f;
+  for (int nodes : {1, 3}) {
+    SCOPED_TRACE("nodes=" + std::to_string(nodes));
+    {  // PageRank (finish-early freezing: 5e-3, the apps_equivalence bar)
+      PrResult guided = RunPr(g, GuidedConfig(nodes));
+      PrResult base = RunPr(g, BaselineConfig(nodes));
+      for (size_t v = 0; v < base.ranks.size(); ++v) {
+        ASSERT_NEAR(guided.ranks[v], base.ranks[v], 5e-3) << "pr v=" << v;
+      }
+    }
+    {  // TunkRank (same finish-early bound as PR: on random topologies
+       //  the freeze point can land a few 1e-3 from the unfrozen run)
+      TrResult guided = RunTr(g, GuidedConfig(nodes));
+      TrResult base = RunTr(g, BaselineConfig(nodes));
+      for (size_t v = 0; v < base.influence.size(); ++v) {
+        ASSERT_NEAR(guided.influence[v], base.influence[v], 5e-3)
+            << "tr v=" << v;
+      }
+    }
+    {  // SpMV chain
+      SpmvResult guided = RunSpmv(g, ones, GuidedConfig(nodes), 3);
+      SpmvResult base = RunSpmv(g, ones, BaselineConfig(nodes), 3);
+      for (size_t v = 0; v < base.y.size(); ++v) {
+        ASSERT_NEAR(guided.y[v], base.y[v], 1e-3) << "spmv v=" << v;
+      }
+    }
+    {  // Heat simulation
+      HeatSimulationResult guided =
+          RunHeatSimulation(g, hotspots, GuidedConfig(nodes));
+      HeatSimulationResult base =
+          RunHeatSimulation(g, hotspots, BaselineConfig(nodes));
+      for (size_t v = 0; v < base.heat.size(); ++v) {
+        ASSERT_NEAR(guided.heat[v], base.heat[v], 1e-2) << "heat v=" << v;
+      }
+    }
+    {  // Belief propagation
+      BeliefPropagationResult guided =
+          RunBeliefPropagation(g, hotspots, GuidedConfig(nodes));
+      BeliefPropagationResult base =
+          RunBeliefPropagation(g, hotspots, BaselineConfig(nodes));
+      for (size_t v = 0; v < base.belief.size(); ++v) {
+        ASSERT_NEAR(guided.belief[v], base.belief[v], 1e-2)
+            << "bp v=" << v;
+      }
+    }
+  }
+}
+
+std::vector<CrossParam> CrossParams() {
+  std::vector<CrossParam> params;
+  for (SweepParam topology :
+       {SweepParam{Family::kRmat, 1}, SweepParam{Family::kRmat, 2},
+        SweepParam{Family::kErdosRenyi, 1}, SweepParam{Family::kGrid, 1}}) {
+    for (GuidanceGenerationStrategy strategy :
+         {GuidanceGenerationStrategy::kSerial,
+          GuidanceGenerationStrategy::kUniformParallel,
+          GuidanceGenerationStrategy::kPartitionedParallel}) {
+      params.push_back(CrossParam{topology, strategy});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(StrategyCross, GuidanceStrategyCrossTest,
+                         ::testing::ValuesIn(CrossParams()),
+                         CrossParamName);
 
 }  // namespace
 }  // namespace slfe
