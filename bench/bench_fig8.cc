@@ -24,9 +24,11 @@
 #include "bench/bench_util.h"
 #include "slfe/apps/sssp.h"
 #include "slfe/common/thread_pool.h"
+#include "slfe/common/timer.h"
 #include "slfe/core/guidance_provider.h"
 #include "slfe/core/guidance_store.h"
 #include "slfe/core/rr_guidance.h"
+#include "slfe/service/job_service.h"
 
 namespace slfe {
 namespace {
@@ -205,15 +207,112 @@ void AmortizationSection() {
               "acceptance bar is >=10x cheaper than regeneration)\n");
 }
 
+/// Service amortization: N tenants submit concurrent guidance-using jobs
+/// on shared graphs through ONE JobService; the shared provider's
+/// singleflight + cache must collapse them to exactly one generation per
+/// graph. This is the §4.4 multi-job amortization realized inside one
+/// long-lived process instead of across CLI invocations. Returns false
+/// (the CI smoke signal) if any graph generated more than once or any job
+/// failed.
+bool ServiceSection(bool smoke) {
+  bench::PrintHeader(
+      "Fig. 8e: multi-tenant service amortization (4 tenants x 2 jobs per "
+      "graph through one JobService)");
+  std::vector<std::string> graphs =
+      smoke ? std::vector<std::string>{"PK"}
+            : std::vector<std::string>{"PK", "OK", "LJ"};
+  constexpr int kTenants = 4;
+  constexpr int kJobsPerTenantPerGraph = 2;
+
+  service::JobServiceOptions sopt;
+  sopt.workers = 4;
+  sopt.queue_capacity = 256;
+  sopt.job_nodes = 8;
+  service::JobService svc(sopt);
+  for (const std::string& alias : graphs) {
+    Graph copy = bench::LoadGraph(alias);  // service owns its registry
+    svc.RegisterGraph(alias, std::move(copy));
+  }
+
+  Timer timer;
+  std::vector<service::JobTicket> tickets;
+  for (int job = 0; job < kJobsPerTenantPerGraph; ++job) {
+    for (int tenant = 0; tenant < kTenants; ++tenant) {
+      for (const std::string& alias : graphs) {
+        service::JobRequest request;
+        request.tenant = "tenant" + std::to_string(tenant);
+        request.app = "sssp";
+        request.graph = alias;
+        request.root = 0;
+        auto ticket = svc.Submit(request);
+        if (ticket.ok()) tickets.push_back(std::move(ticket).value());
+      }
+    }
+  }
+  bool all_ok = true;
+  double miss_cost = 0, hit_cost = 0;
+  uint64_t hits = 0, misses = 0;
+  for (const auto& ticket : tickets) {
+    const service::JobResult& r = ticket->Wait();
+    all_ok = all_ok && r.status.ok();
+    if (!r.guidance_acquired) continue;
+    if (r.guidance_cache_hit || r.guidance_coalesced) {
+      hit_cost += r.guidance_seconds;
+      ++hits;
+    } else {
+      miss_cost += r.guidance_seconds;
+      ++misses;
+    }
+  }
+  double wall = timer.Seconds();
+  svc.Shutdown();
+  service::JobServiceStats stats = svc.Stats();
+
+  std::printf("%-10s %-8s %-14s %-14s %-14s\n", "jobs", "graphs",
+              "generations", "amortized", "wall(s)");
+  bench::PrintRule();
+  std::printf("%-10zu %-8zu %-14llu %-14llu %-14.3f\n", tickets.size(),
+              graphs.size(),
+              static_cast<unsigned long long>(stats.provider.generations),
+              static_cast<unsigned long long>(hits), wall);
+  for (const auto& [tenant, t] : stats.tenants) {
+    std::printf("  %-12s jobs=%llu hits=%llu misses=%llu acquire=%.5fs\n",
+                tenant.c_str(),
+                static_cast<unsigned long long>(t.jobs_completed),
+                static_cast<unsigned long long>(t.guidance_hits),
+                static_cast<unsigned long long>(t.guidance_misses),
+                t.guidance_seconds);
+  }
+  std::printf("(amortized acquisition: %.6fs avg hit vs %.6fs avg miss — "
+              "every job after the first per graph rode the shared "
+              "provider's singleflight/cache)\n",
+              hits > 0 ? hit_cost / hits : 0.0,
+              misses > 0 ? miss_cost / misses : 0.0);
+
+  bool one_generation_per_graph =
+      stats.provider.generations == graphs.size() &&
+      misses == stats.provider.generations;
+  if (!one_generation_per_graph) {
+    std::printf("SERVICE AMORTIZATION FAILED: generations=%llu want %zu\n",
+                static_cast<unsigned long long>(stats.provider.generations),
+                graphs.size());
+  }
+  return all_ok && one_generation_per_graph && stats.failed == 0;
+}
+
 int Run(bool smoke) {
   if (smoke) {
-    // CI wiring check: tiny graph, warm-restart path only, non-zero exit
-    // if the store did not serve the restarted provider.
-    return WarmRestartSection(/*smoke=*/true) ? 0 : 1;
+    // CI wiring check: tiny graph through the warm-restart path and the
+    // multi-tenant service path; non-zero exit if the store did not serve
+    // the restarted provider or the service amortization broke.
+    bool ok = WarmRestartSection(/*smoke=*/true);
+    ok = ServiceSection(/*smoke=*/true) && ok;
+    return ok ? 0 : 1;
   }
   OverheadSection();
   GenerationSection();
   AmortizationSection();
+  ServiceSection(/*smoke=*/false);
   WarmRestartSection(/*smoke=*/false);
   return 0;
 }

@@ -6,7 +6,14 @@
 //   slfe_cli --app=pr --file=edges.txt --iters=100
 //   slfe_cli --app=sssp --dataset=PK --rr --store-dir=/var/cache/slfe \
 //            --store-max-entries=128 --store-ttl=86400
+//   slfe_cli --serve --jobs=batch.txt --workers=4 --store-dir=/var/cache/slfe
 //   slfe_cli --list
+//
+// --serve switches from one-shot mode into the multi-tenant JobService
+// daemon: jobs stream in over the line protocol (stdin or --jobs=FILE),
+// share one guidance provider, and the maintenance loop sweeps the store.
+// slfe_server is the same daemon with the full knob set (per-tenant
+// budgets etc.); --serve is the quickstart spelling.
 //
 // Exits non-zero with a usage message on bad arguments.
 
@@ -30,6 +37,8 @@
 #include "slfe/core/guidance_store.h"
 #include "slfe/graph/generators.h"
 #include "slfe/graph/loader.h"
+#include "slfe/service/job_service.h"
+#include "slfe/service/line_driver.h"
 
 namespace {
 
@@ -52,6 +61,12 @@ struct CliOptions {
   double store_ttl = 0;
   std::string gen_strategy = "auto";
   uint32_t gen_threads = 0;
+  size_t mini_chunk = 0;
+  // Daemon mode (--serve): line-protocol job service.
+  bool serve = false;
+  std::string jobs_file;  // empty = stdin
+  uint32_t workers = 2;
+  double maintenance_interval = 0;
 };
 
 void PrintUsage() {
@@ -76,6 +91,14 @@ void PrintUsage() {
       "  --gen-strategy=S guidance generation: auto|serial|uniform|\n"
       "                   partitioned (default auto)\n"
       "  --gen-threads=N  guidance generation workers (default: cores)\n"
+      "  --mini-chunk=N   work-stealing granularity of the partitioned\n"
+      "                   sweep (default 256; tune per host)\n"
+      "  --serve          run as the multi-tenant job daemon (line\n"
+      "                   protocol on stdin or --jobs=FILE)\n"
+      "  --jobs=FILE      job protocol input for --serve\n"
+      "  --workers=N      --serve: job worker threads (default 2)\n"
+      "  --maintenance-interval=SECS\n"
+      "                   --serve: sweep the store every SECS\n"
       "  --list           print the dataset suite and exit\n");
 }
 
@@ -86,6 +109,22 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
     return true;
   }
   return false;
+}
+
+bool ParseStrategy(const std::string& name,
+                   slfe::GuidanceGenerationStrategy* out) {
+  if (name == "auto") {
+    *out = slfe::GuidanceGenerationStrategy::kAuto;
+  } else if (name == "serial") {
+    *out = slfe::GuidanceGenerationStrategy::kSerial;
+  } else if (name == "uniform") {
+    *out = slfe::GuidanceGenerationStrategy::kUniformParallel;
+  } else if (name == "partitioned") {
+    *out = slfe::GuidanceGenerationStrategy::kPartitionedParallel;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -122,6 +161,16 @@ int main(int argc, char** argv) {
       opt.gen_strategy = value;
     } else if (ParseFlag(argv[i], "--gen-threads", &value)) {
       opt.gen_threads = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "--mini-chunk", &value)) {
+      opt.mini_chunk = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "--jobs", &value)) {
+      opt.jobs_file = value;
+    } else if (ParseFlag(argv[i], "--workers", &value)) {
+      opt.workers = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "--maintenance-interval", &value)) {
+      opt.maintenance_interval = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      opt.serve = true;
     } else if (std::strcmp(argv[i], "--rr") == 0) {
       opt.rr = true;
     } else if (std::strcmp(argv[i], "--no-stealing") == 0) {
@@ -142,6 +191,55 @@ int main(int argc, char** argv) {
   if (opt.nodes < 1 || opt.threads < 1 || opt.scale_divisor < 1) {
     PrintUsage();
     return 2;
+  }
+
+  if (opt.serve) {
+    // Daemon mode: one JobService, jobs streamed over the line protocol.
+    // The guidance knobs configure the service's SHARED provider, which
+    // is what turns N concurrent jobs on one graph into one generation.
+    if (opt.store_dir.empty() &&
+        (opt.store_max_entries > 0 || opt.store_max_bytes > 0 ||
+         opt.store_ttl > 0 || opt.maintenance_interval > 0)) {
+      // Same rule as the one-shot path: silently ignoring a GC budget or
+      // sweep cadence would let the user believe the store is bounded
+      // when there is no store at all.
+      std::fprintf(stderr,
+                   "--store-max-entries/--store-max-bytes/--store-ttl/"
+                   "--maintenance-interval require --store-dir\n");
+      PrintUsage();
+      return 2;
+    }
+    slfe::service::JobServiceOptions sopt;
+    sopt.workers = opt.workers;
+    sopt.job_nodes = opt.nodes;
+    sopt.job_threads = opt.threads;
+    sopt.provider.store_dir = opt.store_dir;
+    sopt.provider.store_gc.max_entries = opt.store_max_entries;
+    sopt.provider.store_gc.max_bytes = opt.store_max_bytes;
+    sopt.provider.store_gc.ttl_seconds = opt.store_ttl;
+    sopt.provider.generation_threads = opt.gen_threads;
+    sopt.provider.generation_mini_chunk = opt.mini_chunk;
+    if (!ParseStrategy(opt.gen_strategy, &sopt.provider.generation_strategy)) {
+      std::fprintf(stderr, "unknown --gen-strategy: %s\n",
+                   opt.gen_strategy.c_str());
+      return 2;
+    }
+    sopt.maintenance_interval_seconds = opt.maintenance_interval;
+    std::FILE* in = stdin;
+    if (!opt.jobs_file.empty()) {
+      in = std::fopen(opt.jobs_file.c_str(), "r");
+      if (in == nullptr) {
+        std::fprintf(stderr, "cannot open --jobs file: %s\n",
+                     opt.jobs_file.c_str());
+        return 2;
+      }
+    }
+    slfe::service::JobService service(sopt);
+    slfe::service::LineDriverOptions dopt;
+    dopt.scale_divisor = opt.scale_divisor;
+    int rc = slfe::service::RunLineDriver(service, in, stdout, dopt);
+    if (in != stdin) std::fclose(in);
+    return rc;
   }
 
   // Load or synthesize the graph.
@@ -216,15 +314,11 @@ int main(int argc, char** argv) {
       popt.generation_threads = opt.gen_threads;
       custom = true;
     }
-    if (opt.gen_strategy == "serial") {
-      popt.generation_strategy = slfe::GuidanceGenerationStrategy::kSerial;
-    } else if (opt.gen_strategy == "uniform") {
-      popt.generation_strategy =
-          slfe::GuidanceGenerationStrategy::kUniformParallel;
-    } else if (opt.gen_strategy == "partitioned") {
-      popt.generation_strategy =
-          slfe::GuidanceGenerationStrategy::kPartitionedParallel;
-    } else if (opt.gen_strategy != "auto") {
+    if (opt.mini_chunk > 0) {
+      popt.generation_mini_chunk = opt.mini_chunk;
+      custom = true;
+    }
+    if (!ParseStrategy(opt.gen_strategy, &popt.generation_strategy)) {
       std::fprintf(stderr, "unknown --gen-strategy: %s\n",
                    opt.gen_strategy.c_str());
       PrintUsage();

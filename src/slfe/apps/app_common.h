@@ -46,8 +46,14 @@ struct AppRunInfo {
   double guidance_seconds = 0;
   /// Guidance sweep depth (diagnostics).
   uint32_t guidance_depth = 0;
+  /// True when a (non-null) guidance was actually acquired for this run.
+  bool guidance_acquired = false;
   /// True when guidance came from the cache instead of a fresh sweep.
   bool guidance_cache_hit = false;
+  /// True when this run piggybacked on another job's in-flight sweep
+  /// (provider singleflight) — the JobService counts hit = cache_hit ||
+  /// coalesced for its per-tenant amortization accounting.
+  bool guidance_coalesced = false;
   /// Safety-sweep updates (min/max apps; 0 means guidance was exact).
   uint64_t safety_sweep_updates = 0;
   /// Early-converged vertices at termination (arith apps, Fig. 2).
@@ -73,9 +79,11 @@ inline GuidanceAcquisition AcquireGuidance(const Graph& graph,
 inline void RecordGuidance(const GuidanceAcquisition& acquisition,
                            AppRunInfo* info) {
   if (!acquisition) return;
+  info->guidance_acquired = true;
   info->guidance_seconds = acquisition.acquire_seconds;
   info->guidance_depth = acquisition.guidance->depth();
   info->guidance_cache_hit = acquisition.cache_hit;
+  info->guidance_coalesced = acquisition.coalesced;
 }
 
 /// Builds EngineOptions from an AppConfig (mode policy is set per app).

@@ -180,7 +180,8 @@ std::shared_ptr<const RRGuidance> GuidanceProvider::GenerateNow(
   std::lock_guard<std::mutex> lock(pool_mu_);
   auto guidance =
       std::make_shared<const RRGuidance>(RRGuidance::GenerateWithStrategy(
-          graph, roots, options_.generation_strategy, GenerationPool()));
+          graph, roots, options_.generation_strategy, GenerationPool(),
+          options_.generation_mini_chunk));
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.generations;

@@ -75,6 +75,10 @@ struct GuidanceProviderOptions {
   /// strategies produce bit-identical guidance.
   GuidanceGenerationStrategy generation_strategy =
       GuidanceGenerationStrategy::kAuto;
+  /// Work-stealing granularity (vertices per mini-chunk) for the
+  /// partitioned sweep's push phase. 0 = the paper's 256; tune per host —
+  /// the ROADMAP multicore-crossover knob, exposed as --mini-chunk.
+  size_t generation_mini_chunk = 0;
   /// Non-empty = persist cache entries as fingerprint-keyed files in this
   /// directory (typically next to the ooc shard files), so the §4.4
   /// amortization survives process restarts. Empty = in-memory only.

@@ -59,6 +59,29 @@ std::string Hex(uint64_t v) {
   return buf;
 }
 
+/// Recovers the graph fingerprint from an entry file name
+/// (`g<16 hex>_r..._n....rrg` — see EntryPath). Returns false for names
+/// that do not carry one (foreign files never reach here, but a renamed
+/// entry should degrade to "unattributed", not to fingerprint 0).
+bool ParseEntryFingerprint(const std::string& name, uint64_t* fingerprint) {
+  if (name.size() < 18 || name[0] != 'g' || name[17] != '_') return false;
+  uint64_t v = 0;
+  for (size_t i = 1; i <= 16; ++i) {
+    char c = name[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | digit;
+  }
+  *fingerprint = v;
+  return true;
+}
+
 }  // namespace
 
 GuidanceStore::GuidanceStore(std::string dir, GuidanceStoreGcOptions gc)
@@ -98,6 +121,10 @@ GuidanceStoreSweepStats GuidanceStore::SweepLocked() {
     // sub-second timestamps; ties (coarse filesystems, batch saves within
     // one tick) break on the name for determinism.
     int64_t mtime_ns = 0;
+    // In-flight protection: entries of a pinned graph survive every phase.
+    bool pinned = false;
+    // Phase-2 attribution ("" = no tenant, global budgets only).
+    std::string tenant;
   };
   std::vector<EntryInfo> entries;
   {
@@ -110,25 +137,32 @@ GuidanceStoreSweepStats GuidanceStore::SweepLocked() {
       }
       struct ::stat st;
       if (::stat((dir_ + "/" + name).c_str(), &st) != 0) continue;
-      entries.push_back(EntryInfo{
-          name, static_cast<uint64_t>(st.st_size),
-          static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
-              st.st_mtim.tv_nsec});
+      EntryInfo info{name, static_cast<uint64_t>(st.st_size),
+                     static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                         st.st_mtim.tv_nsec,
+                     false, std::string()};
+      uint64_t fingerprint = 0;
+      if (ParseEntryFingerprint(name, &fingerprint)) {
+        info.pinned = pins_.find(fingerprint) != pins_.end();
+        auto tenant_it = graph_tenant_.find(fingerprint);
+        if (tenant_it != graph_tenant_.end()) info.tenant = tenant_it->second;
+      }
+      entries.push_back(std::move(info));
     }
     ::closedir(d);
   }
   sweep.scanned = entries.size();
   ++stats_.sweeps;
 
-  auto remove_entry = [&](const EntryInfo& e, bool ttl) {
+  auto remove_entry = [&](const EntryInfo& e, uint64_t* counter) {
     if (std::remove((dir_ + "/" + e.name).c_str()) != 0) return false;
     sweep.bytes_reclaimed += e.bytes;
-    if (ttl) {
-      ++sweep.ttl_removed;
-    } else {
-      ++sweep.budget_removed;
-    }
+    ++*counter;
     return true;
+  };
+  auto lru_order = [](const EntryInfo* a, const EntryInfo* b) {
+    if (a->mtime_ns != b->mtime_ns) return a->mtime_ns < b->mtime_ns;
+    return a->name < b->name;
   };
 
   // Phase 1: TTL. Age is measured against the wall clock because mtimes
@@ -147,52 +181,148 @@ GuidanceStoreSweepStats GuidanceStore::SweepLocked() {
     int64_t ttl_ns = ttl_ns_d >= static_cast<double>(INT64_MAX)
                          ? INT64_MAX
                          : static_cast<int64_t>(ttl_ns_d);
-    for (const EntryInfo& e : entries) {
+    for (EntryInfo& e : entries) {
       if (now_ns - e.mtime_ns > ttl_ns) {
-        if (remove_entry(e, /*ttl=*/true)) continue;
+        if (e.pinned) {
+          // Expired but in use by a running job: spare it. It stays
+          // eligible next sweep, once the job unpins.
+          ++sweep.pinned_spared;
+        } else if (remove_entry(e, &sweep.ttl_removed)) {
+          continue;
+        }
       }
-      live.push_back(e);
+      live.push_back(std::move(e));
     }
   } else {
     live = std::move(entries);
   }
 
-  // Phase 2: budgets, LRU-by-mtime — evict the stalest survivors until
-  // both the entry and byte budgets hold.
-  uint64_t live_bytes = 0;
-  for (const EntryInfo& e : live) live_bytes += e.bytes;
-  if (gc_.max_bytes > 0 || gc_.max_entries > 0) {
-    std::sort(live.begin(), live.end(),
-              [](const EntryInfo& a, const EntryInfo& b) {
-                if (a.mtime_ns != b.mtime_ns) return a.mtime_ns < b.mtime_ns;
-                return a.name < b.name;
-              });
-    size_t cursor = 0;
-    size_t unlink_failed = 0;  // victims that survived a failed remove
-    while (cursor < live.size() &&
-           ((gc_.max_entries > 0 &&
-             live.size() - cursor + unlink_failed > gc_.max_entries) ||
-            (gc_.max_bytes > 0 && live_bytes > gc_.max_bytes))) {
-      const EntryInfo& victim = live[cursor];
-      if (remove_entry(victim, /*ttl=*/false)) {
-        live_bytes -= victim.bytes;
-      } else {
-        // Still on disk (e.g. the directory turned read-only): it must
-        // count as remaining, or Sweep() would report budgets satisfied
-        // while the store is over them.
-        ++unlink_failed;
-      }
-      ++cursor;
+  // Phase 2: per-tenant budgets, LRU-by-mtime inside each tenant's slice.
+  // Runs before the global phase so one tenant blowing its slice is
+  // charged to that tenant's entries, not to whoever's files happen to be
+  // globally stalest.
+  std::vector<bool> removed(live.size(), false);
+  if (!gc_.tenant_budgets.empty()) {
+    std::unordered_map<std::string, std::vector<size_t>> by_tenant;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (!live[i].tenant.empty()) by_tenant[live[i].tenant].push_back(i);
     }
-    sweep.remaining_entries = live.size() - cursor + unlink_failed;
-  } else {
-    sweep.remaining_entries = live.size();
+    for (const auto& [tenant, budget] : gc_.tenant_budgets) {
+      if (!budget.HasLimits()) continue;
+      auto it = by_tenant.find(tenant);
+      if (it == by_tenant.end()) continue;
+      std::vector<const EntryInfo*> slice;
+      slice.reserve(it->second.size());
+      uint64_t t_bytes = 0;
+      for (size_t i : it->second) {
+        slice.push_back(&live[i]);
+        t_bytes += live[i].bytes;
+      }
+      std::sort(slice.begin(), slice.end(), lru_order);
+      uint64_t t_entries = slice.size();
+      for (const EntryInfo* victim : slice) {
+        bool over = (budget.max_entries > 0 && t_entries > budget.max_entries) ||
+                    (budget.max_bytes > 0 && t_bytes > budget.max_bytes);
+        if (!over) break;
+        if (victim->pinned) {
+          // Cannot free an in-flight graph's entry; it keeps counting
+          // toward the tenant's usage (the budget is genuinely exceeded
+          // until the job finishes), and the next-stalest is tried.
+          ++sweep.pinned_spared;
+          continue;
+        }
+        if (remove_entry(*victim, &sweep.tenant_removed)) {
+          removed[victim - live.data()] = true;
+          t_bytes -= victim->bytes;
+          --t_entries;
+        }
+      }
+    }
   }
+
+  // Phase 3: global budgets over the survivors, LRU-by-mtime.
+  uint64_t live_bytes = 0;
+  uint64_t live_count = 0;
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (removed[i]) continue;
+    live_bytes += live[i].bytes;
+    ++live_count;
+  }
+  if (gc_.max_bytes > 0 || gc_.max_entries > 0) {
+    std::vector<const EntryInfo*> order;
+    order.reserve(live_count);
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (!removed[i]) order.push_back(&live[i]);
+    }
+    std::sort(order.begin(), order.end(), lru_order);
+    for (const EntryInfo* victim : order) {
+      bool over = (gc_.max_entries > 0 && live_count > gc_.max_entries) ||
+                  (gc_.max_bytes > 0 && live_bytes > gc_.max_bytes);
+      if (!over) break;
+      if (victim->pinned) {
+        ++sweep.pinned_spared;
+        continue;
+      }
+      if (remove_entry(*victim, &sweep.budget_removed)) {
+        live_bytes -= victim->bytes;
+        --live_count;
+      }
+      // A failed unlink (e.g. the directory turned read-only) leaves the
+      // victim counted in live_count/live_bytes, so Sweep() keeps
+      // reporting the store as over budget instead of pretending the
+      // budgets hold.
+    }
+  }
+  sweep.remaining_entries = live_count;
   sweep.remaining_bytes = live_bytes;
 
-  stats_.gc_removed += sweep.ttl_removed + sweep.budget_removed;
+  stats_.gc_removed +=
+      sweep.ttl_removed + sweep.tenant_removed + sweep.budget_removed;
   stats_.gc_bytes_reclaimed += sweep.bytes_reclaimed;
   return sweep;
+}
+
+void GuidanceStore::AssignGraphTenant(uint64_t graph_fingerprint,
+                                      const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenant.empty()) {
+    graph_tenant_.erase(graph_fingerprint);
+  } else {
+    graph_tenant_[graph_fingerprint] = tenant;
+  }
+}
+
+std::string GuidanceStore::GraphTenant(uint64_t graph_fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graph_tenant_.find(graph_fingerprint);
+  return it != graph_tenant_.end() ? it->second : std::string();
+}
+
+void GuidanceStore::SetTenantBudget(const std::string& tenant,
+                                    const GuidanceTenantBudget& budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget.HasLimits()) {
+    gc_.tenant_budgets[tenant] = budget;
+  } else {
+    gc_.tenant_budgets.erase(tenant);
+  }
+}
+
+void GuidanceStore::PinGraph(uint64_t graph_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pins_[graph_fingerprint];
+}
+
+void GuidanceStore::UnpinGraph(uint64_t graph_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(graph_fingerprint);
+  if (it == pins_.end()) return;  // unbalanced Unpin: ignore, don't wrap
+  if (--it->second == 0) pins_.erase(it);
+}
+
+size_t GuidanceStore::pinned_graphs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pins_.size();
 }
 
 std::string GuidanceStore::EntryPath(const GuidanceKey& key) const {
@@ -221,8 +351,7 @@ Status GuidanceStore::Save(const GuidanceKey& key,
   header.num_roots = key.num_roots;
   header.num_vertices = n;
   header.depth = guidance.depth();
-  header.payload_bytes =
-      static_cast<uint64_t>(n) * (sizeof(uint32_t) + sizeof(uint8_t));
+  header.payload_bytes = static_cast<uint64_t>(n) * kPayloadBytesPerVertex;
   header.payload_checksum =
       Checksum(header, last_iter.data(), visited.data(), n);
 
@@ -284,7 +413,7 @@ Result<RRGuidance> GuidanceStore::Load(const GuidanceKey& key) {
     return corrupt("key mismatch (stale or colliding entry)");
   }
   uint64_t n = header.num_vertices;
-  if (header.payload_bytes != n * (sizeof(uint32_t) + sizeof(uint8_t))) {
+  if (header.payload_bytes != n * kPayloadBytesPerVertex) {
     return corrupt("payload size inconsistent with vertex count");
   }
   // Validate the real file size against the header BEFORE sizing buffers

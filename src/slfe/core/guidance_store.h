@@ -2,9 +2,11 @@
 #define SLFE_CORE_GUIDANCE_STORE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "slfe/common/status.h"
@@ -26,12 +28,23 @@ struct GuidanceStoreStats {
   uint64_t gc_bytes_reclaimed = 0;
 };
 
+/// Per-tenant slice of the store budget (JobService wires these from its
+/// configuration). Entries are attributed to tenants by graph fingerprint
+/// (AssignGraphTenant); unattributed entries are only subject to the
+/// global limits.
+struct GuidanceTenantBudget {
+  uint64_t max_bytes = 0;    ///< 0 = unlimited
+  uint64_t max_entries = 0;  ///< 0 = unlimited
+
+  bool HasLimits() const { return max_bytes > 0 || max_entries > 0; }
+};
+
 /// Lifecycle policy for the on-disk entries. All limits are opt-in: the
 /// zero defaults keep every entry forever (the pre-GC behavior). With any
 /// limit set, a sweep runs when the store is constructed over the
 /// directory and whenever Sweep() is called explicitly — there is no
-/// background thread, so multi-tenant deployments sweep from whatever
-/// maintenance cadence they already have.
+/// background thread here; the long-lived JobService drives Sweep() from
+/// its maintenance loop, and one-shot processes sweep at construction.
 struct GuidanceStoreGcOptions {
   /// Entries whose last use is older than this are removed first.
   /// 0 = no TTL.
@@ -40,12 +53,17 @@ struct GuidanceStoreGcOptions {
   /// fit both budgets. 0 = unlimited.
   uint64_t max_bytes = 0;
   uint64_t max_entries = 0;
+  /// Per-tenant byte/entry budgets, enforced between the TTL and global
+  /// phases (LRU-by-mtime within the tenant's entries). Keyed by tenant
+  /// id; SetTenantBudget adds/replaces entries at runtime.
+  std::map<std::string, GuidanceTenantBudget> tenant_budgets;
   /// Run a sweep from the constructor (only meaningful when some limit
   /// above is set). Disable for tests that stage files before sweeping.
   bool sweep_on_construction = true;
 
   bool HasLimits() const {
-    return ttl_seconds > 0 || max_bytes > 0 || max_entries > 0;
+    return ttl_seconds > 0 || max_bytes > 0 || max_entries > 0 ||
+           !tenant_budgets.empty();
   }
 };
 
@@ -54,7 +72,11 @@ struct GuidanceStoreGcOptions {
 struct GuidanceStoreSweepStats {
   uint64_t scanned = 0;         ///< *.rrg entries examined
   uint64_t ttl_removed = 0;     ///< removed because older than the TTL
-  uint64_t budget_removed = 0;  ///< removed (oldest first) to fit budgets
+  uint64_t tenant_removed = 0;  ///< removed to fit a per-tenant budget
+  uint64_t budget_removed = 0;  ///< removed (oldest first) to fit the
+                                ///< global budgets
+  uint64_t pinned_spared = 0;   ///< would-be victims spared because their
+                                ///< graph is pinned by an in-flight job
   uint64_t bytes_reclaimed = 0;
   uint64_t remaining_entries = 0;
   uint64_t remaining_bytes = 0;
@@ -106,6 +128,12 @@ class GuidanceStore {
  public:
   static constexpr uint32_t kMagic = 0x53'4C'46'47;  // "SLFG"
   static constexpr uint32_t kFormatVersion = 1;
+  /// Payload bytes per vertex (the last_iter + visited planes) — the unit
+  /// the byte budgets meter; exposed so accounting layers (the
+  /// JobService's per-tenant guidance_bytes) cannot drift from the
+  /// serialization.
+  static constexpr uint64_t kPayloadBytesPerVertex =
+      sizeof(uint32_t) + sizeof(uint8_t);
 
   /// Uses `dir` (created if needed) for all entry files. When `gc` sets
   /// any limit (and sweep_on_construction is left on), the constructor
@@ -116,17 +144,46 @@ class GuidanceStore {
   const std::string& dir() const { return dir_; }
   const GuidanceStoreGcOptions& gc_options() const { return gc_; }
 
-  /// Garbage-collects on-disk entries per the construction-time policy:
-  /// first every entry whose age (now - mtime) exceeds the TTL, then —
-  /// still over max_bytes/max_entries — the least-recently-used entries,
-  /// oldest mtime first, until both budgets hold. mtime approximates
-  /// recency because Save rewrites the file and a successful Load
-  /// refreshes the timestamp, so live entries stay young. Entries inside
+  /// Garbage-collects on-disk entries in three phases: (1) every entry
+  /// whose age (now - mtime) exceeds the TTL; (2) for each tenant with a
+  /// budget, the tenant's least-recently-used entries until its byte/entry
+  /// budgets hold; (3) the globally least-recently-used entries until the
+  /// global budgets hold. mtime approximates recency because Save rewrites
+  /// the file and a successful Load refreshes the timestamp, so live
+  /// entries stay young. Entries whose graph fingerprint is pinned
+  /// (PinGraph — an in-flight job is using that graph's guidance) are
+  /// never removed in any phase; they still count toward usage, and each
+  /// spared would-be victim is reported in pinned_spared. Entries inside
   /// budget and TTL are never touched. Safe to call concurrently with
   /// Save/Load (everything serializes on the store mutex); removing an
   /// entry a cache still holds in memory is benign — the next memory miss
   /// regenerates and re-saves it.
   GuidanceStoreSweepStats Sweep();
+
+  /// Attributes every entry of `graph_fingerprint` to `tenant` for the
+  /// per-tenant budget phase (phase 2). The JobService records this at
+  /// submission time; re-assignment overwrites (last submitter owns the
+  /// graph's storage). An empty tenant removes the attribution.
+  void AssignGraphTenant(uint64_t graph_fingerprint, const std::string& tenant);
+
+  /// The tenant `graph_fingerprint` is attributed to ("" = unattributed).
+  std::string GraphTenant(uint64_t graph_fingerprint) const;
+
+  /// Adds or replaces `tenant`'s budget at runtime (construction-time
+  /// budgets come in via GuidanceStoreGcOptions::tenant_budgets). A budget
+  /// with no limits removes the tenant's entry.
+  void SetTenantBudget(const std::string& tenant,
+                       const GuidanceTenantBudget& budget);
+
+  /// Marks `graph_fingerprint`'s entries as in use by a running job:
+  /// pinned graphs survive every sweep phase. Refcounted — each Pin needs
+  /// a matching Unpin; the JobService pins for the duration of each
+  /// guidance-using job.
+  void PinGraph(uint64_t graph_fingerprint);
+  void UnpinGraph(uint64_t graph_fingerprint);
+
+  /// Number of distinct currently pinned graphs (diagnostics/tests).
+  size_t pinned_graphs() const;
 
   /// `<dir>/g<fingerprint>_r<digest>_n<num_roots>.rrg` (hex fields). The
   /// fingerprint comes first so directory scans can group a graph's
@@ -165,6 +222,10 @@ class GuidanceStore {
   GuidanceStoreGcOptions gc_;
   mutable std::mutex mu_;
   GuidanceStoreStats stats_;
+  /// Graph fingerprint -> owning tenant (phase-2 attribution).
+  std::unordered_map<uint64_t, std::string> graph_tenant_;
+  /// Graph fingerprint -> pin refcount (in-flight jobs).
+  std::unordered_map<uint64_t, uint32_t> pins_;
 };
 
 }  // namespace slfe

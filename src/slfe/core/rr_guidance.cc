@@ -43,7 +43,8 @@ RRGuidance RRGuidance::Generate(const Graph& graph,
 
 RRGuidance RRGuidance::GenerateWithStrategy(
     const Graph& graph, const std::vector<VertexId>& roots,
-    GuidanceGenerationStrategy strategy, ThreadPool* pool) {
+    GuidanceGenerationStrategy strategy, ThreadPool* pool,
+    size_t mini_chunk) {
   if (pool == nullptr || pool->num_threads() <= 1 ||
       strategy == GuidanceGenerationStrategy::kSerial) {
     return GenerateSerial(graph, roots);
@@ -54,7 +55,8 @@ RRGuidance RRGuidance::GenerateWithStrategy(
     case GuidanceGenerationStrategy::kAuto:
     case GuidanceGenerationStrategy::kPartitionedParallel:
     default:
-      return GeneratePartitioned(graph, roots, *pool);
+      return GeneratePartitioned(graph, roots, *pool, /*dense_fraction=*/0.05,
+                                 mini_chunk);
   }
 }
 
@@ -240,7 +242,8 @@ RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
 RRGuidance RRGuidance::GeneratePartitioned(const Graph& graph,
                                            const std::vector<VertexId>& roots,
                                            ThreadPool& pool,
-                                           double dense_fraction) {
+                                           double dense_fraction,
+                                           size_t mini_chunk) {
   Timer timer;
   AccumTimer bookkeeping;
   RRGuidance rrg;
@@ -287,7 +290,7 @@ RRGuidance RRGuidance::GeneratePartitioned(const Graph& graph,
   std::vector<uint64_t> edge_sum(workers, 0);  // fused frontier-edge count
   std::vector<uint8_t> touched(workers, 0);
   Bitmap frontier_bits(n);  // dense-pull frontier membership
-  WorkStealingScheduler push_scheduler;
+  WorkStealingScheduler push_scheduler(/*enable_stealing=*/true, mini_chunk);
   std::vector<size_t> band_sizes(workers);
 
   uint32_t iter = 0;

@@ -66,10 +66,14 @@ class RRGuidance {
 
   /// Strategy-explicit entry point (the provider's path). A null pool — or
   /// a 1-worker pool — forces the serial reference regardless of strategy.
+  /// `mini_chunk` is the partitioned sweep's work-stealing granularity
+  /// (0 = WorkStealingScheduler::kMiniChunk); only the partitioned
+  /// strategy consults it.
   static RRGuidance GenerateWithStrategy(const Graph& graph,
                                          const std::vector<VertexId>& roots,
                                          GuidanceGenerationStrategy strategy,
-                                         ThreadPool* pool);
+                                         ThreadPool* pool,
+                                         size_t mini_chunk = 0);
 
   /// The single-threaded reference sweep (paper Algorithm 1, frontier
   /// form). Kept as the equivalence baseline for GenerateParallel.
@@ -95,11 +99,14 @@ class RRGuidance {
   /// drives push/pull switching is fused into the discovery path (each
   /// newly visited vertex contributes its out-degree as it is enqueued),
   /// eliminating the uniform sweep's extra per-iteration counting pass.
-  /// Bit-identical to the serial reference.
+  /// Bit-identical to the serial reference. `mini_chunk` tunes the
+  /// push-phase stealing granularity (0 = the 256-vertex default) — the
+  /// ROADMAP multicore crossover knob.
   static RRGuidance GeneratePartitioned(const Graph& graph,
                                         const std::vector<VertexId>& roots,
                                         ThreadPool& pool,
-                                        double dense_fraction = 0.05);
+                                        double dense_fraction = 0.05,
+                                        size_t mini_chunk = 0);
 
   /// Convenience: sweep from the graph's natural propagation sources
   /// (zero-in-degree vertices, falling back to vertex 0 on cycle-bound

@@ -1,0 +1,81 @@
+#ifndef SLFE_SERVICE_JOB_QUEUE_H_
+#define SLFE_SERVICE_JOB_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace slfe::service {
+
+/// A bounded MPMC FIFO between the JobService's submitters and its worker
+/// pool. Admission control happens at the producer: TryPush never blocks —
+/// a full queue is a rejection the caller surfaces to the tenant (the
+/// service's backpressure is "reject with a retryable status", not "stall
+/// the submitting thread"). Consumers block in Pop until an item arrives
+/// or the queue is closed AND drained, which is exactly the graceful-
+/// shutdown contract: Close() stops admissions while letting the workers
+/// finish every job already accepted.
+template <typename T>
+class JobQueue {
+ public:
+  explicit JobQueue(size_t capacity) : capacity_(capacity) {}
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueues `item` unless the queue is full or closed. Never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// empty (false — the consumer's signal to exit).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Rejects all future pushes; queued items remain poppable (drain).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace slfe::service
+
+#endif  // SLFE_SERVICE_JOB_QUEUE_H_

@@ -1,0 +1,406 @@
+#include "slfe/service/job_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "slfe/apps/app_common.h"
+#include "slfe/apps/bfs.h"
+#include "slfe/apps/cc.h"
+#include "slfe/apps/pr.h"
+#include "slfe/apps/sssp.h"
+#include "slfe/apps/tr.h"
+#include "slfe/apps/wp.h"
+#include "slfe/gas/gas_apps.h"
+
+namespace slfe::service {
+
+namespace {
+
+bool IsDistApp(const std::string& app) {
+  return app == "sssp" || app == "bfs" || app == "cc" || app == "wp" ||
+         app == "pr" || app == "tr";
+}
+
+bool IsGasApp(const std::string& app) { return app == "sssp" || app == "cc"; }
+
+bool IsSingleSourceApp(const std::string& app) {
+  return app == "sssp" || app == "bfs" || app == "wp";
+}
+
+/// Guidance payload bytes per acquisition — the same per-vertex payload
+/// size the store persists and the tenant byte budgets meter.
+uint64_t GuidanceBytes(const Graph& graph) {
+  return static_cast<uint64_t>(graph.num_vertices()) *
+         GuidanceStore::kPayloadBytesPerVertex;
+}
+
+/// The service is configured once at construction; normalize the knobs so
+/// the rest of the code never re-checks them, and fold the convenience
+/// tenant-budget map into the provider's GC options (one source of truth:
+/// the store).
+JobServiceOptions Normalize(JobServiceOptions o) {
+  if (o.workers == 0) o.workers = 1;
+  if (o.queue_capacity == 0) o.queue_capacity = 1;
+  if (o.job_nodes < 1) o.job_nodes = 1;
+  if (o.job_threads < 1) o.job_threads = 1;
+  for (const auto& [tenant, budget] : o.tenant_budgets) {
+    o.provider.store_gc.tenant_budgets[tenant] = budget;
+  }
+  return o;
+}
+
+void FillFromRunInfo(const AppRunInfo& info, JobResult* result) {
+  result->supersteps = info.supersteps;
+  result->computations = info.stats.computations;
+  result->skipped = info.stats.skipped;
+  result->updates = info.stats.updates;
+  result->runtime_seconds = info.stats.RuntimeSeconds();
+  result->guidance_acquired = info.guidance_acquired;
+  result->guidance_seconds = info.guidance_seconds;
+  result->guidance_cache_hit = info.guidance_cache_hit;
+  result->guidance_coalesced = info.guidance_coalesced;
+}
+
+}  // namespace
+
+JobService::JobService(JobServiceOptions options)
+    : options_(Normalize(std::move(options))),
+      provider_(options_.provider),
+      queue_(options_.queue_capacity) {
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (options_.maintenance_interval_seconds > 0 &&
+      provider_.store() != nullptr) {
+    maintenance_ = std::thread([this] { MaintenanceLoop(); });
+  }
+}
+
+JobService::~JobService() { Shutdown(); }
+
+Status JobService::RegisterGraph(const std::string& name, Graph graph) {
+  if (name.empty()) return Status::InvalidArgument("graph name is empty");
+  auto shared = std::make_shared<const Graph>(std::move(graph));
+  std::lock_guard<std::mutex> lock(graphs_mu_);
+  if (graphs_.find(name) != graphs_.end()) {
+    // Replacing would silently swap the data under queued/running jobs
+    // that resolved the old graph at submit time.
+    return Status::FailedPrecondition("graph already registered: " + name);
+  }
+  graphs_.emplace(name, std::move(shared));
+  return Status::OK();
+}
+
+bool JobService::HasGraph(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(graphs_mu_);
+  return graphs_.find(name) != graphs_.end();
+}
+
+Result<JobTicket> JobService::Submit(const JobRequest& request) {
+  auto reject = [&](Status status) -> Result<JobTicket> {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+    ++stats_.tenants[request.tenant].jobs_rejected;
+    return status;
+  };
+
+  if (!accepting_.load()) {
+    return reject(Status::FailedPrecondition("service is shutting down"));
+  }
+  bool dist = request.engine == "dist";
+  bool gas = request.engine == "gas";
+  if (!dist && !gas) {
+    return reject(Status::InvalidArgument("unknown engine: " + request.engine));
+  }
+  if ((dist && !IsDistApp(request.app)) || (gas && !IsGasApp(request.app))) {
+    return reject(Status::InvalidArgument("app " + request.app +
+                                          " not available on engine " +
+                                          request.engine));
+  }
+
+  std::shared_ptr<const Graph> graph;
+  {
+    std::lock_guard<std::mutex> lock(graphs_mu_);
+    auto it = graphs_.find(request.graph);
+    if (it != graphs_.end()) graph = it->second;
+  }
+  if (graph == nullptr) {
+    return reject(Status::NotFound("graph not registered: " + request.graph));
+  }
+  if (IsSingleSourceApp(request.app) && request.root >= graph->num_vertices()) {
+    return reject(Status::InvalidArgument("root out of range for graph " +
+                                          request.graph));
+  }
+
+  QueuedJob job;
+  job.request = request;
+  job.graph = std::move(graph);
+  job.ticket = std::make_shared<JobHandle>();
+  job.id = next_job_id_.fetch_add(1);
+
+  GuidanceStore* store = provider_.store();
+  if (store != nullptr && request.enable_rr) {
+    // Pin the graph so no maintenance sweep can evict guidance between
+    // now and the job's completion. The matching Unpin is in WorkerLoop —
+    // every accepted job is executed, even during a drain.
+    store->PinGraph(job.graph->fingerprint());
+  }
+
+  // Count the submission before the push: a worker can pop and finish the
+  // job immediately, and completed must never exceed submitted in a
+  // Stats() snapshot.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+    ++stats_.tenants[request.tenant].jobs_submitted;
+  }
+  JobTicket ticket = job.ticket;
+  uint64_t fingerprint = job.graph->fingerprint();
+  if (!queue_.TryPush(std::move(job))) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      --stats_.submitted;
+      --stats_.tenants[request.tenant].jobs_submitted;
+    }
+    if (store != nullptr && request.enable_rr) store->UnpinGraph(fingerprint);
+    return reject(Status::FailedPrecondition("job queue full"));
+  }
+  if (store != nullptr && request.enable_rr) {
+    // Attribute the graph's store entries to this tenant for the
+    // per-tenant budget phase, only once the job is actually accepted —
+    // a rejected submission must not re-own the graph's storage ("last
+    // ACCEPTED submitter owns it").
+    store->AssignGraphTenant(fingerprint, request.tenant);
+  }
+  return ticket;
+}
+
+void JobService::WorkerLoop() {
+  QueuedJob job;
+  while (queue_.Pop(&job)) {
+    JobResult result = Execute(job);
+
+    GuidanceStore* store = provider_.store();
+    if (store != nullptr && job.request.enable_rr) {
+      store->UnpinGraph(job.graph->fingerprint());
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      TenantStats& tenant = stats_.tenants[job.request.tenant];
+      if (result.status.ok()) {
+        ++stats_.completed;
+        ++tenant.jobs_completed;
+      } else {
+        ++stats_.failed;
+        ++tenant.jobs_failed;
+      }
+      if (result.guidance_acquired) {
+        if (result.guidance_cache_hit || result.guidance_coalesced) {
+          ++tenant.guidance_hits;
+        } else {
+          ++tenant.guidance_misses;
+        }
+        tenant.guidance_bytes += GuidanceBytes(*job.graph);
+        tenant.guidance_seconds += result.guidance_seconds;
+      }
+    }
+
+    job.ticket->Complete(std::move(result));
+    job = QueuedJob{};  // drop the graph reference before blocking in Pop
+  }
+}
+
+JobResult JobService::Execute(const QueuedJob& job) {
+  JobResult result;
+  result.job_id = job.id;
+  result.tenant = job.request.tenant;
+  result.app = job.request.app;
+  result.engine = job.request.engine;
+  result.graph = job.request.graph;
+  if (job.request.engine == "gas") {
+    ExecuteGas(job, &result);
+  } else {
+    ExecuteDist(job, &result);
+  }
+  return result;
+}
+
+void JobService::ExecuteDist(const QueuedJob& job, JobResult* out) {
+  JobResult& result = *out;
+
+  AppConfig cfg;
+  cfg.num_nodes = options_.job_nodes;
+  cfg.threads_per_node = options_.job_threads;
+  cfg.enable_rr = job.request.enable_rr;
+  cfg.max_iters = job.request.max_iters;
+  cfg.root = job.request.root;
+  cfg.guidance_provider = &provider_;
+
+  const Graph& g = *job.graph;
+  const std::string& app = job.request.app;
+  if (app == "sssp") {
+    SsspResult r = RunSssp(g, cfg);
+    FillFromRunInfo(r.info, &result);
+    uint64_t reached = 0;
+    for (float d : r.dist) {
+      if (d < std::numeric_limits<float>::infinity()) ++reached;
+    }
+    result.summary = reached;
+  } else if (app == "bfs") {
+    BfsResult r = RunBfs(g, cfg);
+    FillFromRunInfo(r.info, &result);
+    uint32_t depth = 0;
+    for (uint32_t l : r.levels) {
+      if (l != UINT32_MAX) depth = std::max(depth, l);
+    }
+    result.summary = depth;
+  } else if (app == "cc") {
+    CcResult r = RunCc(g, cfg);
+    FillFromRunInfo(r.info, &result);
+    std::set<uint32_t> components(r.labels.begin(), r.labels.end());
+    result.summary = components.size();
+  } else if (app == "wp") {
+    WpResult r = RunWp(g, cfg);
+    FillFromRunInfo(r.info, &result);
+    uint64_t reachable = 0;
+    for (float w : r.width) {
+      if (w > 0) ++reachable;
+    }
+    result.summary = reachable;
+  } else if (app == "pr") {
+    PrResult r = RunPr(g, cfg);
+    FillFromRunInfo(r.info, &result);
+    result.summary = r.info.ec_vertices;
+  } else if (app == "tr") {
+    TrResult r = RunTr(g, cfg);
+    FillFromRunInfo(r.info, &result);
+    result.summary = r.info.ec_vertices;
+  } else {
+    // Submit validated the app set; reaching here is a service bug.
+    result.status = Status::Internal("unhandled dist app: " + app);
+  }
+}
+
+void JobService::ExecuteGas(const QueuedJob& job, JobResult* out) {
+  JobResult& result = *out;
+
+  const Graph& g = *job.graph;
+  // The service acquires guidance itself (instead of the RunGas*Guided
+  // wrappers) so the acquisition's hit/coalesced accounting lands in the
+  // job result exactly like the dist path.
+  GuidanceAcquisition acquisition;
+  if (job.request.enable_rr) {
+    GuidanceRequest greq;
+    greq.policy = job.request.app == "sssp" ? GuidanceRootPolicy::kSingleSource
+                                            : GuidanceRootPolicy::kLocalMinima;
+    greq.root = job.request.root;
+    acquisition = provider_.Acquire(g, greq);
+    if (acquisition) {
+      result.guidance_acquired = true;
+      result.guidance_seconds = acquisition.acquire_seconds;
+      result.guidance_cache_hit = acquisition.cache_hit;
+      result.guidance_coalesced = acquisition.coalesced;
+    }
+  }
+
+  gas::GasOptions gopt;
+  gopt.num_nodes = options_.job_nodes;
+  gopt.guidance = acquisition.guidance;
+
+  auto fill = [&](const gas::GasStats& stats) {
+    result.supersteps = stats.supersteps;
+    result.computations = stats.computations;
+    result.skipped = stats.skipped;
+    result.updates = stats.updates;
+    result.runtime_seconds = stats.RuntimeSeconds();
+  };
+  if (job.request.app == "sssp") {
+    gas::GasSsspResult r = gas::RunGasSssp(g, job.request.root, gopt);
+    fill(r.stats);
+    uint64_t reached = 0;
+    for (float d : r.dist) {
+      if (d < std::numeric_limits<float>::infinity()) ++reached;
+    }
+    result.summary = reached;
+  } else if (job.request.app == "cc") {
+    gas::GasCcResult r = gas::RunGasCc(g, gopt);
+    fill(r.stats);
+    std::set<uint32_t> components(r.labels.begin(), r.labels.end());
+    result.summary = components.size();
+  } else {
+    result.status = Status::Internal("unhandled gas app: " + job.request.app);
+  }
+}
+
+void JobService::MaintenanceLoop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.maintenance_interval_seconds);
+  std::unique_lock<std::mutex> lock(maintenance_mu_);
+  while (!stopping_.load()) {
+    maintenance_cv_.wait_for(lock, interval,
+                             [&] { return stopping_.load(); });
+    if (stopping_.load()) break;
+    RecordSweep(provider_.store()->Sweep());
+  }
+}
+
+void JobService::RecordSweep(const GuidanceStoreSweepStats& sweep) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.maintenance_sweeps;
+  stats_.sweep_removed +=
+      sweep.ttl_removed + sweep.tenant_removed + sweep.budget_removed;
+  stats_.sweep_pinned_spared += sweep.pinned_spared;
+}
+
+GuidanceStoreSweepStats JobService::SweepNow() {
+  GuidanceStore* store = provider_.store();
+  if (store == nullptr) return {};
+  GuidanceStoreSweepStats sweep = store->Sweep();
+  RecordSweep(sweep);
+  return sweep;
+}
+
+JobServiceStats JobService::Stats() const {
+  JobServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+  }
+  snapshot.provider = provider_.stats();
+  snapshot.cache = provider_.cache_stats();
+  return snapshot;
+}
+
+void JobService::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shut_down_) return;
+  shut_down_ = true;
+
+  // 1. Stop admissions, then let the workers drain everything already
+  //    accepted — Close() keeps queued items poppable.
+  accepting_.store(false);
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+
+  // 2. Stop the maintenance loop (under its mutex so the flag flip cannot
+  //    slip between the loop's predicate check and its wait).
+  {
+    std::lock_guard<std::mutex> mlock(maintenance_mu_);
+    stopping_.store(true);
+  }
+  maintenance_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+
+  // 3. Final sweep: a stopped service leaves its store within budget, and
+  //    with every job drained no pins remain to spare anything.
+  if (options_.final_sweep_on_shutdown && provider_.store() != nullptr) {
+    RecordSweep(provider_.store()->Sweep());
+  }
+}
+
+}  // namespace slfe::service

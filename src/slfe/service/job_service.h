@@ -1,0 +1,253 @@
+#ifndef SLFE_SERVICE_JOB_SERVICE_H_
+#define SLFE_SERVICE_JOB_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "slfe/common/status.h"
+#include "slfe/core/guidance_provider.h"
+#include "slfe/core/guidance_store.h"
+#include "slfe/graph/graph.h"
+#include "slfe/graph/types.h"
+#include "slfe/service/job_queue.h"
+
+namespace slfe::service {
+
+/// One graph-analytics job as a tenant submits it: which application, on
+/// which engine, over which registered graph, for whom. The service — not
+/// the request — decides the cluster shape and the guidance plumbing, so
+/// every job on one graph shares the provider's cache/singleflight and the
+/// paper's §4.4 multi-job amortization happens inside the process.
+struct JobRequest {
+  std::string tenant = "default";
+  /// dist engine: sssp|bfs|cc|wp|pr|tr. gas engine: sssp|cc.
+  std::string app = "sssp";
+  /// "dist" (the simulated-cluster SLFE engine) or "gas" (the
+  /// PowerGraph-style comparator with "start late" guidance).
+  std::string engine = "dist";
+  /// Name previously passed to JobService::RegisterGraph.
+  std::string graph;
+  /// Query root for the single-source apps (sssp/bfs/wp).
+  VertexId root = 0;
+  /// Iteration cap for the arithmetic apps (pr/tr).
+  uint32_t max_iters = 50;
+  /// false = baseline run (no guidance acquisition, no RR).
+  bool enable_rr = true;
+};
+
+/// What a completed (or failed) job reports back to its submitter.
+struct JobResult {
+  Status status;  ///< OK, or why the job could not run
+  uint64_t job_id = 0;
+  std::string tenant;
+  std::string app;
+  std::string engine;
+  std::string graph;
+  uint64_t supersteps = 0;
+  uint64_t computations = 0;
+  uint64_t skipped = 0;  ///< evaluations bypassed by redundancy reduction
+  uint64_t updates = 0;
+  double runtime_seconds = 0;
+  /// Guidance acquisition cost actually paid by THIS job (near-zero on a
+  /// cache hit — the amortization signal).
+  double guidance_seconds = 0;
+  bool guidance_acquired = false;
+  bool guidance_cache_hit = false;
+  bool guidance_coalesced = false;
+  /// App-specific scalar: reached vertices (sssp/wp), max level (bfs),
+  /// distinct components (cc), early-converged vertices (pr/tr).
+  uint64_t summary = 0;
+};
+
+/// Completion handle for one submitted job. Wait() blocks until a worker
+/// finishes the job; handles stay valid after the service shuts down.
+class JobHandle {
+ public:
+  const JobResult& Wait() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+    return result_;
+  }
+
+  bool done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+  }
+
+ private:
+  friend class JobService;
+
+  void Complete(JobResult result) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      result_ = std::move(result);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  JobResult result_;
+};
+
+using JobTicket = std::shared_ptr<JobHandle>;
+
+/// Per-tenant accounting. `guidance_hits` counts jobs served from the
+/// provider's cache OR coalesced onto another job's in-flight sweep (both
+/// are amortized acquisitions that paid no own O(|E|) sweep);
+/// `guidance_misses` counts jobs that paid a generation. `guidance_bytes`
+/// is the guidance payload volume the tenant's jobs acquired (5 bytes per
+/// vertex per acquisition — the same size the store budgets meter).
+struct TenantStats {
+  uint64_t jobs_submitted = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t jobs_failed = 0;
+  uint64_t jobs_rejected = 0;
+  uint64_t guidance_hits = 0;
+  uint64_t guidance_misses = 0;
+  uint64_t guidance_bytes = 0;
+  double guidance_seconds = 0;
+};
+
+/// A consistent snapshot of the service's counters plus the shared
+/// provider/cache counters (one lock acquisition for the service part, so
+/// tenant rows always sum to the totals).
+struct JobServiceStats {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;  ///< queue-full / validation rejections
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t maintenance_sweeps = 0;  ///< sweeps run by the timer + SweepNow
+  uint64_t sweep_removed = 0;       ///< entries GC'd by those sweeps
+  uint64_t sweep_pinned_spared = 0;  ///< victims spared by in-flight pins
+  std::map<std::string, TenantStats> tenants;
+  GuidanceProviderStats provider;
+  GuidanceCacheStats cache;
+};
+
+struct JobServiceOptions {
+  /// Worker threads executing jobs (>= 1).
+  size_t workers = 2;
+  /// Bounded queue depth; submissions beyond it are rejected, not queued.
+  size_t queue_capacity = 64;
+  /// Simulated cluster shape each job runs on (dist engine), and the GAS
+  /// engine's node count.
+  int job_nodes = 2;
+  int job_threads = 1;
+  /// The shared guidance provider's configuration — store_dir + store_gc
+  /// here give the service its persistence and GC policy.
+  GuidanceProviderOptions provider;
+  /// Per-tenant store budgets, merged into provider.store_gc (convenience
+  /// so callers configure the service in one place).
+  std::map<std::string, GuidanceTenantBudget> tenant_budgets;
+  /// > 0 starts the maintenance timer thread: every interval it drives
+  /// GuidanceStore::Sweep() (TTL + tenant + global budgets, pin-aware).
+  /// 0 = no timer; SweepNow() remains available.
+  double maintenance_interval_seconds = 0;
+  /// Run one last Sweep() during Shutdown() so a stopped service leaves
+  /// its store directory within budget.
+  bool final_sweep_on_shutdown = true;
+};
+
+/// The long-lived multi-tenant daemon core: accepts job requests into a
+/// bounded queue, executes them on a worker pool, and routes every
+/// guidance acquisition through ONE shared GuidanceProvider — concurrent
+/// jobs on the same graph coalesce into a single generation
+/// (singleflight), so provider generations == distinct graphs no matter
+/// how many tenants pile on. A maintenance timer thread sweeps the
+/// guidance store on a configurable cadence, enforcing global AND
+/// per-tenant byte/entry budgets; graphs with in-flight jobs are pinned,
+/// so a sweep can never evict guidance a running job is using.
+///
+/// Lifecycle: construct -> RegisterGraph() -> Submit()/Wait() ->
+/// Shutdown() (stop admissions, drain the queue, final sweep, join).
+/// Thread-safe throughout; Submit never blocks (a full queue rejects).
+class JobService {
+ public:
+  explicit JobService(JobServiceOptions options = {});
+  /// Implies Shutdown() (graceful: drains accepted jobs first).
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Makes `graph` submittable under `name`. Graphs are immutable and
+  /// shared by reference across all jobs; a duplicate name is rejected
+  /// (re-registering would silently change running jobs' data).
+  Status RegisterGraph(const std::string& name, Graph graph);
+  bool HasGraph(const std::string& name) const;
+
+  /// Validates and enqueues one job. Returns the completion ticket, or:
+  /// kFailedPrecondition when the service is shutting down or the queue
+  /// is full (retryable backpressure), kNotFound for an unregistered
+  /// graph, kInvalidArgument for an unknown app/engine combination or an
+  /// out-of-range root.
+  Result<JobTicket> Submit(const JobRequest& request);
+
+  JobServiceStats Stats() const;
+
+  /// The shared provider all jobs acquire guidance through.
+  GuidanceProvider& provider() { return provider_; }
+
+  /// Runs one maintenance sweep immediately (independent of the timer).
+  /// No-op zero stats when the provider has no store.
+  GuidanceStoreSweepStats SweepNow();
+
+  /// Graceful shutdown: reject new submissions, drain every already
+  /// accepted job, stop the maintenance loop, run the final sweep.
+  /// Idempotent; blocks until the workers have exited.
+  void Shutdown();
+
+  bool accepting() const { return accepting_.load(); }
+  size_t queued() const { return queue_.size(); }
+
+ private:
+  struct QueuedJob {
+    JobRequest request;
+    std::shared_ptr<const Graph> graph;
+    JobTicket ticket;
+    uint64_t id = 0;
+  };
+
+  void WorkerLoop();
+  void MaintenanceLoop();
+  JobResult Execute(const QueuedJob& job);
+  void ExecuteDist(const QueuedJob& job, JobResult* out);
+  void ExecuteGas(const QueuedJob& job, JobResult* out);
+  void RecordSweep(const GuidanceStoreSweepStats& sweep);
+
+  JobServiceOptions options_;
+  GuidanceProvider provider_;
+  JobQueue<QueuedJob> queue_;
+
+  mutable std::mutex graphs_mu_;
+  std::map<std::string, std::shared_ptr<const Graph>> graphs_;
+
+  mutable std::mutex stats_mu_;
+  JobServiceStats stats_;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_job_id_{1};
+
+  std::mutex maintenance_mu_;
+  std::condition_variable maintenance_cv_;
+
+  std::vector<std::thread> workers_;
+  std::thread maintenance_;
+  std::mutex shutdown_mu_;  // serializes Shutdown callers
+  bool shut_down_ = false;
+};
+
+}  // namespace slfe::service
+
+#endif  // SLFE_SERVICE_JOB_SERVICE_H_

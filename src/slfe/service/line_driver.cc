@@ -1,0 +1,211 @@
+#include "slfe/service/line_driver.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "slfe/graph/generators.h"
+
+namespace slfe::service {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// Registers `name` as a dataset alias on first use, so a job file can
+/// reference the paper suite without a registration preamble.
+Status EnsureGraph(JobService& service, const std::string& name,
+                   uint32_t scale_divisor) {
+  if (service.HasGraph(name)) return Status::OK();
+  Result<DatasetSpec> spec = FindDataset(name);
+  if (!spec.ok()) return spec.status();
+  EdgeList edges = MakeDataset(spec.value(), scale_divisor);
+  return service.RegisterGraph(name, Graph::FromEdges(edges));
+}
+
+void PrintResult(std::FILE* out, const JobResult& r) {
+  const char* served = "none";
+  if (r.guidance_acquired) {
+    served = r.guidance_cache_hit ? "cache"
+             : r.guidance_coalesced ? "coalesced"
+                                    : "generate";
+  }
+  std::fprintf(out,
+               "job %llu tenant=%s app=%s engine=%s graph=%s status=%s "
+               "supersteps=%llu skipped=%llu runtime=%.4fs guidance=%.4fs "
+               "served=%s summary=%llu\n",
+               static_cast<unsigned long long>(r.job_id), r.tenant.c_str(),
+               r.app.c_str(), r.engine.c_str(), r.graph.c_str(),
+               r.status.ok() ? "ok" : r.status.ToString().c_str(),
+               static_cast<unsigned long long>(r.supersteps),
+               static_cast<unsigned long long>(r.skipped), r.runtime_seconds,
+               r.guidance_seconds, served,
+               static_cast<unsigned long long>(r.summary));
+}
+
+void PrintStats(std::FILE* out, const JobServiceStats& stats) {
+  std::fprintf(out,
+               "service: submitted=%llu completed=%llu failed=%llu "
+               "rejected=%llu sweeps=%llu gc_removed=%llu pinned_spared=%llu\n",
+               static_cast<unsigned long long>(stats.submitted),
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.failed),
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.maintenance_sweeps),
+               static_cast<unsigned long long>(stats.sweep_removed),
+               static_cast<unsigned long long>(stats.sweep_pinned_spared));
+  std::fprintf(out,
+               "guidance: generations=%llu coalesced=%llu cache_hits=%llu "
+               "store_hits=%llu\n",
+               static_cast<unsigned long long>(stats.provider.generations),
+               static_cast<unsigned long long>(stats.provider.coalesced),
+               static_cast<unsigned long long>(stats.cache.hits),
+               static_cast<unsigned long long>(stats.cache.store_hits));
+  for (const auto& [tenant, t] : stats.tenants) {
+    std::fprintf(out,
+                 "tenant %s: jobs=%llu/%llu failed=%llu rejected=%llu "
+                 "guidance hits=%llu misses=%llu bytes=%llu acquire=%.4fs\n",
+                 tenant.c_str(),
+                 static_cast<unsigned long long>(t.jobs_completed),
+                 static_cast<unsigned long long>(t.jobs_submitted),
+                 static_cast<unsigned long long>(t.jobs_failed),
+                 static_cast<unsigned long long>(t.jobs_rejected),
+                 static_cast<unsigned long long>(t.guidance_hits),
+                 static_cast<unsigned long long>(t.guidance_misses),
+                 static_cast<unsigned long long>(t.guidance_bytes),
+                 t.guidance_seconds);
+  }
+}
+
+/// Reads one whole newline-terminated line of any length (false at EOF
+/// with nothing read). A fixed fgets buffer would split a long line into
+/// two "commands" and run a silently truncated submit.
+bool ReadLine(std::FILE* in, std::string* line) {
+  line->clear();
+  char chunk[256];
+  while (std::fgets(chunk, sizeof(chunk), in) != nullptr) {
+    line->append(chunk);
+    if (!line->empty() && line->back() == '\n') return true;
+  }
+  return !line->empty();
+}
+
+}  // namespace
+
+int RunLineDriver(JobService& service, std::FILE* in, std::FILE* out,
+                  const LineDriverOptions& options) {
+  std::vector<JobTicket> outstanding;
+  bool any_error = false;
+
+  auto drain = [&] {
+    for (const JobTicket& ticket : outstanding) {
+      const JobResult& result = ticket->Wait();
+      if (!result.status.ok()) any_error = true;
+      PrintResult(out, result);
+    }
+    outstanding.clear();
+  };
+
+  std::string line;
+  while (ReadLine(in, &line)) {
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    const std::string& command = tokens[0];
+
+    if (command == "quit") break;
+
+    if (command == "wait") {
+      drain();
+      continue;
+    }
+    if (command == "stats") {
+      PrintStats(out, service.Stats());
+      continue;
+    }
+    if (command == "sweep") {
+      GuidanceStoreSweepStats sweep = service.SweepNow();
+      std::fprintf(out,
+                   "sweep: scanned=%llu ttl=%llu tenant=%llu budget=%llu "
+                   "pinned_spared=%llu remaining=%llu\n",
+                   static_cast<unsigned long long>(sweep.scanned),
+                   static_cast<unsigned long long>(sweep.ttl_removed),
+                   static_cast<unsigned long long>(sweep.tenant_removed),
+                   static_cast<unsigned long long>(sweep.budget_removed),
+                   static_cast<unsigned long long>(sweep.pinned_spared),
+                   static_cast<unsigned long long>(sweep.remaining_entries));
+      continue;
+    }
+    if (command == "submit" && tokens.size() >= 4) {
+      JobRequest request;
+      request.tenant = tokens[1];
+      request.app = tokens[2];
+      request.graph = tokens[3];
+      for (size_t i = 4; i < tokens.size(); ++i) {
+        const std::string& t = tokens[i];
+        if (t == "gas" || t == "dist") {
+          request.engine = t;
+        } else if (t == "norr") {
+          request.enable_rr = false;
+        } else if (!t.empty() &&
+                   t.find_first_not_of("0123456789") == std::string::npos) {
+          request.root = static_cast<VertexId>(std::strtoul(t.c_str(),
+                                                            nullptr, 10));
+        } else {
+          std::fprintf(out, "reject: bad submit token '%s'\n", t.c_str());
+          any_error = true;
+          request.app.clear();  // poison so the submit below is skipped
+          break;
+        }
+      }
+      if (request.app.empty()) continue;
+      Status registered =
+          EnsureGraph(service, request.graph, options.scale_divisor);
+      if (!registered.ok()) {
+        std::fprintf(out, "reject: %s\n", registered.ToString().c_str());
+        any_error = true;
+        continue;
+      }
+      Result<JobTicket> ticket = service.Submit(request);
+      if (!ticket.ok()) {
+        std::fprintf(out, "reject: %s\n",
+                     ticket.status().ToString().c_str());
+        any_error = true;
+        continue;
+      }
+      if (options.echo) {
+        std::fprintf(out, "queued tenant=%s app=%s graph=%s (depth=%zu)\n",
+                     request.tenant.c_str(), request.app.c_str(),
+                     request.graph.c_str(), service.queued());
+      }
+      outstanding.push_back(std::move(ticket).value());
+      continue;
+    }
+
+    std::fprintf(out, "reject: unrecognized line: %s", line.c_str());
+    any_error = true;
+  }
+
+  drain();
+  service.Shutdown();
+  PrintStats(out, service.Stats());
+  return any_error ? 1 : 0;
+}
+
+}  // namespace slfe::service

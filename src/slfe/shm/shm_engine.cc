@@ -6,8 +6,20 @@
 
 #include "slfe/common/direction.h"
 #include "slfe/engine/atomic_ops.h"
+#include "slfe/engine/dist_graph.h"
 
 namespace slfe::shm {
+
+ShmEngine::ShmEngine(const Graph& graph, size_t num_threads)
+    : graph_(graph),
+      pool_(num_threads),
+      // One contiguous vertex range per worker, cut exactly where
+      // DistGraph::Build (and the partition-aware guidance sweep) would
+      // cut them — edge-balanced, so both EdgeMap directions stay
+      // load-balanced and every layer pins the same slice to the same
+      // worker.
+      ranges_(DistGraph::BuildRanges(graph,
+                                     static_cast<int>(pool_.num_threads()))) {}
 
 Bitmap ShmEngine::EdgeMap(const Bitmap& frontier, const UpdateFn& update,
                           const CondFn& cond, ShmStats* stats) {
@@ -25,11 +37,10 @@ Bitmap ShmEngine::EdgeMap(const Bitmap& frontier, const UpdateFn& update,
 
   if (dense) {
     // Pull: for each destination still satisfying cond, scan in-edges of
-    // frontier sources.
+    // frontier sources. Worker w owns exactly its DistGraph range.
     const Csr& in = graph_.in();
-    pool_.ParallelFor(0, n, [&](size_t w, size_t lo, size_t hi) {
-      for (size_t dv = lo; dv < hi; ++dv) {
-        VertexId dst = static_cast<VertexId>(dv);
+    pool_.ParallelRun([&](size_t w) {
+      for (VertexId dst = ranges_[w].begin; dst < ranges_[w].end; ++dst) {
         if (cond && !cond(dst)) continue;
         for (EdgeId e = in.begin(dst); e < in.end(dst); ++e) {
           VertexId src = in.neighbor(e);
@@ -43,11 +54,10 @@ Bitmap ShmEngine::EdgeMap(const Bitmap& frontier, const UpdateFn& update,
       }
     });
   } else {
-    // Push: scan out-edges of frontier vertices.
+    // Push: scan out-edges of frontier vertices owned by this worker.
     const Csr& out = graph_.out();
-    pool_.ParallelFor(0, n, [&](size_t w, size_t lo, size_t hi) {
-      for (size_t sv = lo; sv < hi; ++sv) {
-        VertexId src = static_cast<VertexId>(sv);
+    pool_.ParallelRun([&](size_t w) {
+      for (VertexId src = ranges_[w].begin; src < ranges_[w].end; ++src) {
         if (!frontier.TestBit(src)) continue;
         for (EdgeId e = out.begin(src); e < out.end(src); ++e) {
           VertexId dst = out.neighbor(e);
@@ -71,12 +81,11 @@ Bitmap ShmEngine::EdgeMap(const Bitmap& frontier, const UpdateFn& update,
 
 void ShmEngine::VertexMap(const Bitmap& frontier,
                           const std::function<void(VertexId)>& fn) {
-  pool_.ParallelFor(0, graph_.num_vertices(),
-                    [&](size_t, size_t lo, size_t hi) {
-                      for (size_t v = lo; v < hi; ++v) {
-                        if (frontier.TestBit(v)) fn(static_cast<VertexId>(v));
-                      }
-                    });
+  pool_.ParallelRun([&](size_t w) {
+    for (VertexId v = ranges_[w].begin; v < ranges_[w].end; ++v) {
+      if (frontier.TestBit(v)) fn(v);
+    }
+  });
 }
 
 ShmStats ShmSssp(const Graph& graph, VertexId root, size_t num_threads,

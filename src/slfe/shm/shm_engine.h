@@ -9,6 +9,7 @@
 #include "slfe/common/thread_pool.h"
 #include "slfe/common/timer.h"
 #include "slfe/graph/graph.h"
+#include "slfe/graph/partitioner.h"
 
 namespace slfe::shm {
 
@@ -34,8 +35,12 @@ class ShmEngine {
   /// "not yet visited" shortcut).
   using CondFn = std::function<bool(VertexId)>;
 
-  ShmEngine(const Graph& graph, size_t num_threads)
-      : graph_(graph), pool_(num_threads) {}
+  /// Per-thread vertex ownership uses the same edge-balanced contiguous
+  /// ranges DistGraph::Build cuts for a cluster of num_threads nodes, so
+  /// engine execution and the partition-aware guidance sweep
+  /// (RRGuidance::GeneratePartitioned) pin identical slices — a worker
+  /// that preprocessed a range also executes it.
+  ShmEngine(const Graph& graph, size_t num_threads);
 
   /// One edgeMap step: applies `update` across the frontier's edges and
   /// returns the next frontier. Chooses pull when the frontier's out-edge
@@ -50,9 +55,15 @@ class ShmEngine {
   const Graph& graph() const { return graph_; }
   ThreadPool& pool() { return pool_; }
 
+  /// The per-worker vertex ranges (one per pool thread) — exactly
+  /// DistGraph::BuildRanges(graph, num_threads), exported so callers can
+  /// assert the engine and the guidance generator slice identically.
+  const std::vector<VertexRange>& ranges() const { return ranges_; }
+
  private:
   const Graph& graph_;
   ThreadPool pool_;
+  std::vector<VertexRange> ranges_;
 };
 
 /// Ligra-style application runs (Fig. 6 comparisons).

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "slfe/apps/reference.h"
+#include "slfe/engine/dist_graph.h"
 #include "slfe/gas/gas_apps.h"
 #include "slfe/graph/generators.h"
 #include "slfe/ooc/ooc_engine.h"
@@ -211,6 +212,29 @@ TEST_P(ShmThreadsTest, PrMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, ShmThreadsTest,
                          ::testing::Values(1, 2, 4));
+
+TEST(ShmEngineTest, RangesMatchDistGraphBuildRanges) {
+  // Preprocessing/execution pinning (ROADMAP "extend the partition-aware
+  // path end-to-end"): the engine's per-worker slices must be the exact
+  // ranges DistGraph::BuildRanges cuts — the same ones the partitioned
+  // guidance generator sweeps — so a vertex is always handled by the
+  // worker that owns its range in both phases.
+  Graph g = WeightedRmat(300, 2400, 11);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    shm::ShmEngine engine(g, threads);
+    std::vector<VertexRange> want =
+        DistGraph::BuildRanges(g, static_cast<int>(threads));
+    ASSERT_EQ(engine.ranges().size(), want.size()) << threads;
+    ASSERT_EQ(want.size(), threads);
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(engine.ranges()[i].begin, want[i].begin);
+      EXPECT_EQ(engine.ranges()[i].end, want[i].end);
+    }
+    // The ranges tile [0, |V|) exactly.
+    EXPECT_EQ(engine.ranges().front().begin, 0u);
+    EXPECT_EQ(engine.ranges().back().end, g.num_vertices());
+  }
+}
 
 TEST(ShmEngineTest, DirectionOptimizationUsesBothModes) {
   // BFS-like frontier growth on a grid should start sparse (push) and the

@@ -290,6 +290,142 @@ TEST(GuidanceStoreGcTest, StatsAccumulateAcrossSweeps) {
 // must stay consistent with each other.
 // ---------------------------------------------------------------------------
 
+TEST(GuidanceStoreGcTest, TenantBudgetsEvictOnlyThatTenant) {
+  // Two tenants over budget, one under, one unattributed: phase 2 must
+  // trim exactly the over-budget tenants' stalest entries and leave
+  // everyone else alone (the JobService maintenance-loop contract).
+  GuidanceStoreGcOptions gc;
+  gc.sweep_on_construction = false;
+  gc.tenant_budgets["alpha"] = GuidanceTenantBudget{0, 1};  // keep 1 entry
+  gc.tenant_budgets["beta"] = GuidanceTenantBudget{0, 2};   // keep 2
+  Graph a = Graph::FromEdges(GenerateChain(20));
+  Graph b = Graph::FromEdges(GenerateChain(30));
+  Graph c = Graph::FromEdges(GenerateChain(40));
+  GuidanceStore store(StoreDir("slfe_gc_tenant"), gc);
+  ASSERT_TRUE(store.RemoveAll().ok());
+  store.AssignGraphTenant(a.fingerprint(), "alpha");
+  store.AssignGraphTenant(b.fingerprint(), "beta");
+  // c stays unattributed.
+
+  auto save = [&](const Graph& g, VertexId root,
+                  double age) -> GuidanceKey {
+    std::vector<VertexId> roots = {root};
+    GuidanceKey key = GuidanceCache::MakeKey(g.fingerprint(), roots);
+    EXPECT_TRUE(store.Save(key, RRGuidance::GenerateSerial(g, roots)).ok());
+    SetAge(store.EntryPath(key), age);
+    return key;
+  };
+  // alpha: 3 entries (keep newest = a2); beta: 3 (keep a[1],a[2]); c: 1.
+  GuidanceKey a0 = save(a, 0, 300), a1 = save(a, 1, 200), a2 = save(a, 2, 100);
+  GuidanceKey b0 = save(b, 0, 300), b1 = save(b, 1, 200), b2 = save(b, 2, 100);
+  GuidanceKey c0 = save(c, 0, 1000);  // ancient, but nobody budgets it
+
+  GuidanceStoreSweepStats sweep = store.Sweep();
+  EXPECT_EQ(sweep.scanned, 7u);
+  EXPECT_EQ(sweep.ttl_removed, 0u);
+  EXPECT_EQ(sweep.tenant_removed, 3u);  // 2 from alpha + 1 from beta
+  EXPECT_EQ(sweep.budget_removed, 0u);
+  EXPECT_EQ(sweep.remaining_entries, 4u);
+  EXPECT_FALSE(store.Contains(a0));
+  EXPECT_FALSE(store.Contains(a1));
+  EXPECT_TRUE(store.Contains(a2));
+  EXPECT_FALSE(store.Contains(b0));
+  EXPECT_TRUE(store.Contains(b1));
+  EXPECT_TRUE(store.Contains(b2));
+  EXPECT_TRUE(store.Contains(c0));
+}
+
+TEST(GuidanceStoreGcTest, TenantByteBudgetAndRuntimeSetters) {
+  // SetTenantBudget after construction (the JobService reconfiguration
+  // path) and byte-denominated budgets: 20-vertex entries are 156 bytes,
+  // so a 320-byte budget keeps exactly the two newest.
+  Graph g = Graph::FromEdges(GenerateChain(20));
+  GuidanceStore store(StoreDir("slfe_gc_tenant_bytes"),
+                      GuidanceStoreGcOptions{});
+  ASSERT_TRUE(store.RemoveAll().ok());
+  store.AssignGraphTenant(g.fingerprint(), "gamma");
+  EXPECT_EQ(store.GraphTenant(g.fingerprint()), "gamma");
+  store.SetTenantBudget("gamma", GuidanceTenantBudget{320, 0});
+
+  std::vector<GuidanceKey> keys;
+  for (VertexId r = 0; r < 4; ++r) {
+    std::vector<VertexId> roots = {r};
+    GuidanceKey key = GuidanceCache::MakeKey(g.fingerprint(), roots);
+    ASSERT_TRUE(
+        store.Save(key, RRGuidance::GenerateSerial(g, roots)).ok());
+    SetAge(store.EntryPath(key), 400 - 100 * r);  // r=3 newest
+    keys.push_back(key);
+  }
+  GuidanceStoreSweepStats sweep = store.Sweep();
+  EXPECT_EQ(sweep.tenant_removed, 2u);
+  EXPECT_FALSE(store.Contains(keys[0]));
+  EXPECT_FALSE(store.Contains(keys[1]));
+  EXPECT_TRUE(store.Contains(keys[2]));
+  EXPECT_TRUE(store.Contains(keys[3]));
+
+  // Clearing the budget (no limits) makes the next sweep a no-op.
+  store.SetTenantBudget("gamma", GuidanceTenantBudget{});
+  sweep = store.Sweep();
+  EXPECT_EQ(sweep.tenant_removed, 0u);
+  EXPECT_EQ(sweep.remaining_entries, 2u);
+}
+
+TEST(GuidanceStoreGcTest, PinnedGraphSurvivesEveryPhase) {
+  // The in-flight protection: a pinned graph's entries are immune to TTL,
+  // tenant, and global budget phases; each spared would-be victim is
+  // reported; unpinning re-exposes them.
+  GuidanceStoreGcOptions gc;
+  gc.sweep_on_construction = false;
+  gc.ttl_seconds = 50;
+  gc.max_entries = 1;
+  gc.tenant_budgets["alpha"] = GuidanceTenantBudget{0, 1};
+  Graph a = Graph::FromEdges(GenerateChain(20));
+  Graph b = Graph::FromEdges(GenerateChain(30));
+  GuidanceStore store(StoreDir("slfe_gc_pin"), gc);
+  ASSERT_TRUE(store.RemoveAll().ok());
+  store.AssignGraphTenant(a.fingerprint(), "alpha");
+
+  auto save = [&](const Graph& g, VertexId root, double age) -> GuidanceKey {
+    std::vector<VertexId> roots = {root};
+    GuidanceKey key = GuidanceCache::MakeKey(g.fingerprint(), roots);
+    EXPECT_TRUE(store.Save(key, RRGuidance::GenerateSerial(g, roots)).ok());
+    SetAge(store.EntryPath(key), age);
+    return key;
+  };
+  // All of a's entries are TTL-expired AND over both budgets; b's single
+  // entry is expired and unpinned.
+  GuidanceKey a0 = save(a, 0, 400), a1 = save(a, 1, 300), a2 = save(a, 2, 200);
+  GuidanceKey b0 = save(b, 0, 1000);
+
+  store.PinGraph(a.fingerprint());
+  EXPECT_EQ(store.pinned_graphs(), 1u);
+  GuidanceStoreSweepStats sweep = store.Sweep();
+  // b0 went to TTL; every a-entry was spared in the TTL phase, then the
+  // tenant and global phases spared them again.
+  EXPECT_EQ(sweep.ttl_removed, 1u);
+  EXPECT_EQ(sweep.tenant_removed, 0u);
+  EXPECT_EQ(sweep.budget_removed, 0u);
+  EXPECT_GE(sweep.pinned_spared, 3u);
+  EXPECT_EQ(sweep.remaining_entries, 3u);
+  EXPECT_TRUE(store.Contains(a0));
+  EXPECT_TRUE(store.Contains(a1));
+  EXPECT_TRUE(store.Contains(a2));
+  EXPECT_FALSE(store.Contains(b0));
+
+  // Refcounted: one pin still held -> still protected.
+  store.PinGraph(a.fingerprint());
+  store.UnpinGraph(a.fingerprint());
+  sweep = store.Sweep();
+  EXPECT_EQ(sweep.remaining_entries, 3u);
+
+  // Fully unpinned: TTL finally claims all three.
+  store.UnpinGraph(a.fingerprint());
+  EXPECT_EQ(store.pinned_graphs(), 0u);
+  sweep = store.Sweep();
+  EXPECT_EQ(sweep.ttl_removed, 3u);
+  EXPECT_EQ(sweep.remaining_entries, 0u);
+}
+
 TEST(GuidanceStoreGcConcurrencyTest, HammerTwoGraphsWhileSweeping) {
   constexpr size_t kThreads = 8;
   constexpr int kItersGentle = 25;

@@ -1,0 +1,434 @@
+// Tests for the multi-tenant guidance job service: the bounded queue, the
+// shared-provider amortization (N tenants x M jobs on K graphs must pay
+// exactly K generations), per-tenant accounting that sums to the totals,
+// per-tenant store budgets enforced by the maintenance loop, in-flight
+// pinning, and the graceful-shutdown drain.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "slfe/core/guidance_cache.h"
+#include "slfe/graph/generators.h"
+#include "slfe/service/job_queue.h"
+#include "slfe/service/job_service.h"
+
+namespace slfe::service {
+namespace {
+
+Graph Rmat(VertexId n, EdgeId m, uint64_t seed) {
+  RmatOptions opt;
+  opt.num_vertices = n;
+  opt.num_edges = m;
+  opt.weighted = true;
+  opt.seed = seed;
+  EdgeList e = GenerateRmat(opt);
+  e.Deduplicate();
+  return Graph::FromEdges(e);
+}
+
+std::string StoreDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + name;
+  GuidanceStore wipe(dir);  // create + drop leftovers from previous runs
+  wipe.RemoveAll();
+  return dir;
+}
+
+// ------------------------------------------------------------- JobQueue
+
+TEST(JobQueueTest, BoundedFifoRejectsWhenFull) {
+  JobQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full: reject, never block
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);  // FIFO
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(JobQueueTest, CloseDrainsThenSignalsExit) {
+  JobQueue<int> queue(8);
+  ASSERT_TRUE(queue.TryPush(7));
+  ASSERT_TRUE(queue.TryPush(8));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(9));  // no admissions after close
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));  // ...but queued items drain
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(queue.Pop(&out));  // closed + empty = consumer exit
+}
+
+TEST(JobQueueTest, CloseWakesBlockedConsumer) {
+  JobQueue<int> queue(4);
+  std::atomic<bool> exited{false};
+  std::thread consumer([&] {
+    int out;
+    while (queue.Pop(&out)) {
+    }
+    exited.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(exited.load());
+}
+
+// ----------------------------------------------------------- JobService
+
+TEST(JobServiceTest, ValidatesRequestsAndCountsRejections) {
+  JobService service;
+  ASSERT_TRUE(service.RegisterGraph("g", Rmat(200, 1500, 5)).ok());
+  EXPECT_TRUE(service.HasGraph("g"));
+  EXPECT_FALSE(service.HasGraph("nope"));
+  // Re-registering would swap data under queued jobs.
+  EXPECT_EQ(service.RegisterGraph("g", Rmat(100, 700, 6)).code(),
+            StatusCode::kFailedPrecondition);
+
+  JobRequest request;
+  request.graph = "nope";
+  EXPECT_EQ(service.Submit(request).status().code(), StatusCode::kNotFound);
+  request.graph = "g";
+  request.engine = "quantum";
+  EXPECT_EQ(service.Submit(request).status().code(),
+            StatusCode::kInvalidArgument);
+  request.engine = "gas";
+  request.app = "pr";  // gas supports sssp/cc only
+  EXPECT_EQ(service.Submit(request).status().code(),
+            StatusCode::kInvalidArgument);
+  request.engine = "dist";
+  request.app = "sssp";
+  request.root = 100000;  // out of range
+  EXPECT_EQ(service.Submit(request).status().code(),
+            StatusCode::kInvalidArgument);
+
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.rejected, 4u);
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.tenants.at("default").jobs_rejected, 4u);
+}
+
+TEST(JobServiceTest, RunsEveryAppOnBothEngines) {
+  JobService service;
+  ASSERT_TRUE(service.RegisterGraph("g", Rmat(300, 2400, 7)).ok());
+  const char* dist_apps[] = {"sssp", "bfs", "cc", "wp", "pr", "tr"};
+  std::vector<JobTicket> tickets;
+  for (const char* app : dist_apps) {
+    JobRequest request;
+    request.app = app;
+    request.graph = "g";
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok()) << app;
+    tickets.push_back(std::move(ticket).value());
+  }
+  for (const char* app : {"sssp", "cc"}) {
+    JobRequest request;
+    request.app = app;
+    request.engine = "gas";
+    request.graph = "g";
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok()) << "gas " << app;
+    tickets.push_back(std::move(ticket).value());
+  }
+  for (const JobTicket& ticket : tickets) {
+    const JobResult& result = ticket->Wait();
+    EXPECT_TRUE(result.status.ok())
+        << result.engine << "/" << result.app << ": "
+        << result.status.ToString();
+    EXPECT_GT(result.supersteps, 0u);
+  }
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, tickets.size());
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(JobServiceTest, BaselineJobsSkipGuidanceEntirely) {
+  JobService service;
+  ASSERT_TRUE(service.RegisterGraph("g", Rmat(200, 1500, 8)).ok());
+  JobRequest request;
+  request.graph = "g";
+  request.enable_rr = false;
+  auto ticket = service.Submit(request);
+  ASSERT_TRUE(ticket.ok());
+  const JobResult& result = ticket.value()->Wait();
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_FALSE(result.guidance_acquired);
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.provider.generations, 0u);
+  EXPECT_EQ(stats.tenants.at("default").guidance_hits, 0u);
+  EXPECT_EQ(stats.tenants.at("default").guidance_misses, 0u);
+}
+
+// The tentpole acceptance test: N tenants x M jobs on K graphs, submitted
+// from concurrent threads, must coalesce to exactly K generations
+// (singleflight + cache inside ONE shared provider), and the per-tenant
+// counters must sum to the service totals.
+TEST(JobServiceTest, MultiTenantConcurrentJobsAmortizeToOneGenerationPerGraph) {
+  constexpr int kTenants = 4;
+  constexpr int kJobsPerTenantPerGraph = 3;
+  constexpr int kGraphs = 3;
+
+  JobServiceOptions options;
+  options.workers = 4;
+  options.queue_capacity = 256;
+  JobService service(options);
+  std::vector<std::string> names;
+  for (int g = 0; g < kGraphs; ++g) {
+    names.push_back("g" + std::to_string(g));
+    ASSERT_TRUE(
+        service
+            .RegisterGraph(names.back(),
+                           Rmat(200 + 50 * g, 1500 + 300 * g, 20 + g))
+            .ok());
+  }
+
+  std::vector<std::vector<JobTicket>> tickets(kTenants);
+  std::vector<std::thread> submitters;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kTenants; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerTenantPerGraph; ++j) {
+        for (const std::string& name : names) {
+          JobRequest request;
+          request.tenant = "tenant" + std::to_string(t);
+          request.app = "sssp";
+          request.graph = name;
+          request.root = 0;
+          auto ticket = service.Submit(request);
+          if (!ticket.ok()) {
+            ++failures;
+            continue;
+          }
+          tickets[t].push_back(std::move(ticket).value());
+        }
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  size_t total_jobs = 0;
+  for (const auto& per_tenant : tickets) {
+    for (const JobTicket& ticket : per_tenant) {
+      const JobResult& result = ticket->Wait();
+      EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+      EXPECT_TRUE(result.guidance_acquired);
+      ++total_jobs;
+    }
+  }
+  EXPECT_EQ(total_jobs,
+            static_cast<size_t>(kTenants * kJobsPerTenantPerGraph * kGraphs));
+
+  JobServiceStats stats = service.Stats();
+  // THE amortization claim: one O(|E|) sweep per distinct graph, no
+  // matter how many tenants and jobs piled on concurrently.
+  EXPECT_EQ(stats.provider.generations, static_cast<uint64_t>(kGraphs));
+  EXPECT_EQ(stats.completed, total_jobs);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.submitted, total_jobs);
+
+  uint64_t tenant_jobs = 0, tenant_hits = 0, tenant_misses = 0;
+  uint64_t tenant_bytes = 0;
+  for (const auto& [name, tenant] : stats.tenants) {
+    EXPECT_EQ(tenant.jobs_submitted, tenant.jobs_completed) << name;
+    EXPECT_EQ(tenant.jobs_failed, 0u) << name;
+    tenant_jobs += tenant.jobs_completed;
+    tenant_hits += tenant.guidance_hits;
+    tenant_misses += tenant.guidance_misses;
+    tenant_bytes += tenant.guidance_bytes;
+  }
+  EXPECT_EQ(tenant_jobs, stats.completed);
+  // Every job acquired guidance; the misses are exactly the generation
+  // leaders, everything else rode the cache or a flight.
+  EXPECT_EQ(tenant_hits + tenant_misses, total_jobs);
+  EXPECT_EQ(tenant_misses, stats.provider.generations);
+  EXPECT_GT(tenant_bytes, 0u);
+}
+
+TEST(JobServiceTest, MaintenanceLoopEnforcesPerTenantBudgets) {
+  // Two tenants over their store budgets, one unbudgeted: after the jobs
+  // drain, the maintenance loop's sweep must trim alpha to 1 entry and
+  // beta to 2 while gamma keeps everything (the ISSUE acceptance bar).
+  JobServiceOptions options;
+  options.workers = 2;
+  options.provider.store_dir = StoreDir("slfe_service_budgets");
+  options.tenant_budgets["alpha"] = GuidanceTenantBudget{0, 1};
+  options.tenant_budgets["beta"] = GuidanceTenantBudget{0, 2};
+  options.maintenance_interval_seconds = 0.005;
+  JobService service(options);
+
+  // Distinct graphs -> distinct store entries, attributed per tenant.
+  struct TenantGraphs {
+    std::string tenant;
+    std::vector<std::string> graphs;
+  };
+  std::vector<TenantGraphs> plan = {
+      {"alpha", {"a0", "a1", "a2"}},
+      {"beta", {"b0", "b1", "b2"}},
+      {"gamma", {"c0", "c1", "c2"}},
+  };
+  uint64_t seed = 40;
+  std::vector<JobTicket> tickets;
+  for (const TenantGraphs& tg : plan) {
+    for (const std::string& name : tg.graphs) {
+      ASSERT_TRUE(service.RegisterGraph(name, Rmat(150, 1000, ++seed)).ok());
+      JobRequest request;
+      request.tenant = tg.tenant;
+      request.app = "sssp";
+      request.graph = name;
+      auto ticket = service.Submit(request);
+      ASSERT_TRUE(ticket.ok());
+      tickets.push_back(std::move(ticket).value());
+    }
+  }
+  for (const JobTicket& ticket : tickets) {
+    ASSERT_TRUE(ticket->Wait().status.ok());
+  }
+
+  // All jobs finished -> their graphs are unpinned; the maintenance timer
+  // (5ms cadence) must bring both over-budget tenants within budget.
+  GuidanceStore* store = service.provider().store();
+  ASSERT_NE(store, nullptr);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  GuidanceStoreSweepStats last{};
+  while (std::chrono::steady_clock::now() < deadline) {
+    last = service.SweepNow();
+    if (last.remaining_entries == 1 + 2 + 3) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(last.remaining_entries, 6u);  // alpha 1 + beta 2 + gamma 3
+  JobServiceStats stats = service.Stats();
+  EXPECT_GT(stats.maintenance_sweeps, 0u);
+  EXPECT_GE(stats.sweep_removed, 3u);  // 2 alpha + 1 beta
+
+  service.Shutdown();
+}
+
+TEST(JobServiceTest, MidRunSweepNeverEvictsInFlightGuidance) {
+  // Aggressive budgets that would evict EVERYTHING (1 byte global, zero
+  // entries for the tenant) plus a fast maintenance timer, while jobs on
+  // the pinned graphs are continuously in flight: no job may fail, and
+  // after shutdown every pin must be released. The deterministic
+  // mechanism (pinned entries spared by every sweep phase) is covered in
+  // guidance_store_gc_test; this exercises it end-to-end under load.
+  JobServiceOptions options;
+  options.workers = 3;
+  options.queue_capacity = 256;
+  options.provider.store_dir = StoreDir("slfe_service_pins");
+  options.provider.store_gc.max_bytes = 1;
+  options.tenant_budgets["hammer"] = GuidanceTenantBudget{1, 0};
+  options.maintenance_interval_seconds = 0.001;
+  JobService service(options);
+  ASSERT_TRUE(service.RegisterGraph("g0", Rmat(200, 1500, 60)).ok());
+  ASSERT_TRUE(service.RegisterGraph("g1", Rmat(250, 1800, 61)).ok());
+
+  std::vector<JobTicket> tickets;
+  for (int round = 0; round < 10; ++round) {
+    for (const char* name : {"g0", "g1"}) {
+      JobRequest request;
+      request.tenant = "hammer";
+      request.app = round % 2 == 0 ? "sssp" : "cc";
+      request.graph = name;
+      auto ticket = service.Submit(request);
+      ASSERT_TRUE(ticket.ok());
+      tickets.push_back(std::move(ticket).value());
+      // A manual sweep racing the in-flight jobs, on top of the timer's.
+      service.SweepNow();
+    }
+  }
+  for (const JobTicket& ticket : tickets) {
+    const JobResult& result = ticket->Wait();
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  }
+  service.Shutdown();
+
+  GuidanceStore* store = service.provider().store();
+  ASSERT_NE(store, nullptr);
+  // Every submit-time pin was matched by a completion-time unpin.
+  EXPECT_EQ(store->pinned_graphs(), 0u);
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.completed, tickets.size());
+  // With the budgets this hostile, the final (unpinned) sweep clears the
+  // store entirely.
+  EXPECT_EQ(store->Sweep().remaining_entries, 0u);
+}
+
+TEST(JobServiceTest, GracefulShutdownDrainsAcceptedJobs) {
+  JobServiceOptions options;
+  options.workers = 1;  // force a backlog
+  options.queue_capacity = 64;
+  JobService service(options);
+  ASSERT_TRUE(service.RegisterGraph("g", Rmat(300, 2400, 70)).ok());
+
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    JobRequest request;
+    request.graph = "g";
+    request.app = i % 2 == 0 ? "sssp" : "pr";
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(ticket).value());
+  }
+  service.Shutdown();  // must drain all 6, not drop them
+
+  for (const JobTicket& ticket : tickets) {
+    ASSERT_TRUE(ticket->done());  // Shutdown returned => all complete
+    EXPECT_TRUE(ticket->Wait().status.ok());
+  }
+  EXPECT_FALSE(service.accepting());
+  JobRequest late;
+  late.graph = "g";
+  EXPECT_EQ(service.Submit(late).status().code(),
+            StatusCode::kFailedPrecondition);
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.rejected, 1u);
+  service.Shutdown();  // idempotent
+}
+
+TEST(JobServiceTest, QueueFullRejectsInsteadOfBlocking) {
+  // One worker + capacity 1: burst-submit from the test thread; at least
+  // one job must be accepted, and any rejection must be the retryable
+  // queue-full status with the submitted/rejected counters consistent.
+  JobServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  JobService service(options);
+  ASSERT_TRUE(service.RegisterGraph("g", Rmat(400, 3200, 80)).ok());
+
+  size_t accepted = 0, rejected = 0;
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 32; ++i) {
+    JobRequest request;
+    request.graph = "g";
+    request.app = "pr";
+    auto ticket = service.Submit(request);
+    if (ticket.ok()) {
+      ++accepted;
+      tickets.push_back(std::move(ticket).value());
+    } else {
+      EXPECT_EQ(ticket.status().code(), StatusCode::kFailedPrecondition);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(accepted, 0u);
+  for (const JobTicket& ticket : tickets) {
+    EXPECT_TRUE(ticket->Wait().status.ok());
+  }
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, accepted);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, accepted);
+}
+
+}  // namespace
+}  // namespace slfe::service
