@@ -6,28 +6,27 @@
 //   (b) inter-node: the spread between the earliest- and latest-finishing
 //       node, with and without RR (the paper measures <7% without RR and
 //       about +2% added by RR).
+//
+// Runs through the api::Session facade — per-app knobs live in a table;
+// dispatch belongs to the AppRegistry.
 
+#include <algorithm>
 #include <cstdio>
-#include <string>
+#include <utility>
 
 #include "bench/bench_util.h"
-#include "slfe/apps/cc.h"
-#include "slfe/apps/pr.h"
-#include "slfe/apps/sssp.h"
-#include "slfe/apps/tr.h"
-#include "slfe/apps/wp.h"
 
 namespace slfe {
 namespace {
 
-EngineStats RunApp(const std::string& app, const Graph& g, AppConfig cfg) {
-  if (app == "SSSP") return RunSssp(g, cfg).info.stats;
-  if (app == "CC") return RunCc(g, cfg).info.stats;
-  if (app == "WP") return RunWp(g, cfg).info.stats;
-  cfg.max_iters = 15;
-  cfg.epsilon = 0.0;
-  if (app == "PR") return RunPr(g, cfg).info.stats;
-  return RunTr(g, cfg).info.stats;
+constexpr bench::BenchApp kApps[] = {
+    {"sssp"}, {"cc"}, {"wp"}, {"pr", 15, 0.0}, {"tr", 15, 0.0}};
+
+EngineStats RunOne(const bench::BenchApp& app, api::Session& session,
+                   bool rr, bool stealing) {
+  api::AppRequest request = bench::MakeRequest(app, "FS", rr);
+  request.enable_stealing = stealing;
+  return bench::RunApp(session, request).info.stats;
 }
 
 void IntraNode() {
@@ -36,16 +35,10 @@ void IntraNode() {
   std::printf("%-8s %-16s %-16s %-14s %-22s\n", "app", "w/o steal(s)",
               "w/ steal(s)", "normalized", "chunk spread w/o->w/");
   bench::PrintRule();
-  for (const std::string& app :
-       {std::string("SSSP"), std::string("CC"), std::string("WP"),
-        std::string("PR"), std::string("TR")}) {
-    const Graph& g = bench::LoadGraph("FS", /*symmetric=*/app == "CC");
-    AppConfig cfg = bench::ClusterConfig(1, /*enable_rr=*/true);
-    cfg.threads_per_node = 4;
-    cfg.enable_stealing = false;
-    EngineStats off = RunApp(app, g, cfg);
-    cfg.enable_stealing = true;
-    EngineStats on = RunApp(app, g, cfg);
+  api::Session& session = bench::SessionFor(1, /*threads_per_node=*/4);
+  for (const bench::BenchApp& app : kApps) {
+    EngineStats off = RunOne(app, session, /*rr=*/true, /*stealing=*/false);
+    EngineStats on = RunOne(app, session, /*rr=*/true, /*stealing=*/true);
     auto spread = [](const EngineStats& s) {
       uint64_t mx = 0, mn = UINT64_MAX;
       for (uint64_t c : s.per_thread_chunks) {
@@ -57,7 +50,7 @@ void IntraNode() {
     auto [mx0, mn0] = spread(off);
     auto [mx1, mn1] = spread(on);
     std::printf("%-8s %-16.4f %-16.4f %-14.3f %llu/%llu -> %llu/%llu\n",
-                app.c_str(), off.RuntimeSeconds(), on.RuntimeSeconds(),
+                app.name, off.RuntimeSeconds(), on.RuntimeSeconds(),
                 on.RuntimeSeconds() / off.RuntimeSeconds(),
                 static_cast<unsigned long long>(mx0),
                 static_cast<unsigned long long>(mn0),
@@ -74,15 +67,15 @@ void InterNode() {
               "(max-min)/max per app\n");
   std::printf("%-8s %-14s %-14s\n", "app", "w/o RR", "w/ RR");
   bench::PrintRule();
-  for (const std::string& app :
-       {std::string("SSSP"), std::string("CC"), std::string("WP"),
-        std::string("PR"), std::string("TR")}) {
-    const Graph& g = bench::LoadGraph("FS", /*symmetric=*/app == "CC");
-    AppConfig cfg = bench::ClusterConfig(8, false);
-    double imbalance_off = RunApp(app, g, cfg).InterNodeImbalance();
-    cfg.enable_rr = true;
-    double imbalance_on = RunApp(app, g, cfg).InterNodeImbalance();
-    std::printf("%-8s %-14.1f%% %-14.1f%%\n", app.c_str(),
+  api::Session& session = bench::SessionFor(8);
+  for (const bench::BenchApp& app : kApps) {
+    double imbalance_off =
+        RunOne(app, session, /*rr=*/false, /*stealing=*/true)
+            .InterNodeImbalance();
+    double imbalance_on =
+        RunOne(app, session, /*rr=*/true, /*stealing=*/true)
+            .InterNodeImbalance();
+    std::printf("%-8s %-14.1f%% %-14.1f%%\n", app.name,
                 100.0 * imbalance_off, 100.0 * imbalance_on);
   }
   std::printf("(paper: <7%% without RR; RR adds ~2%% on average)\n");

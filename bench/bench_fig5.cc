@@ -5,17 +5,15 @@
 // 34.2/43.1/42.7/47.5/41.6 % average improvement for SSSP/CC/WP/PR/TR;
 // our scaled graphs are shallower, so expect the same sign and ordering
 // with smaller magnitudes (EXPERIMENTS.md).
+//
+// Runs through the api::Session facade — the bench declares WHICH apps
+// and knobs per row; dispatch belongs to the AppRegistry.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "slfe/apps/cc.h"
-#include "slfe/apps/pr.h"
-#include "slfe/apps/sssp.h"
-#include "slfe/apps/tr.h"
-#include "slfe/apps/wp.h"
 
 namespace slfe {
 namespace {
@@ -26,15 +24,16 @@ constexpr int kNodes = 8;
 // 150-250 iterations).
 constexpr uint32_t kArithIters = 150;
 
-double RuntimeOf(const std::string& app, const Graph& g, bool rr) {
-  AppConfig cfg = bench::ClusterConfig(kNodes, rr);
-  if (app == "SSSP") return RunSssp(g, cfg).info.stats.RuntimeSeconds();
-  if (app == "CC") return RunCc(g, cfg).info.stats.RuntimeSeconds();
-  if (app == "WP") return RunWp(g, cfg).info.stats.RuntimeSeconds();
-  cfg.max_iters = kArithIters;
-  cfg.epsilon = 0.0;
-  if (app == "PR") return RunPr(g, cfg).info.stats.RuntimeSeconds();
-  return RunTr(g, cfg).info.stats.RuntimeSeconds();
+constexpr bench::BenchApp kApps[] = {
+    {"sssp"}, {"cc"}, {"wp"},
+    {"pr", kArithIters, 0.0}, {"tr", kArithIters, 0.0},
+};
+
+double RuntimeOf(const bench::BenchApp& app, const std::string& alias,
+                 bool rr) {
+  return bench::RunApp(bench::SessionFor(kNodes),
+                       bench::MakeRequest(app, alias, rr))
+      .info.stats.RuntimeSeconds();
 }
 
 void Run() {
@@ -51,19 +50,16 @@ void Run() {
   }
   std::printf(" %-8s\n", "average");
   bench::PrintRule();
-  for (const std::string& app : {std::string("SSSP"), std::string("CC"),
-                                 std::string("WP"), std::string("PR"),
-                                 std::string("TR")}) {
-    std::printf("%-8s", app.c_str());
+  for (const bench::BenchApp& app : kApps) {
+    std::printf("%-8s", app.name);
     double sum = 0;
     int count = 0;
     for (const std::string& alias : graphs) {
-      const Graph& g = bench::LoadGraph(alias, /*symmetric=*/app == "CC");
       // Median of 3 runs to damp single-core scheduling noise.
       std::vector<double> gem(3), slfe(3);
       for (int i = 0; i < 3; ++i) {
-        gem[i] = RuntimeOf(app, g, false);
-        slfe[i] = RuntimeOf(app, g, true);
+        gem[i] = RuntimeOf(app, alias, false);
+        slfe[i] = RuntimeOf(app, alias, true);
       }
       double gem_med = bench::Median(gem);
       double slfe_med = bench::Median(slfe);

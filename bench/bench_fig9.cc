@@ -4,18 +4,20 @@
 // decays from a smaller start, PR drops iteration by iteration as more EC
 // vertices are frozen, and the min/max curves converge to the same final
 // point (identical fixpoints).
+//
+// Runs through the api::Session facade — per-app knobs live in a table;
+// dispatch belongs to the AppRegistry.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "slfe/apps/cc.h"
-#include "slfe/apps/pr.h"
-#include "slfe/apps/sssp.h"
 
 namespace slfe {
 namespace {
+
+constexpr bench::BenchApp kApps[] = {{"sssp"}, {"cc"}, {"pr", 30, 0.0}};
 
 void PrintSeries(const char* label, const std::vector<uint64_t>& series) {
   std::printf("%-10s", label);
@@ -25,32 +27,20 @@ void PrintSeries(const char* label, const std::vector<uint64_t>& series) {
   std::printf("\n");
 }
 
-void RunApp(const std::string& app, const char* alias) {
-  bool symmetric = app == "CC";
-  const Graph& g = bench::LoadGraph(alias, symmetric);
-  std::printf("\n[%s-%s] computations per iteration\n", app.c_str(), alias);
+void RunOne(const bench::BenchApp& app, const char* alias) {
+  std::printf("\n[%s-%s] computations per iteration\n", app.name, alias);
   for (bool rr : {false, true}) {
-    AppConfig cfg = bench::ClusterConfig(8, rr);
-    EngineStats stats;
-    if (app == "SSSP") {
-      stats = RunSssp(g, cfg).info.stats;
-    } else if (app == "CC") {
-      stats = RunCc(g, cfg).info.stats;
-    } else {
-      cfg.max_iters = 30;
-      cfg.epsilon = 0.0;
-      stats = RunPr(g, cfg).info.stats;
-    }
-    PrintSeries(rr ? "w/ RR" : "w/o RR", stats.per_iter_computations);
+    api::AppOutcome outcome = bench::RunApp(
+        bench::SessionFor(8), bench::MakeRequest(app, alias, rr));
+    PrintSeries(rr ? "w/ RR" : "w/o RR",
+                outcome.info.stats.per_iter_computations);
   }
 }
 
 void Run() {
   bench::PrintHeader("Fig. 9: per-iteration computation counts, w/ and w/o RR");
   for (const char* alias : {"FS", "LJ"}) {
-    RunApp("SSSP", alias);
-    RunApp("CC", alias);
-    RunApp("PR", alias);
+    for (const bench::BenchApp& app : kApps) RunOne(app, alias);
   }
 }
 

@@ -1,7 +1,9 @@
 // Community detection over a web/folksonomy-style graph: connected
 // components via minimum-label propagation, plus an approximate diameter
-// probe of the largest component. Demonstrates the min/max-aggregation
-// path of SLFE's API on an all-vertices-seeded application.
+// probe. Demonstrates the min/max-aggregation path of SLFE's API on an
+// all-vertices-seeded application, driven through api::Session — note the
+// crawl is registered as-is; the session derives the undirected closure
+// cc needs by itself (the descriptor declares needs_symmetric).
 //
 // Scenario: a crawler wants the weakly connected structure of a crawl
 // snapshot (how many islands, how big the core is, roughly how wide).
@@ -9,33 +11,40 @@
 #include <cstdio>
 #include <map>
 
-#include "slfe/apps/approx_diameter.h"
-#include "slfe/apps/cc.h"
+#include "slfe/api/session.h"
 #include "slfe/graph/generators.h"
 
 int main() {
-  // Crawl snapshot: sparse power-law graph; CC needs the undirected
-  // closure, so symmetrize before building.
+  // Crawl snapshot: sparse power-law graph (directed, as crawled).
   slfe::RmatOptions opt;
   opt.num_vertices = 1 << 15;
   opt.num_edges = 1 << 17;  // sparse: multiple islands survive
   opt.seed = 1234;
   slfe::EdgeList crawl = slfe::GenerateRmat(opt);
-  crawl.Symmetrize();
   crawl.Deduplicate();
   slfe::Graph snapshot = slfe::Graph::FromEdges(crawl);
-  std::printf("crawl snapshot: %u pages, %llu links (symmetrized)\n",
+  std::printf("crawl snapshot: %u pages, %llu links\n",
               snapshot.num_vertices(),
               static_cast<unsigned long long>(snapshot.num_edges()));
 
-  slfe::AppConfig config;
-  config.num_nodes = 4;
-  config.enable_rr = true;
-  slfe::CcResult cc = slfe::RunCc(snapshot, config);
+  slfe::api::SessionOptions options;
+  options.num_nodes = 4;
+  slfe::api::Session session(options);
+  if (!session.AddGraph("crawl", std::move(snapshot)).ok()) return 1;
 
-  // Component census.
+  slfe::api::AppRequest request;
+  request.app = "cc";
+  request.graph = "crawl";
+  request.enable_rr = true;
+  slfe::api::AppOutcome cc = session.Run(request);
+  if (!cc.status.ok()) {
+    std::printf("cc failed: %s\n", cc.status.ToString().c_str());
+    return 1;
+  }
+
+  // Component census over the per-vertex labels.
   std::map<uint32_t, uint32_t> sizes;
-  for (uint32_t label : cc.labels) ++sizes[label];
+  for (double label : cc.values) ++sizes[static_cast<uint32_t>(label)];
   uint32_t largest = 0, largest_label = 0;
   for (const auto& [label, size] : sizes) {
     if (size > largest) {
@@ -45,7 +54,7 @@ int main() {
   }
   std::printf("components: %zu  largest: label %u with %u pages (%.1f%%)\n",
               sizes.size(), largest_label, largest,
-              100.0 * largest / snapshot.num_vertices());
+              100.0 * largest / cc.values.size());
   std::printf("CC work: %llu computations (+%llu bypassed) in %llu "
               "supersteps, %.4f s\n",
               static_cast<unsigned long long>(cc.info.stats.computations),
@@ -54,9 +63,11 @@ int main() {
               cc.info.stats.RuntimeSeconds());
 
   // Rough width of the graph: multi-probe BFS diameter lower bound.
-  slfe::ApproxDiameterResult diameter =
-      slfe::RunApproxDiameter(snapshot, config, /*num_probes=*/4);
-  std::printf("approximate diameter (lower bound from 4 probes): %u\n",
-              diameter.diameter_lower_bound);
+  request.app = "diameter";
+  request.num_probes = 4;
+  slfe::api::AppOutcome diameter = session.Run(request);
+  if (!diameter.status.ok()) return 1;
+  std::printf("approximate diameter (lower bound from 4 probes): %llu\n",
+              static_cast<unsigned long long>(diameter.summary));
   return 0;
 }

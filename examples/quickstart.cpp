@@ -1,6 +1,9 @@
-// Quickstart: generate a small power-law graph, run SSSP twice — once as
-// the plain Gemini-style baseline and once with SLFE's redundancy
-// reduction — and compare the work and runtime of the two runs.
+// Quickstart: generate a small power-law graph, open an api::Session, and
+// run SSSP twice through Session::Run — once as the plain Gemini-style
+// baseline and once with SLFE's redundancy reduction — then compare the
+// work and runtime of the two runs. Session::Run is the same entry point
+// the CLI, the daemon, and the benches use; `slfe_cli --list-apps` prints
+// everything it can run.
 //
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j
@@ -8,7 +11,7 @@
 
 #include <cstdio>
 
-#include "slfe/apps/sssp.h"
+#include "slfe/api/session.h"
 #include "slfe/graph/generators.h"
 
 int main() {
@@ -25,23 +28,31 @@ int main() {
   std::printf("graph: %u vertices, %llu edges\n", graph.num_vertices(),
               static_cast<unsigned long long>(graph.num_edges()));
 
-  // 2. Configure a simulated 4-node cluster.
-  slfe::AppConfig config;
-  config.num_nodes = 4;
-  config.root = 0;
+  // 2. Open a session on a simulated 4-node cluster and register the
+  //    graph. The session owns the guidance provider, so every run below
+  //    shares one guidance cache.
+  slfe::api::SessionOptions options;
+  options.num_nodes = 4;
+  slfe::api::Session session(options);
+  if (!session.AddGraph("web", std::move(graph)).ok()) return 1;
 
   // 3. Baseline run (Gemini-style dual-mode engine, no RR).
-  config.enable_rr = false;
-  slfe::SsspResult baseline = slfe::RunSssp(graph, config);
+  slfe::api::AppRequest request;
+  request.app = "sssp";
+  request.graph = "web";
+  request.root = 0;
+  request.enable_rr = false;
+  slfe::api::AppOutcome baseline = session.Run(request);
 
   // 4. SLFE run ("start late" redundancy reduction on).
-  config.enable_rr = true;
-  slfe::SsspResult slfe_run = slfe::RunSssp(graph, config);
+  request.enable_rr = true;
+  slfe::api::AppOutcome slfe_run = session.Run(request);
+  if (!baseline.status.ok() || !slfe_run.status.ok()) return 1;
 
   // 5. Same answers, less redundant work.
   size_t mismatches = 0;
-  for (slfe::VertexId v = 0; v < graph.num_vertices(); ++v) {
-    if (baseline.dist[v] != slfe_run.dist[v]) ++mismatches;
+  for (size_t v = 0; v < baseline.values.size(); ++v) {
+    if (baseline.values[v] != slfe_run.values[v]) ++mismatches;
   }
   std::printf("value mismatches vs baseline: %zu (must be 0)\n", mismatches);
   std::printf("baseline: %llu computations, %.4f s\n",

@@ -2,7 +2,8 @@
 // (maximum-bottleneck) paths on a grid-shaped road network — the deep,
 // high-diameter topology where "start late" pays off most, since every
 // intersection is re-relaxed many times by a plain Bellman-Ford-style
-// engine.
+// engine. Both queries go through one api::Session — the same Session::Run
+// entry point the CLI, daemon, and benches use.
 //
 // Scenario: a logistics service wants, from one depot, (a) the fastest
 // route cost to every intersection and (b) the widest route (max vehicle
@@ -10,8 +11,7 @@
 
 #include <cstdio>
 
-#include "slfe/apps/sssp.h"
-#include "slfe/apps/wp.h"
+#include "slfe/api/session.h"
 #include "slfe/graph/generators.h"
 
 int main() {
@@ -26,14 +26,25 @@ int main() {
               city.num_vertices(),
               static_cast<unsigned long long>(city.num_edges()));
 
-  slfe::AppConfig config;
-  config.num_nodes = 4;
-  config.root = 0;  // the depot at the grid corner
+  slfe::api::SessionOptions options;
+  options.num_nodes = 4;
+  slfe::api::Session session(options);
+  if (!session.AddGraph("city", std::move(city)).ok()) return 1;
+
+  slfe::api::AppRequest routes_query;
+  routes_query.app = "sssp";
+  routes_query.graph = "city";
+  routes_query.root = 0;  // the depot at the grid corner
+
+  slfe::api::AppRequest widths_query = routes_query;
+  widths_query.app = "wp";
 
   for (bool rr : {false, true}) {
-    config.enable_rr = rr;
-    slfe::SsspResult routes = slfe::RunSssp(city, config);
-    slfe::WpResult widths = slfe::RunWp(city, config);
+    routes_query.enable_rr = rr;
+    widths_query.enable_rr = rr;
+    slfe::api::AppOutcome routes = session.Run(routes_query);
+    slfe::api::AppOutcome widths = session.Run(widths_query);
+    if (!routes.status.ok() || !widths.status.ok()) return 1;
 
     // Route quality to the far corner of the city.
     slfe::VertexId far_corner = kSide * kSide - 1;
@@ -41,7 +52,7 @@ int main() {
         "[%s] cost(depot -> far corner)=%.0f  width=%.0f  "
         "sssp: %llu computations in %llu supersteps (%.4f s)\n",
         rr ? "SLFE " : "plain",
-        routes.dist[far_corner], widths.width[far_corner],
+        routes.values[far_corner], widths.values[far_corner],
         static_cast<unsigned long long>(routes.info.stats.computations),
         static_cast<unsigned long long>(routes.info.supersteps),
         routes.info.stats.RuntimeSeconds());

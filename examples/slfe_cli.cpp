@@ -1,12 +1,18 @@
-// slfe_cli — command-line driver for the SLFE library: run any built-in
-// application on a named synthetic dataset or an edge-list file, with the
-// cluster shape and redundancy reduction configurable from the shell.
+// slfe_cli — command-line driver for the SLFE library: run any registered
+// application on any declared engine over a named synthetic dataset or an
+// edge-list file, with the cluster shape and redundancy reduction
+// configurable from the shell. The app catalog (names, engines, graph
+// requirements, help text) comes from the AppRegistry, and execution goes
+// through the same slfe::api::Session::Run path the daemon and the benches
+// use — there is no CLI-private dispatch.
 //
 //   slfe_cli --app=sssp --dataset=PK --nodes=8 --rr
-//   slfe_cli --app=pr --file=edges.txt --iters=100
+//   slfe_cli --app=sssp --engine=gas --dataset=PK --rr
+//   slfe_cli --app=pr --engine=ooc --file=edges.txt --iters=100
 //   slfe_cli --app=sssp --dataset=PK --rr --store-dir=/var/cache/slfe \
 //            --store-max-entries=128 --store-ttl=86400
 //   slfe_cli --serve --jobs=batch.txt --workers=4 --store-dir=/var/cache/slfe
+//   slfe_cli --list-apps
 //   slfe_cli --list
 //
 // --serve switches from one-shot mode into the multi-tenant JobService
@@ -20,19 +26,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <limits>
 #include <memory>
-#include <set>
 #include <string>
 
-#include "slfe/apps/bfs.h"
-#include "slfe/apps/cc.h"
-#include "slfe/apps/mst.h"
-#include "slfe/apps/pr.h"
-#include "slfe/apps/sssp.h"
-#include "slfe/apps/tr.h"
-#include "slfe/apps/triangle_count.h"
-#include "slfe/apps/wp.h"
+#include "slfe/api/app_registry.h"
+#include "slfe/api/session.h"
 #include "slfe/core/guidance_provider.h"
 #include "slfe/core/guidance_store.h"
 #include "slfe/graph/generators.h"
@@ -44,6 +42,7 @@ namespace {
 
 struct CliOptions {
   std::string app = "sssp";
+  std::string engine = "dist";
   std::string dataset = "PK";
   std::string file;
   int nodes = 1;
@@ -70,18 +69,24 @@ struct CliOptions {
 };
 
 void PrintUsage() {
+  // The app and engine vocabularies come from the registry — this text
+  // cannot drift from what actually runs.
+  const slfe::api::AppRegistry& registry = slfe::api::AppRegistry::Global();
   std::fprintf(
       stderr,
       "usage: slfe_cli [options]\n"
-      "  --app=NAME       sssp|bfs|cc|wp|pr|tr|tc|mst (default sssp)\n"
+      "  --app=NAME       %s\n"
+      "                   (default sssp; see --list-apps)\n"
+      "  --engine=NAME    %s (default dist)\n"
       "  --dataset=ALIAS  PK|OK|LJ|WK|DI|ST|FS|RMAT (default PK)\n"
       "  --file=PATH      load a text edge list instead of a dataset\n"
       "  --nodes=N        simulated cluster nodes (default 1)\n"
       "  --threads=N      threads per node (default 1)\n"
       "  --rr             enable SLFE redundancy reduction\n"
       "  --no-stealing    disable intra-node work stealing\n"
-      "  --iters=N        iteration cap for PR/TR (default 50)\n"
-      "  --root=V         root vertex for sssp/bfs/wp (default 0)\n"
+      "  --iters=N        iteration cap for the arithmetic apps "
+      "(default 50)\n"
+      "  --root=V         root vertex for single-source apps (default 0)\n"
       "  --scale=N        dataset shrink divisor (default 4)\n"
       "  --store-dir=PATH persist guidance to PATH (reused across runs)\n"
       "  --store-max-entries=N  guidance store GC: keep at most N entries\n"
@@ -99,7 +104,9 @@ void PrintUsage() {
       "  --workers=N      --serve: job worker threads (default 2)\n"
       "  --maintenance-interval=SECS\n"
       "                   --serve: sweep the store every SECS\n"
-      "  --list           print the dataset suite and exit\n");
+      "  --list-apps      print the application registry and exit\n"
+      "  --list           print the dataset suite and exit\n",
+      registry.UsageList().c_str(), slfe::api::AllEngineNames().c_str());
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -135,6 +142,8 @@ int main(int argc, char** argv) {
     std::string value;
     if (ParseFlag(argv[i], "--app", &value)) {
       opt.app = value;
+    } else if (ParseFlag(argv[i], "--engine", &value)) {
+      opt.engine = value;
     } else if (ParseFlag(argv[i], "--dataset", &value)) {
       opt.dataset = value;
     } else if (ParseFlag(argv[i], "--file", &value)) {
@@ -175,6 +184,9 @@ int main(int argc, char** argv) {
       opt.rr = true;
     } else if (std::strcmp(argv[i], "--no-stealing") == 0) {
       opt.no_stealing = true;
+    } else if (std::strcmp(argv[i], "--list-apps") == 0) {
+      std::fputs(slfe::api::AppRegistry::Global().ListApps().c_str(), stdout);
+      return 0;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       std::printf("%-8s %-12s %-12s\n", "alias", "|V|", "|E|");
       for (const slfe::DatasetSpec& s : slfe::ScaledDatasets()) {
@@ -242,7 +254,8 @@ int main(int argc, char** argv) {
     return rc;
   }
 
-  // Load or synthesize the graph.
+  // One-shot mode. Load or synthesize the graph; the session (not the
+  // CLI) derives the undirected closure when the app requires one.
   slfe::EdgeList edges;
   if (!opt.file.empty()) {
     auto loaded = slfe::LoadEdgeListText(opt.file);
@@ -260,151 +273,79 @@ int main(int argc, char** argv) {
     }
     edges = slfe::MakeDataset(spec.value(), opt.scale_divisor);
   }
-  bool needs_symmetric = opt.app == "cc" || opt.app == "mst";
-  if (needs_symmetric) {
-    edges.Symmetrize();
-    edges.Deduplicate();
-  }
-  slfe::Graph graph = slfe::Graph::FromEdges(edges);
-  if (opt.root >= graph.num_vertices()) {
-    std::fprintf(stderr, "root %u out of range (|V|=%u)\n", opt.root,
-                 graph.num_vertices());
+
+  slfe::api::SessionOptions sopt;
+  sopt.num_nodes = opt.nodes;
+  sopt.threads_per_node = opt.threads;
+  if (!opt.store_dir.empty()) {
+    sopt.provider.store_dir = opt.store_dir;
+    sopt.provider.store_gc.max_entries = opt.store_max_entries;
+    sopt.provider.store_gc.max_bytes = opt.store_max_bytes;
+    sopt.provider.store_gc.ttl_seconds = opt.store_ttl;
+  } else if (opt.store_max_entries > 0 || opt.store_max_bytes > 0 ||
+             opt.store_ttl > 0) {
+    // Silently ignoring a GC budget would let the user believe the
+    // store is bounded when there is no store at all.
+    std::fprintf(stderr,
+                 "--store-max-entries/--store-max-bytes/--store-ttl "
+                 "require --store-dir\n");
+    PrintUsage();
     return 2;
   }
-  std::printf("graph: %u vertices, %llu edges | app=%s nodes=%d threads=%d "
-              "rr=%d\n",
-              graph.num_vertices(),
-              static_cast<unsigned long long>(graph.num_edges()),
-              opt.app.c_str(), opt.nodes, opt.threads, opt.rr ? 1 : 0);
-
-  slfe::AppConfig cfg;
-  cfg.num_nodes = opt.nodes;
-  cfg.threads_per_node = opt.threads;
-  cfg.enable_rr = opt.rr;
-  cfg.enable_stealing = !opt.no_stealing;
-  cfg.max_iters = opt.iters;
-  cfg.root = opt.root;
-
-  // A private provider when any guidance knob was set; otherwise the apps
-  // use the process-global one. The strategy choice is observable in
-  // `guidance=` (serial pays more wall time than partitioned on real
-  // cores) and the store in the persisted-guidance stats printed below.
-  std::unique_ptr<slfe::GuidanceProvider> provider;
-  {
-    slfe::GuidanceProviderOptions popt;
-    bool custom = false;
-    bool has_gc_flags = opt.store_max_entries > 0 ||
-                        opt.store_max_bytes > 0 || opt.store_ttl > 0;
-    if (!opt.store_dir.empty()) {
-      popt.store_dir = opt.store_dir;
-      popt.store_gc.max_entries = opt.store_max_entries;
-      popt.store_gc.max_bytes = opt.store_max_bytes;
-      popt.store_gc.ttl_seconds = opt.store_ttl;
-      custom = true;
-    } else if (has_gc_flags) {
-      // Silently ignoring a GC budget would let the user believe the
-      // store is bounded when there is no store at all.
-      std::fprintf(stderr,
-                   "--store-max-entries/--store-max-bytes/--store-ttl "
-                   "require --store-dir\n");
-      PrintUsage();
-      return 2;
-    }
-    if (opt.gen_threads > 0) {
-      popt.generation_threads = opt.gen_threads;
-      custom = true;
-    }
-    if (opt.mini_chunk > 0) {
-      popt.generation_mini_chunk = opt.mini_chunk;
-      custom = true;
-    }
-    if (!ParseStrategy(opt.gen_strategy, &popt.generation_strategy)) {
-      std::fprintf(stderr, "unknown --gen-strategy: %s\n",
-                   opt.gen_strategy.c_str());
-      PrintUsage();
-      return 2;
-    }
-    if (opt.gen_strategy != "auto") custom = true;
-    if (custom) {
-      provider = std::make_unique<slfe::GuidanceProvider>(popt);
-      cfg.guidance_provider = provider.get();
-    }
-  }
-
-  auto report = [&](const slfe::AppRunInfo& info, const char* extra) {
-    std::printf("%s\n", extra);
-    std::printf("supersteps=%llu computations=%llu bypassed=%llu "
-                "updates=%llu runtime=%.4fs guidance=%.4fs\n",
-                static_cast<unsigned long long>(info.supersteps),
-                static_cast<unsigned long long>(info.stats.computations),
-                static_cast<unsigned long long>(info.stats.skipped),
-                static_cast<unsigned long long>(info.stats.updates),
-                info.stats.RuntimeSeconds(), info.guidance_seconds);
-  };
-
-  char extra[160] = "";
-  if (opt.app == "sssp") {
-    auto r = slfe::RunSssp(graph, cfg);
-    size_t reached = 0;
-    for (float d : r.dist) {
-      if (d < std::numeric_limits<float>::infinity()) ++reached;
-    }
-    std::snprintf(extra, sizeof(extra), "reached=%zu of %u", reached,
-                  graph.num_vertices());
-    report(r.info, extra);
-  } else if (opt.app == "bfs") {
-    auto r = slfe::RunBfs(graph, cfg);
-    uint32_t depth = 0;
-    for (uint32_t l : r.levels) {
-      if (l != UINT32_MAX) depth = std::max(depth, l);
-    }
-    std::snprintf(extra, sizeof(extra), "max level=%u", depth);
-    report(r.info, extra);
-  } else if (opt.app == "cc") {
-    auto r = slfe::RunCc(graph, cfg);
-    std::set<uint32_t> components(r.labels.begin(), r.labels.end());
-    std::snprintf(extra, sizeof(extra), "components=%zu", components.size());
-    report(r.info, extra);
-  } else if (opt.app == "wp") {
-    auto r = slfe::RunWp(graph, cfg);
-    size_t reachable = 0;
-    for (float w : r.width) {
-      if (w > 0) ++reachable;
-    }
-    std::snprintf(extra, sizeof(extra), "reachable=%zu", reachable);
-    report(r.info, extra);
-  } else if (opt.app == "pr") {
-    auto r = slfe::RunPr(graph, cfg);
-    std::snprintf(extra, sizeof(extra), "EC vertices=%llu",
-                  static_cast<unsigned long long>(r.info.ec_vertices));
-    report(r.info, extra);
-  } else if (opt.app == "tr") {
-    auto r = slfe::RunTr(graph, cfg);
-    std::snprintf(extra, sizeof(extra), "EC vertices=%llu",
-                  static_cast<unsigned long long>(r.info.ec_vertices));
-    report(r.info, extra);
-  } else if (opt.app == "tc") {
-    auto r = slfe::RunTriangleCount(graph, cfg);
-    std::snprintf(extra, sizeof(extra), "triangles=%llu",
-                  static_cast<unsigned long long>(r.triangles));
-    report(r.info, extra);
-  } else if (opt.app == "mst") {
-    auto r = slfe::RunMst(graph, cfg);
-    std::snprintf(extra, sizeof(extra),
-                  "forest weight=%.0f edges=%llu rounds=%u", r.total_weight,
-                  static_cast<unsigned long long>(r.tree_edges), r.rounds);
-    report(r.info, extra);
-  } else {
-    std::fprintf(stderr, "unknown app: %s\n", opt.app.c_str());
+  sopt.provider.generation_threads = opt.gen_threads;
+  sopt.provider.generation_mini_chunk = opt.mini_chunk;
+  if (!ParseStrategy(opt.gen_strategy, &sopt.provider.generation_strategy)) {
+    std::fprintf(stderr, "unknown --gen-strategy: %s\n",
+                 opt.gen_strategy.c_str());
     PrintUsage();
     return 2;
   }
 
-  if (provider != nullptr && provider->store() != nullptr) {
+  slfe::api::Session session(sopt);
+  slfe::Graph graph = slfe::Graph::FromEdges(edges);
+  std::printf("graph: %u vertices, %llu edges | app=%s engine=%s nodes=%d "
+              "threads=%d rr=%d\n",
+              graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              opt.app.c_str(), opt.engine.c_str(), opt.nodes, opt.threads,
+              opt.rr ? 1 : 0);
+  slfe::Status added = session.AddGraph("cli", std::move(graph));
+  if (!added.ok()) {
+    std::fprintf(stderr, "%s\n", added.ToString().c_str());
+    return 1;
+  }
+
+  slfe::api::AppRequest request;
+  request.app = opt.app;
+  request.engine = opt.engine;
+  request.graph = "cli";
+  request.root = opt.root;
+  request.max_iters = opt.iters;
+  request.enable_rr = opt.rr;
+  request.enable_stealing = !opt.no_stealing;
+
+  // THE execution path — registry dispatch, no app names in this file.
+  slfe::api::AppOutcome outcome = session.Run(request);
+  if (!outcome.status.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.status.ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  std::printf("%s\n", outcome.summary_text.c_str());
+  std::printf("supersteps=%llu computations=%llu bypassed=%llu "
+              "updates=%llu runtime=%.4fs guidance=%.4fs\n",
+              static_cast<unsigned long long>(outcome.info.supersteps),
+              static_cast<unsigned long long>(outcome.info.stats.computations),
+              static_cast<unsigned long long>(outcome.info.stats.skipped),
+              static_cast<unsigned long long>(outcome.info.stats.updates),
+              outcome.info.stats.RuntimeSeconds(),
+              outcome.info.guidance_seconds);
+
+  if (session.provider().store() != nullptr) {
     // Surface the persistence counters so warm vs cold runs against the
     // same --store-dir are distinguishable from the shell.
-    slfe::GuidanceStoreStats ss = provider->store()->stats();
-    slfe::GuidanceCacheStats cs = provider->cache_stats();
+    slfe::GuidanceStoreStats ss = session.provider().store()->stats();
+    slfe::GuidanceCacheStats cs = session.provider().cache_stats();
     std::printf(
         "guidance store: saves=%llu loads=%llu store_hits=%llu "
         "gc_removed=%llu (dir=%s, strategy=%s)\n",
@@ -412,7 +353,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(ss.loads),
         static_cast<unsigned long long>(cs.store_hits),
         static_cast<unsigned long long>(ss.gc_removed),
-        provider->store()->dir().c_str(), opt.gen_strategy.c_str());
+        session.provider().store()->dir().c_str(), opt.gen_strategy.c_str());
   }
   return 0;
 }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "slfe/api/app_registry.h"
 #include "slfe/graph/generators.h"
 #include "slfe/service/job_service.h"
 #include "slfe/service/line_driver.h"
@@ -49,11 +50,21 @@ struct ServerOptions {
 };
 
 void PrintUsage() {
+  // The submittable app and engine vocabularies come from the registry —
+  // the same source Submit validates against, so this text cannot drift.
   std::fprintf(
       stderr,
       "usage: slfe_server [options]\n"
+      "protocol: submit <tenant> <app> <graph> [root] [engine] [norr]\n"
+      "  apps:    %s\n"
+      "  engines: %s (default dist; see --list-apps for the pairs)\n"
+      "options:\n"
       "  --jobs=FILE          read the job protocol from FILE (default: "
-      "stdin)\n"
+      "stdin)\n",
+      slfe::api::AppRegistry::Global().UsageList().c_str(),
+      slfe::api::AllEngineNames().c_str());
+  std::fprintf(
+      stderr,
       "  --workers=N          job worker threads (default 2)\n"
       "  --queue-cap=N        bounded queue depth; beyond it submissions "
       "are rejected (default 64)\n"
@@ -74,7 +85,8 @@ void PrintUsage() {
       "  --mini-chunk=N       work-stealing mini-chunk size for the "
       "partitioned sweep\n"
       "  --smoke              self-contained multi-tenant amortization "
-      "check (CI)\n");
+      "check (CI)\n"
+      "  --list-apps          print the application registry and exit\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -245,6 +257,9 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--list-apps") == 0) {
+      std::fputs(slfe::api::AppRegistry::Global().ListApps().c_str(), stdout);
+      return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       PrintUsage();

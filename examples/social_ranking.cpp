@@ -2,6 +2,9 @@
 // network (power-law follower graph), demonstrating "finish early":
 // most accounts' scores stabilize long before global convergence, and
 // SLFE's multi-Ruler freezes them instead of recomputing every round.
+// All four runs go through one api::Session, so the rank and influence
+// jobs share the session's guidance provider exactly like the daemon's
+// multi-tenant jobs do.
 //
 // Scenario: a platform ranks accounts for a "who to follow" module and
 // re-runs the job on the same follower graph many times per day — the
@@ -12,8 +15,7 @@
 #include <numeric>
 #include <vector>
 
-#include "slfe/apps/pr.h"
-#include "slfe/apps/tr.h"
+#include "slfe/api/session.h"
 #include "slfe/graph/generators.h"
 
 int main() {
@@ -27,16 +29,28 @@ int main() {
   std::printf("social graph: %u accounts, %llu follow edges\n",
               network.num_vertices(),
               static_cast<unsigned long long>(network.num_edges()));
+  const uint32_t num_accounts = network.num_vertices();
 
-  slfe::AppConfig config;
-  config.num_nodes = 4;
-  config.max_iters = 150;  // run to (near) convergence
-  config.epsilon = 1e-7;
+  slfe::api::SessionOptions options;
+  options.num_nodes = 4;
+  slfe::api::Session session(options);
+  if (!session.AddGraph("follows", std::move(network)).ok()) return 1;
+
+  slfe::api::AppRequest rank_query;
+  rank_query.app = "pr";
+  rank_query.graph = "follows";
+  rank_query.max_iters = 150;  // run to (near) convergence
+  rank_query.epsilon = 1e-7;
+
+  slfe::api::AppRequest influence_query = rank_query;
+  influence_query.app = "tr";
 
   for (bool rr : {false, true}) {
-    config.enable_rr = rr;
-    slfe::PrResult pr = slfe::RunPr(network, config);
-    slfe::TrResult tr = slfe::RunTr(network, config);
+    rank_query.enable_rr = rr;
+    influence_query.enable_rr = rr;
+    slfe::api::AppOutcome pr = session.Run(rank_query);
+    slfe::api::AppOutcome tr = session.Run(influence_query);
+    if (!pr.status.ok() || !tr.status.ok()) return 1;
     std::printf("[%s] PR: %llu computations, %.4f s, EC=%llu (%.1f%%)  "
                 "TR: %.4f s\n",
                 rr ? "SLFE " : "plain",
@@ -44,20 +58,20 @@ int main() {
                 pr.info.stats.RuntimeSeconds(),
                 static_cast<unsigned long long>(pr.info.ec_vertices),
                 100.0 * static_cast<double>(pr.info.ec_vertices) /
-                    network.num_vertices(),
+                    num_accounts,
                 tr.info.stats.RuntimeSeconds());
 
     if (rr) {
       // Top influencers per the final run.
-      std::vector<slfe::VertexId> order(network.num_vertices());
+      std::vector<slfe::VertexId> order(pr.values.size());
       std::iota(order.begin(), order.end(), 0u);
       std::partial_sort(order.begin(), order.begin() + 5, order.end(),
                         [&](slfe::VertexId a, slfe::VertexId b) {
-                          return pr.ranks[a] > pr.ranks[b];
+                          return pr.values[a] > pr.values[b];
                         });
       std::printf("top-5 accounts by PageRank:");
       for (int i = 0; i < 5; ++i) {
-        std::printf(" #%u(%.2f)", order[i], pr.ranks[order[i]]);
+        std::printf(" #%u(%.2f)", order[i], pr.values[order[i]]);
       }
       std::printf("\n");
     }

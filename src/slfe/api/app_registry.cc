@@ -1,0 +1,177 @@
+#include "slfe/api/app_registry.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace slfe::api {
+
+namespace {
+
+constexpr Engine kAllEngines[] = {Engine::kDist, Engine::kShm, Engine::kGas,
+                                  Engine::kOoc};
+
+const char* RootPolicyName(GuidanceRootPolicy policy) {
+  switch (policy) {
+    case GuidanceRootPolicy::kSingleSource:
+      return "single-source";
+    case GuidanceRootPolicy::kSourceVertices:
+      return "source-vertices";
+    case GuidanceRootPolicy::kLocalMinima:
+      return "local-minima";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kDist:
+      return "dist";
+    case Engine::kShm:
+      return "shm";
+    case Engine::kGas:
+      return "gas";
+    case Engine::kOoc:
+      return "ooc";
+  }
+  return "?";
+}
+
+Result<Engine> ParseEngine(const std::string& name) {
+  for (Engine engine : kAllEngines) {
+    if (name == EngineName(engine)) return engine;
+  }
+  std::string message = "unknown engine: ";
+  message += name;
+  message += " (one of: ";
+  message += AllEngineNames();
+  message += ")";
+  return Status::InvalidArgument(std::move(message));
+}
+
+std::string AllEngineNames() {
+  std::string out;
+  for (Engine engine : kAllEngines) {
+    if (!out.empty()) out += '|';
+    out += EngineName(engine);
+  }
+  return out;
+}
+
+std::string RunContext::OocDir() const {
+  // Per-run-unique: concurrent jobs on one graph must not share shard
+  // files mid-build.
+  static std::atomic<uint64_t> counter{0};
+  return scratch_dir + "/ooc_" + std::to_string(graph.fingerprint()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+std::vector<Engine> AppDescriptor::engines() const {
+  std::vector<Engine> out;
+  for (Engine engine : kAllEngines) {
+    if (Supports(engine)) out.push_back(engine);
+  }
+  return out;
+}
+
+std::string AppDescriptor::EngineList() const {
+  std::string out;
+  for (Engine engine : engines()) {
+    if (!out.empty()) out += ',';
+    out += EngineName(engine);
+  }
+  return out;
+}
+
+AppRegistry& AppRegistry::Global() {
+  static AppRegistry* instance = new AppRegistry;
+  return *instance;
+}
+
+Status AppRegistry::Register(AppDescriptor descriptor) {
+  if (descriptor.name.empty()) {
+    return Status::InvalidArgument("app descriptor has no name");
+  }
+  if (descriptor.runners.empty()) {
+    return Status::InvalidArgument("app " + descriptor.name +
+                                   " declares no engine runners");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = apps_.emplace(descriptor.name, std::move(descriptor));
+  if (!inserted) {
+    return Status::FailedPrecondition("app already registered: " + it->first);
+  }
+  return Status::OK();
+}
+
+const AppDescriptor* AppRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = apps_.find(name);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+std::vector<const AppDescriptor*> AppRegistry::Apps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const AppDescriptor*> out;
+  out.reserve(apps_.size());
+  for (const auto& [name, descriptor] : apps_) out.push_back(&descriptor);
+  return out;  // std::map iteration order = sorted by name
+}
+
+std::vector<std::string> AppRegistry::AppNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(apps_.size());
+  for (const auto& [name, descriptor] : apps_) out.push_back(name);
+  return out;
+}
+
+std::string AppRegistry::UsageList() const {
+  std::string out;
+  for (const std::string& name : AppNames()) {
+    if (!out.empty()) out += '|';
+    out += name;
+  }
+  return out;
+}
+
+std::string AppRegistry::ListApps() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-10s %-18s %-16s %-18s %s\n", "app",
+                "engines", "guidance", "needs", "description");
+  out << line;
+  for (const AppDescriptor* app : Apps()) {
+    std::string needs;
+    auto add_need = [&needs](const char* need) {
+      if (!needs.empty()) needs += ',';
+      needs.append(need);
+    };
+    if (app->needs_symmetric) add_need("symmetric");
+    if (app->needs_weights) add_need("weights");
+    if (app->single_source) add_need("root");
+    std::snprintf(line, sizeof(line), "%-10s %-18s %-16s %-18s %s\n",
+                  app->name.c_str(), app->EngineList().c_str(),
+                  RootPolicyName(app->root_policy),
+                  needs.empty() ? "-" : needs.c_str(),
+                  app->summary.c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+AppRegistrar::AppRegistrar(AppDescriptor descriptor) {
+  std::string name = descriptor.name;
+  Status status = AppRegistry::Global().Register(std::move(descriptor));
+  if (!status.ok()) {
+    std::fprintf(stderr, "fatal: app registration failed for '%s': %s\n",
+                 name.c_str(), status.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace slfe::api

@@ -1,0 +1,202 @@
+#include "slfe/api/session.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "slfe/graph/edge_list.h"
+
+namespace slfe::api {
+
+namespace {
+
+/// Unit weights carry no path-cost information; one non-unit weight makes
+/// the graph "weighted" for the requirement checks.
+bool HasNonUnitWeights(const Graph& graph) {
+  for (Weight w : graph.out().weights()) {
+    if (w != 1.0f) return true;
+  }
+  return false;
+}
+
+/// Rebuilds the undirected closure from the out-adjacency. Matches the
+/// EdgeList::Symmetrize + Deduplicate preparation the CLI used to do by
+/// hand: both directions of every edge, first-seen weight per (src, dst).
+Graph Symmetrized(const Graph& graph) {
+  EdgeList edges(graph.num_vertices());
+  edges.Reserve(graph.num_edges());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    graph.out().ForEachNeighbor(
+        v, [&](VertexId dst, Weight w) { edges.Add(v, dst, w); });
+  }
+  edges.Symmetrize();
+  edges.Deduplicate();
+  return Graph::FromEdges(edges);
+}
+
+}  // namespace
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {
+  if (options_.num_nodes < 1) options_.num_nodes = 1;
+  if (options_.threads_per_node < 1) options_.threads_per_node = 1;
+  if (options_.ooc_shards < 1) options_.ooc_shards = 1;
+  if (options_.scratch_dir.empty()) {
+    options_.scratch_dir =
+        "/tmp/slfe_session." + std::to_string(::getpid());
+  }
+  if (options_.external_provider != nullptr) {
+    provider_ = options_.external_provider;
+  } else {
+    owned_provider_ = std::make_unique<GuidanceProvider>(options_.provider);
+    provider_ = owned_provider_.get();
+  }
+}
+
+Status Session::AddGraph(const std::string& name, Graph graph) {
+  GraphTraits traits;
+  traits.weighted = HasNonUnitWeights(graph);
+  return AddGraph(name, std::move(graph), traits);
+}
+
+Status Session::AddGraph(const std::string& name, Graph graph,
+                         GraphTraits traits) {
+  if (name.empty()) return Status::InvalidArgument("graph name is empty");
+  auto shared = std::make_shared<const Graph>(std::move(graph));
+  std::lock_guard<std::mutex> lock(graphs_mu_);
+  if (graphs_.find(name) != graphs_.end()) {
+    return Status::FailedPrecondition("graph already registered: " + name);
+  }
+  graphs_.emplace(name, GraphEntry{std::move(shared), traits, nullptr});
+  return Status::OK();
+}
+
+bool Session::HasGraph(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(graphs_mu_);
+  return graphs_.find(name) != graphs_.end();
+}
+
+std::shared_ptr<const Graph> Session::GetGraph(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(graphs_mu_);
+  auto it = graphs_.find(name);
+  return it == graphs_.end() ? nullptr : it->second.graph;
+}
+
+Status Session::Check(const AppRequest& request,
+                      const AppDescriptor** descriptor, Engine* engine) const {
+  const AppRegistry& registry = AppRegistry::Global();
+  const AppDescriptor* app = registry.Find(request.app);
+  if (app == nullptr) {
+    return Status::InvalidArgument("unknown app: " + request.app +
+                                   " (one of: " + registry.UsageList() + ")");
+  }
+  Result<Engine> parsed = ParseEngine(request.engine);
+  if (!parsed.ok()) return parsed.status();
+  if (!app->Supports(parsed.value())) {
+    return Status::InvalidArgument(
+        "app " + app->name + " not available on engine " + request.engine +
+        " (declared: " + app->EngineList() + ")");
+  }
+
+  GraphTraits traits;
+  VertexId num_vertices = 0;
+  {
+    std::lock_guard<std::mutex> lock(graphs_mu_);
+    auto it = graphs_.find(request.graph);
+    if (it == graphs_.end()) {
+      return Status::NotFound("graph not registered: " + request.graph);
+    }
+    traits = it->second.traits;
+    num_vertices = it->second.graph->num_vertices();
+  }
+  if (app->needs_symmetric && !traits.symmetric && !options_.auto_symmetrize) {
+    return Status::InvalidArgument(
+        "app " + app->name + " requires a symmetric graph; '" +
+        request.graph +
+        "' is not registered as symmetric (and auto-symmetrize is off)");
+  }
+  if (app->needs_weights && !traits.weighted && options_.strict_weights) {
+    return Status::InvalidArgument(
+        "app " + app->name + " requires weighted edges; graph '" +
+        request.graph + "' has unit weights only");
+  }
+  if (app->single_source && request.root >= num_vertices) {
+    return Status::InvalidArgument(
+        "root " + std::to_string(request.root) + " out of range for graph " +
+        request.graph + " (|V|=" + std::to_string(num_vertices) + ")");
+  }
+  if (descriptor != nullptr) *descriptor = app;
+  if (engine != nullptr) *engine = parsed.value();
+  return Status::OK();
+}
+
+Status Session::Validate(const AppRequest& request) const {
+  return Check(request, nullptr, nullptr);
+}
+
+std::shared_ptr<const Graph> Session::ResolveChecked(
+    const std::string& name, const AppDescriptor& app) {
+  std::shared_ptr<const Graph> base;
+  {
+    std::lock_guard<std::mutex> lock(graphs_mu_);
+    GraphEntry& entry = graphs_.at(name);
+    if (!app.needs_symmetric || entry.traits.symmetric) return entry.graph;
+    if (entry.symmetrized != nullptr) return entry.symmetrized;
+    base = entry.graph;
+  }
+  // Build the O(V+E) closure OUTSIDE graphs_mu_: a multi-tenant service
+  // validates submissions under that mutex, and a seconds-long rebuild of
+  // a large graph must not stall every other tenant's Submit. Racing
+  // first resolvers may build duplicates; the first to publish wins and
+  // the rest are dropped (rare one-off cost, bounded by the race width).
+  auto built = std::make_shared<const Graph>(Symmetrized(*base));
+  std::lock_guard<std::mutex> lock(graphs_mu_);
+  GraphEntry& entry = graphs_.at(name);
+  if (entry.symmetrized == nullptr) entry.symmetrized = std::move(built);
+  return entry.symmetrized;
+}
+
+Result<std::shared_ptr<const Graph>> Session::ResolveGraph(
+    const AppRequest& request) {
+  const AppDescriptor* app = nullptr;
+  Status status = Check(request, &app, nullptr);
+  if (!status.ok()) return status;
+  return ResolveChecked(request.graph, *app);
+}
+
+AppOutcome Session::Run(const AppRequest& request) {
+  AppOutcome outcome;
+  const AppDescriptor* app = nullptr;
+  Engine engine;
+  outcome.status = Check(request, &app, &engine);
+  if (!outcome.status.ok()) return outcome;
+  if (engine == Engine::kOoc) {
+    // Lazily create the scratch root only when an engine with on-disk
+    // state runs (OocEngine::Build mkdirs just the leaf under it), and
+    // fail HERE with a clear message instead of a confusing shard error.
+    if (::mkdir(options_.scratch_dir.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      outcome.status = Status::IOError("cannot create session scratch dir " +
+                                       options_.scratch_dir);
+      return outcome;
+    }
+  }
+  std::shared_ptr<const Graph> graph = ResolveChecked(request.graph, *app);
+
+  AppConfig config;
+  config.num_nodes = options_.num_nodes;
+  config.threads_per_node = options_.threads_per_node;
+  config.enable_rr = request.enable_rr;
+  config.enable_stealing = request.enable_stealing;
+  config.max_iters = request.max_iters;
+  config.epsilon = request.epsilon;
+  config.root = request.root;
+  config.guidance_provider = provider_;
+
+  RunContext context{*graph, request, std::move(config),
+                     options_.scratch_dir, options_.ooc_shards};
+  return app->runners.at(engine)(context);
+}
+
+}  // namespace slfe::api

@@ -1,0 +1,131 @@
+#ifndef SLFE_API_SESSION_H_
+#define SLFE_API_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "slfe/api/app_registry.h"
+#include "slfe/common/status.h"
+#include "slfe/core/guidance_provider.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe::api {
+
+/// What the session knows about a registered graph beyond its topology —
+/// the inputs to the registry's graph-requirement checks.
+struct GraphTraits {
+  /// Already holds the undirected closure (both directions of every
+  /// edge). Declared by the caller; when false, needs_symmetric apps get
+  /// the session's lazily built symmetrized variant (or a rejection, per
+  /// SessionOptions::auto_symmetrize).
+  bool symmetric = false;
+  /// Carries at least one non-unit edge weight. Detected automatically by
+  /// AddGraph unless declared.
+  bool weighted = false;
+};
+
+struct SessionOptions {
+  /// Simulated cluster shape for dist-engine runs (and the gas node
+  /// count); shm uses num_nodes * threads_per_node worker threads.
+  int num_nodes = 1;
+  int threads_per_node = 1;
+  /// When a needs_symmetric app runs on a graph not registered as
+  /// symmetric: true = lazily build (and cache) the undirected closure;
+  /// false = reject the request up front.
+  bool auto_symmetrize = true;
+  /// Reject needs_weights apps on unit-weight graphs. The multi-tenant
+  /// JobService runs strict (a meaningless job should bounce at submit,
+  /// not burn a worker); the interactive CLI stays permissive (sssp on an
+  /// unweighted graph is hop counts — odd, but the user asked).
+  bool strict_weights = false;
+  /// Configuration for the session-owned guidance provider (ignored when
+  /// external_provider is set).
+  GuidanceProviderOptions provider;
+  /// Borrow an existing provider instead of owning one (embedding into a
+  /// larger system that already shares a provider). Not owned; must
+  /// outlive the session.
+  GuidanceProvider* external_provider = nullptr;
+  /// Scratch directory for engines with on-disk state (ooc shards).
+  /// Empty = /tmp/slfe_session.<pid>.
+  std::string scratch_dir;
+  uint32_t ooc_shards = 4;
+};
+
+/// The one front door to running applications: a Session owns graph
+/// handles (plus their requirement traits and derived symmetrized
+/// variants), a GuidanceProvider (so every run amortizes guidance with
+/// every other run in the session — the paper's §4.4 economics), and the
+/// execution configuration. Session::Run(AppRequest) is the single
+/// execution path every surface uses — the CLI, the JobService workers,
+/// the benches, and the examples all converge here, so an (app, engine)
+/// pair declared in the registry is reachable from all of them.
+///
+/// Thread-safe: concurrent Run calls are the JobService worker-pool case.
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+
+  /// Makes `graph` runnable under `name`. Graphs are immutable and shared
+  /// by reference across runs; duplicate names are rejected (replacing
+  /// would swap data under concurrent runs). The overload without traits
+  /// detects weights (O(|E|) scan) and assumes not-symmetric.
+  Status AddGraph(const std::string& name, Graph graph);
+  Status AddGraph(const std::string& name, Graph graph, GraphTraits traits);
+
+  bool HasGraph(const std::string& name) const;
+  /// nullptr when unknown.
+  std::shared_ptr<const Graph> GetGraph(const std::string& name) const;
+
+  /// Full up-front validation with registry-derived messages: unknown
+  /// app/engine, an (app, engine) pair the descriptor does not declare,
+  /// an unregistered graph, requirement violations (symmetric/weighted),
+  /// and an out-of-range root for single-source apps. kInvalidArgument
+  /// for all of those except the unregistered graph (kNotFound).
+  Status Validate(const AppRequest& request) const;
+
+  /// The exact graph Run(request) will execute on: the registered graph,
+  /// or its (lazily built, cached) symmetrized variant when the app needs
+  /// the undirected closure. Callers that meter or pin per-graph state
+  /// (the JobService) must use this, not GetGraph.
+  Result<std::shared_ptr<const Graph>> ResolveGraph(const AppRequest& request);
+
+  /// THE execution path: validate, resolve the graph, dispatch to the
+  /// registry's runner for (request.app, request.engine). Failures are
+  /// reported in AppOutcome::status, never thrown.
+  AppOutcome Run(const AppRequest& request);
+
+  GuidanceProvider& provider() { return *provider_; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  struct GraphEntry {
+    std::shared_ptr<const Graph> graph;
+    GraphTraits traits;
+    /// Lazily built undirected closure for needs_symmetric apps.
+    std::shared_ptr<const Graph> symmetrized;
+  };
+
+  /// Internal: descriptor lookup + requirement checks shared by
+  /// Validate/Run (returns the descriptor and parsed engine on success).
+  Status Check(const AppRequest& request, const AppDescriptor** descriptor,
+               Engine* engine) const;
+
+  /// Internal resolution after a successful Check: the registered graph,
+  /// or its symmetrized variant (built outside graphs_mu_ so a large
+  /// closure rebuild cannot stall concurrent Validate/Run calls).
+  std::shared_ptr<const Graph> ResolveChecked(const std::string& name,
+                                              const AppDescriptor& app);
+
+  SessionOptions options_;
+  std::unique_ptr<GuidanceProvider> owned_provider_;
+  GuidanceProvider* provider_;  // owned_provider_ or the external one
+
+  mutable std::mutex graphs_mu_;
+  std::map<std::string, GraphEntry> graphs_;
+};
+
+}  // namespace slfe::api
+
+#endif  // SLFE_API_SESSION_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "slfe/api/app_registry.h"
 #include "slfe/apps/bfs.h"
 #include "slfe/common/random.h"
 
@@ -43,5 +44,29 @@ ApproxDiameterResult RunApproxDiameter(const Graph& graph,
   }
   return result;
 }
+
+// Self-registration (see api/app_registry.h).
+namespace {
+
+api::AppRegistrar register_diameter([] {
+  api::AppDescriptor d;
+  d.name = "diameter";
+  d.summary = "approximate diameter lower bound (multi-probe BFS)";
+  d.root_policy = GuidanceRootPolicy::kSingleSource;
+  d.runners[api::Engine::kDist] = [](const api::RunContext& ctx) {
+    ApproxDiameterResult r =
+        RunApproxDiameter(ctx.graph, ctx.config, ctx.request.num_probes);
+    api::AppOutcome out;
+    out.info = r.info;
+    out.summary = r.diameter_lower_bound;
+    out.summary_text =
+        "diameter>=" + std::to_string(r.diameter_lower_bound) + " (" +
+        std::to_string(ctx.request.num_probes) + " probes)";
+    return out;
+  };
+  return d;
+}());
+
+}  // namespace
 
 }  // namespace slfe

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "slfe/api/engine_adapters.h"
 #include "slfe/common/logging.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/sim/cluster.h"
@@ -47,5 +48,38 @@ BeliefPropagationResult RunBeliefPropagation(const Graph& graph,
   });
   return result;
 }
+
+// Self-registration (see api/app_registry.h). Canonical input: positive
+// log-odds evidence (+2) at the request root, no evidence elsewhere.
+namespace {
+
+api::AppRegistrar register_bp([] {
+  api::AppDescriptor d;
+  d.name = "bp";
+  d.summary = "loopy belief propagation (damped mean-field MRF)";
+  d.root_policy = GuidanceRootPolicy::kSourceVertices;
+  d.runners[api::Engine::kDist] = [](const api::RunContext& ctx) {
+    std::vector<float> prior(ctx.graph.num_vertices(), 0.0f);
+    if (!prior.empty()) {
+      prior[ctx.config.root % prior.size()] = 2.0f;
+    }
+    BeliefPropagationResult r =
+        RunBeliefPropagation(ctx.graph, prior, ctx.config,
+                             ctx.request.coupling, ctx.request.damping);
+    api::AppOutcome out;
+    out.info = r.info;
+    out.values = api::ToValues(r.belief);
+    uint64_t positive = 0;
+    for (float b : r.belief) {
+      if (b > 0) ++positive;
+    }
+    out.summary = positive;
+    out.summary_text = "MAP-positive=" + std::to_string(positive);
+    return out;
+  };
+  return d;
+}());
+
+}  // namespace
 
 }  // namespace slfe

@@ -1,7 +1,9 @@
 #include "slfe/apps/bfs.h"
 
+#include <algorithm>
 #include <cstdint>
 
+#include "slfe/api/engine_adapters.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/engine/atomic_ops.h"
 #include "slfe/sim/cluster.h"
@@ -53,5 +55,32 @@ BfsResult RunBfs(const Graph& graph, const AppConfig& config) {
   });
   return result;
 }
+
+// Self-registration (see api/app_registry.h).
+namespace {
+
+api::AppRegistrar register_bfs([] {
+  api::AppDescriptor d;
+  d.name = "bfs";
+  d.summary = "breadth-first search hop counts";
+  d.root_policy = GuidanceRootPolicy::kSingleSource;
+  d.single_source = true;
+  d.runners[api::Engine::kDist] = [](const api::RunContext& ctx) {
+    BfsResult r = RunBfs(ctx.graph, ctx.config);
+    api::AppOutcome out;
+    out.info = r.info;
+    out.values = api::ToValues(r.levels);
+    uint32_t depth = 0;
+    for (uint32_t l : r.levels) {
+      if (l != UINT32_MAX) depth = std::max(depth, l);
+    }
+    out.summary = depth;
+    out.summary_text = "max level=" + std::to_string(depth);
+    return out;
+  };
+  return d;
+}());
+
+}  // namespace
 
 }  // namespace slfe

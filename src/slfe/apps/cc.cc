@@ -1,8 +1,11 @@
 #include "slfe/apps/cc.h"
 
 #include <numeric>
+#include <set>
 
+#include "slfe/api/engine_adapters.h"
 #include "slfe/core/rr_runners.h"
+#include "slfe/gas/gas_apps.h"
 #include "slfe/engine/atomic_ops.h"
 #include "slfe/sim/cluster.h"
 
@@ -51,5 +54,80 @@ CcResult RunCc(const Graph& graph, const AppConfig& config) {
   });
   return result;
 }
+
+// Self-registration (see api/app_registry.h). CC runs on every engine in
+// the tree: the dist cluster, the Ligra-style shm engine, the GAS
+// comparator, and the out-of-core shard sweeps.
+namespace {
+
+api::AppOutcome CcOutcome(AppRunInfo info,
+                          const std::vector<uint32_t>& labels) {
+  api::AppOutcome out;
+  out.info = info;
+  out.values = api::ToValues(labels);
+  std::set<uint32_t> components(labels.begin(), labels.end());
+  out.summary = components.size();
+  out.summary_text = "components=" + std::to_string(components.size());
+  return out;
+}
+
+api::AppRegistrar register_cc([] {
+  api::AppDescriptor d;
+  d.name = "cc";
+  d.summary = "weakly connected components (min-label propagation)";
+  d.root_policy = GuidanceRootPolicy::kLocalMinima;
+  d.needs_symmetric = true;
+  d.runners[api::Engine::kDist] = [](const api::RunContext& ctx) {
+    CcResult r = RunCc(ctx.graph, ctx.config);
+    return CcOutcome(r.info, r.labels);
+  };
+  d.runners[api::Engine::kGas] = [](const api::RunContext& ctx) {
+    GuidanceAcquisition acq = AcquireGuidance(
+        ctx.graph, ctx.config, GuidanceRootPolicy::kLocalMinima);
+    gas::GasOptions opt;
+    opt.num_nodes = ctx.config.num_nodes;
+    opt.guidance = acq.guidance;  // "start late" gathers (monotone min)
+    gas::GasCcResult r = gas::RunGasCc(ctx.graph, opt);
+    api::AppOutcome out = CcOutcome(api::FromGasStats(r.stats), r.labels);
+    RecordGuidance(acq, &out.info);
+    return out;
+  };
+  d.runners[api::Engine::kShm] = [](const api::RunContext& ctx) {
+    std::vector<uint32_t> labels;
+    shm::ShmStats stats =
+        shm::ShmCc(ctx.graph, api::ShmThreads(ctx.config), &labels);
+    return CcOutcome(api::FromShmStats(stats), labels);
+  };
+  d.runners[api::Engine::kOoc] = [](const api::RunContext& ctx) {
+    Result<ooc::OocEngine> built =
+        ooc::OocEngine::Build(ctx.graph, ctx.OocDir(), ctx.ooc_shards);
+    if (!built.ok()) {
+      api::AppOutcome out;
+      out.status = built.status();
+      return out;
+    }
+    ooc::OocEngine engine = std::move(built).value();
+    std::vector<uint32_t> labels;
+    ooc::OocStats stats;
+    api::AppOutcome out;
+    GuidanceAcquisition acq = AcquireGuidance(
+        ctx.graph, ctx.config, GuidanceRootPolicy::kLocalMinima);
+    if (acq) {
+      // One acquisition per run: the runner's Acquire carries the
+      // hit/coalesced accounting AND feeds the sweep.
+      stats = ooc::OocCcGuided(engine, ctx.graph, &labels, acq);
+      out = CcOutcome(api::FromOocStats(stats), labels);
+      RecordGuidance(acq, &out.info);
+    } else {
+      stats = ooc::OocCc(engine, &labels);
+      out = CcOutcome(api::FromOocStats(stats), labels);
+    }
+    engine.RemoveFiles();
+    return out;
+  };
+  return d;
+}());
+
+}  // namespace
 
 }  // namespace slfe

@@ -1,5 +1,6 @@
 #include "slfe/apps/heat_simulation.h"
 
+#include "slfe/api/engine_adapters.h"
 #include "slfe/common/logging.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/sim/cluster.h"
@@ -49,5 +50,37 @@ HeatSimulationResult RunHeatSimulation(const Graph& graph,
   });
   return result;
 }
+
+// Self-registration (see api/app_registry.h). Canonical input: a single
+// 100-degree hot spot at the request root, everything else cold.
+namespace {
+
+api::AppRegistrar register_heat([] {
+  api::AppDescriptor d;
+  d.name = "heat";
+  d.summary = "Jacobi heat diffusion from a hot spot";
+  d.root_policy = GuidanceRootPolicy::kSourceVertices;
+  d.runners[api::Engine::kDist] = [](const api::RunContext& ctx) {
+    std::vector<float> initial(ctx.graph.num_vertices(), 0.0f);
+    if (!initial.empty()) {
+      initial[ctx.config.root % initial.size()] = 100.0f;
+    }
+    HeatSimulationResult r = RunHeatSimulation(ctx.graph, initial,
+                                               ctx.config, ctx.request.alpha);
+    api::AppOutcome out;
+    out.info = r.info;
+    out.values = api::ToValues(r.heat);
+    uint64_t warmed = 0;
+    for (float h : r.heat) {
+      if (h > 0) ++warmed;
+    }
+    out.summary = warmed;
+    out.summary_text = "warmed=" + std::to_string(warmed);
+    return out;
+  };
+  return d;
+}());
+
+}  // namespace
 
 }  // namespace slfe

@@ -1,9 +1,11 @@
 #include "slfe/apps/mst.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 #include <tuple>
 
+#include "slfe/api/app_registry.h"
 #include "slfe/common/timer.h"
 #include "slfe/common/work_stealing.h"
 #include "slfe/engine/dist_graph.h"
@@ -125,5 +127,31 @@ MstResult RunMst(const Graph& graph, const AppConfig& config) {
   result.info.supersteps = result.rounds;
   return result;
 }
+
+// Self-registration (see api/app_registry.h).
+namespace {
+
+api::AppRegistrar register_mst([] {
+  api::AppDescriptor d;
+  d.name = "mst";
+  d.summary = "minimum spanning forest (parallel Boruvka)";
+  d.needs_symmetric = true;
+  d.needs_weights = true;
+  d.runners[api::Engine::kDist] = [](const api::RunContext& ctx) {
+    MstResult r = RunMst(ctx.graph, ctx.config);
+    api::AppOutcome out;
+    out.info = r.info;
+    out.summary = r.tree_edges;
+    char text[96];
+    std::snprintf(text, sizeof(text),
+                  "forest weight=%.0f edges=%llu rounds=%u", r.total_weight,
+                  static_cast<unsigned long long>(r.tree_edges), r.rounds);
+    out.summary_text = text;
+    return out;
+  };
+  return d;
+}());
+
+}  // namespace
 
 }  // namespace slfe

@@ -1,5 +1,6 @@
 #include "slfe/apps/numpaths.h"
 
+#include "slfe/api/engine_adapters.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/sim/cluster.h"
 
@@ -47,5 +48,33 @@ NumPathsResult RunNumPaths(const Graph& graph, const AppConfig& config,
   result.paths = walks;
   return result;
 }
+
+// Self-registration (see api/app_registry.h).
+namespace {
+
+api::AppRegistrar register_numpaths([] {
+  api::AppDescriptor d;
+  d.name = "numpaths";
+  d.summary = "walk counts of length <= k from a root";
+  d.root_policy = GuidanceRootPolicy::kSingleSource;
+  d.single_source = true;
+  d.runners[api::Engine::kDist] = [](const api::RunContext& ctx) {
+    NumPathsResult r =
+        RunNumPaths(ctx.graph, ctx.config, ctx.config.max_iters);
+    api::AppOutcome out;
+    out.info = r.info;
+    out.values = r.paths;
+    uint64_t reached = 0;
+    for (double p : r.paths) {
+      if (p > 0) ++reached;
+    }
+    out.summary = reached;
+    out.summary_text = "reached=" + std::to_string(reached);
+    return out;
+  };
+  return d;
+}());
+
+}  // namespace
 
 }  // namespace slfe

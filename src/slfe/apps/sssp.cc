@@ -2,8 +2,10 @@
 
 #include <limits>
 
+#include "slfe/api/engine_adapters.h"
 #include "slfe/core/rr_runners.h"
 #include "slfe/engine/atomic_ops.h"
+#include "slfe/gas/gas_apps.h"
 #include "slfe/sim/cluster.h"
 
 namespace slfe {
@@ -51,5 +53,58 @@ SsspResult RunSssp(const Graph& graph, const AppConfig& config) {
   });
   return result;
 }
+
+// Self-registration: this file is the ONE place that declares what sssp
+// is — which engines run it, its guidance policy, its graph needs — and
+// every surface (CLI, daemon, line protocol, benches) derives dispatch
+// and validation from this descriptor.
+namespace {
+
+api::AppOutcome SsspOutcome(AppRunInfo info, const std::vector<float>& dist) {
+  api::AppOutcome out;
+  out.info = info;
+  out.values = api::ToValues(dist);
+  uint64_t reached = 0;
+  for (float d : dist) {
+    if (d < std::numeric_limits<float>::infinity()) ++reached;
+  }
+  out.summary = reached;
+  out.summary_text = "reached=" + std::to_string(reached) + " of " +
+                     std::to_string(dist.size());
+  return out;
+}
+
+api::AppRegistrar register_sssp([] {
+  api::AppDescriptor d;
+  d.name = "sssp";
+  d.summary = "single-source shortest paths (start-late RR)";
+  d.root_policy = GuidanceRootPolicy::kSingleSource;
+  d.needs_weights = true;
+  d.single_source = true;
+  d.runners[api::Engine::kDist] = [](const api::RunContext& ctx) {
+    SsspResult r = RunSssp(ctx.graph, ctx.config);
+    return SsspOutcome(r.info, r.dist);
+  };
+  d.runners[api::Engine::kGas] = [](const api::RunContext& ctx) {
+    GuidanceAcquisition acq = AcquireGuidance(
+        ctx.graph, ctx.config, GuidanceRootPolicy::kSingleSource);
+    gas::GasOptions opt;
+    opt.num_nodes = ctx.config.num_nodes;
+    opt.guidance = acq.guidance;  // "start late" gathers (monotone min)
+    gas::GasSsspResult r = gas::RunGasSssp(ctx.graph, ctx.config.root, opt);
+    api::AppOutcome out = SsspOutcome(api::FromGasStats(r.stats), r.dist);
+    RecordGuidance(acq, &out.info);
+    return out;
+  };
+  d.runners[api::Engine::kShm] = [](const api::RunContext& ctx) {
+    std::vector<float> dist;
+    shm::ShmStats stats = shm::ShmSssp(ctx.graph, ctx.config.root,
+                                       api::ShmThreads(ctx.config), &dist);
+    return SsspOutcome(api::FromShmStats(stats), dist);
+  };
+  return d;
+}());
+
+}  // namespace
 
 }  // namespace slfe

@@ -1,6 +1,8 @@
 #include "slfe/apps/tr.h"
 
+#include "slfe/api/engine_adapters.h"
 #include "slfe/core/rr_runners.h"
+#include "slfe/gas/gas_apps.h"
 #include "slfe/sim/cluster.h"
 
 namespace slfe {
@@ -52,5 +54,40 @@ TrResult RunTr(const Graph& graph, const AppConfig& config,
   });
   return result;
 }
+
+// Self-registration (see api/app_registry.h).
+namespace {
+
+api::AppOutcome TrOutcome(AppRunInfo info,
+                          const std::vector<float>& influence) {
+  api::AppOutcome out;
+  out.info = info;
+  out.values = api::ToValues(influence);
+  out.summary = info.ec_vertices;
+  out.summary_text = "EC vertices=" + std::to_string(info.ec_vertices);
+  return out;
+}
+
+api::AppRegistrar register_tr([] {
+  api::AppDescriptor d;
+  d.name = "tr";
+  d.summary = "TunkRank influence scores (finish-early RR)";
+  d.root_policy = GuidanceRootPolicy::kSourceVertices;
+  d.runners[api::Engine::kDist] = [](const api::RunContext& ctx) {
+    TrResult r = RunTr(ctx.graph, ctx.config, ctx.request.retweet_probability);
+    return TrOutcome(r.info, r.influence);
+  };
+  d.runners[api::Engine::kGas] = [](const api::RunContext& ctx) {
+    // Baseline only: fixed-iteration arithmetic (see the pr descriptor).
+    gas::GasOptions opt;
+    opt.num_nodes = ctx.config.num_nodes;
+    gas::GasTrResult r = gas::RunGasTr(ctx.graph, ctx.config.max_iters, opt,
+                                       ctx.request.retweet_probability);
+    return TrOutcome(api::FromGasStats(r.stats), r.influence);
+  };
+  return d;
+}());
+
+}  // namespace
 
 }  // namespace slfe

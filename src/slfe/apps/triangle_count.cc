@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "slfe/api/app_registry.h"
 #include "slfe/common/timer.h"
 #include "slfe/common/work_stealing.h"
 #include "slfe/engine/dist_graph.h"
@@ -114,5 +115,25 @@ TriangleCountResult RunTriangleCount(const Graph& graph,
   result.info.supersteps = 1;
   return result;
 }
+
+// Self-registration (see api/app_registry.h).
+namespace {
+
+api::AppRegistrar register_tc([] {
+  api::AppDescriptor d;
+  d.name = "tc";
+  d.summary = "triangle count (degree-ordered intersection)";
+  d.runners[api::Engine::kDist] = [](const api::RunContext& ctx) {
+    TriangleCountResult r = RunTriangleCount(ctx.graph, ctx.config);
+    api::AppOutcome out;
+    out.info = r.info;
+    out.summary = r.triangles;
+    out.summary_text = "triangles=" + std::to_string(r.triangles);
+    return out;
+  };
+  return d;
+}());
+
+}  // namespace
 
 }  // namespace slfe

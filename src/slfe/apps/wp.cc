@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "slfe/api/engine_adapters.h"
 #include "slfe/core/rr_runners.h"
+#include "slfe/gas/gas_apps.h"
 #include "slfe/engine/atomic_ops.h"
 #include "slfe/sim/cluster.h"
 
@@ -52,5 +54,50 @@ WpResult RunWp(const Graph& graph, const AppConfig& config) {
   });
   return result;
 }
+
+// Self-registration (see api/app_registry.h).
+namespace {
+
+api::AppOutcome WpOutcome(AppRunInfo info, const std::vector<float>& width) {
+  api::AppOutcome out;
+  out.info = info;
+  out.values = api::ToValues(width);
+  uint64_t reachable = 0;
+  for (float w : width) {
+    if (w > 0) ++reachable;
+  }
+  out.summary = reachable;
+  out.summary_text = "reachable=" + std::to_string(reachable);
+  return out;
+}
+
+api::AppRegistrar register_wp([] {
+  api::AppDescriptor d;
+  d.name = "wp";
+  d.summary = "widest (maximum-bottleneck) paths from a root";
+  d.root_policy = GuidanceRootPolicy::kSingleSource;
+  d.needs_weights = true;
+  d.single_source = true;
+  d.runners[api::Engine::kDist] = [](const api::RunContext& ctx) {
+    WpResult r = RunWp(ctx.graph, ctx.config);
+    return WpOutcome(r.info, r.width);
+  };
+  d.runners[api::Engine::kGas] = [](const api::RunContext& ctx) {
+    GuidanceAcquisition acq = AcquireGuidance(
+        ctx.graph, ctx.config, GuidanceRootPolicy::kSingleSource);
+    gas::GasOptions opt;
+    opt.num_nodes = ctx.config.num_nodes;
+    // Monotone max aggregation: "start late" reaches the exact baseline
+    // fixpoint (see GasOptions::guidance).
+    opt.guidance = acq.guidance;
+    gas::GasWpResult r = gas::RunGasWp(ctx.graph, ctx.config.root, opt);
+    api::AppOutcome out = WpOutcome(api::FromGasStats(r.stats), r.width);
+    RecordGuidance(acq, &out.info);
+    return out;
+  };
+  return d;
+}());
+
+}  // namespace
 
 }  // namespace slfe

@@ -131,6 +131,16 @@ OocStats OocPr(OocEngine& engine, const Graph& graph, uint32_t iterations,
 OocStats OocPrGuided(OocEngine& engine, const Graph& graph,
                      uint32_t iterations, std::vector<float>* ranks,
                      GuidanceProvider* provider) {
+  GuidanceProvider& p = ResolveProvider(provider);
+  GuidanceRequest request;
+  request.policy = GuidanceRootPolicy::kSourceVertices;
+  return OocPrGuided(engine, graph, iterations, ranks,
+                     p.Acquire(graph, request));
+}
+
+OocStats OocPrGuided(OocEngine& engine, const Graph& graph,
+                     uint32_t iterations, std::vector<float>* ranks,
+                     const GuidanceAcquisition& acq) {
   OocStats stats;
   VertexId n = engine.num_vertices();
   SLFE_CHECK_EQ(graph.num_vertices(), n);
@@ -143,10 +153,6 @@ OocStats OocPrGuided(OocEngine& engine, const Graph& graph,
     contrib[v] = od > 0 ? 1.0f / static_cast<float>(od) : 1.0f;
   }
 
-  GuidanceProvider& p = ResolveProvider(provider);
-  GuidanceRequest request;
-  request.policy = GuidanceRootPolicy::kSourceVertices;
-  GuidanceAcquisition acq = p.Acquire(graph, request);
   stats.guidance_seconds = acq.acquire_seconds;
   const RRGuidance* rrg = acq.get();
 
@@ -214,6 +220,15 @@ OocStats OocCc(OocEngine& engine, std::vector<uint32_t>* labels) {
 OocStats OocCcGuided(OocEngine& engine, const Graph& graph,
                      std::vector<uint32_t>* labels,
                      GuidanceProvider* provider) {
+  GuidanceProvider& p = ResolveProvider(provider);
+  GuidanceRequest request;
+  request.policy = GuidanceRootPolicy::kLocalMinima;
+  return OocCcGuided(engine, graph, labels, p.Acquire(graph, request));
+}
+
+OocStats OocCcGuided(OocEngine& engine, const Graph& graph,
+                     std::vector<uint32_t>* labels,
+                     const GuidanceAcquisition& acq) {
   OocStats stats;
   VertexId n = engine.num_vertices();
   // The guidance is indexed by shard-streamed vertex ids, so the graph
@@ -224,10 +239,6 @@ OocStats OocCcGuided(OocEngine& engine, const Graph& graph,
   std::iota(labels->begin(), labels->end(), 0u);
   std::vector<uint32_t>& l = *labels;
 
-  GuidanceProvider& p = ResolveProvider(provider);
-  GuidanceRequest request;
-  request.policy = GuidanceRootPolicy::kLocalMinima;
-  GuidanceAcquisition acq = p.Acquire(graph, request);
   const RRGuidance& rrg = *acq.guidance;
   stats.guidance_seconds = acq.acquire_seconds;
 

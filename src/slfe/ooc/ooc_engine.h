@@ -86,6 +86,13 @@ OocStats OocPrGuided(OocEngine& engine, const Graph& graph,
                      uint32_t iterations, std::vector<float>* ranks,
                      GuidanceProvider* provider = nullptr);
 
+/// As above with a pre-acquired guidance, for callers that already paid
+/// the acquisition (the registry's ooc runner records hit/coalesced
+/// accounting from its own Acquire) — avoids a second provider lookup.
+OocStats OocPrGuided(OocEngine& engine, const Graph& graph,
+                     uint32_t iterations, std::vector<float>* ranks,
+                     const GuidanceAcquisition& acq);
+
 /// GraphChi-style connected components (iterate min-label sweeps to a
 /// fixpoint), Fig. 6a/6b comparator.
 OocStats OocCc(OocEngine& engine, std::vector<uint32_t>* labels);
@@ -99,6 +106,12 @@ OocStats OocCc(OocEngine& engine, std::vector<uint32_t>* labels);
 OocStats OocCcGuided(OocEngine& engine, const Graph& graph,
                      std::vector<uint32_t>* labels,
                      GuidanceProvider* provider = nullptr);
+
+/// Pre-acquired-guidance form (see OocPrGuided). The acquisition must
+/// hold a non-null guidance.
+OocStats OocCcGuided(OocEngine& engine, const Graph& graph,
+                     std::vector<uint32_t>* labels,
+                     const GuidanceAcquisition& acq);
 
 }  // namespace slfe::ooc
 

@@ -4,19 +4,27 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <map>
 #include <mutex>
+#include <string>
 #include <utility>
 
 namespace slfe::service {
 
-/// A bounded MPMC FIFO between the JobService's submitters and its worker
-/// pool. Admission control happens at the producer: TryPush never blocks —
-/// a full queue is a rejection the caller surfaces to the tenant (the
-/// service's backpressure is "reject with a retryable status", not "stall
-/// the submitting thread"). Consumers block in Pop until an item arrives
-/// or the queue is closed AND drained, which is exactly the graceful-
-/// shutdown contract: Close() stops admissions while letting the workers
-/// finish every job already accepted.
+/// A bounded MPMC queue between the JobService's submitters and its worker
+/// pool, FAIR across tenants: items are pushed into per-key (per-tenant)
+/// lanes and popped round-robin over the lanes that currently hold work,
+/// so one tenant's burst can no longer head-of-line-block everyone else —
+/// a flooding tenant and a one-job tenant alternate at the consumers, FIFO
+/// order preserved within each tenant.
+///
+/// Admission control happens at the producer: TryPush never blocks — a
+/// full queue (the capacity bounds the TOTAL across lanes) is a rejection
+/// the caller surfaces to the tenant (the service's backpressure is
+/// "reject with a retryable status", not "stall the submitting thread").
+/// Consumers block in Pop until an item arrives or the queue is closed AND
+/// drained, which is exactly the graceful-shutdown contract: Close() stops
+/// admissions while letting the workers finish every job already accepted.
 template <typename T>
 class JobQueue {
  public:
@@ -25,25 +33,41 @@ class JobQueue {
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
-  /// Enqueues `item` unless the queue is full or closed. Never blocks.
-  bool TryPush(T item) {
+  /// Enqueues `item` into `key`'s lane unless the queue is full or
+  /// closed. Never blocks.
+  bool TryPush(const std::string& key, T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      if (closed_ || size_ >= capacity_) return false;
+      auto [it, inserted] = lanes_.try_emplace(key);
+      if (it->second.empty()) rotation_.push_back(it->first);
+      it->second.push_back(std::move(item));
+      ++size_;
     }
     cv_.notify_one();
     return true;
   }
 
   /// Blocks until an item is available (true) or the queue is closed and
-  /// empty (false — the consumer's signal to exit).
+  /// empty (false — the consumer's signal to exit). Takes the oldest item
+  /// of the lane at the head of the rotation, then moves that lane to the
+  /// back: each pop serves a different tenant while any other tenant has
+  /// work waiting.
   bool Pop(T* out) {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;
-    *out = std::move(items_.front());
-    items_.pop_front();
+    cv_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return false;
+    const std::string key = std::move(rotation_.front());
+    rotation_.pop_front();
+    auto it = lanes_.find(key);
+    *out = std::move(it->second.front());
+    it->second.pop_front();
+    --size_;
+    if (it->second.empty()) {
+      lanes_.erase(it);  // bound the lane map by ACTIVE tenants
+    } else {
+      rotation_.push_back(key);
+    }
     return true;
   }
 
@@ -56,9 +80,16 @@ class JobQueue {
     cv_.notify_all();
   }
 
+  /// Total queued items across all lanes.
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return items_.size();
+    return size_;
+  }
+
+  /// Lanes currently holding work (distinct tenants with queued jobs).
+  size_t active_lanes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lanes_.size();
   }
 
   size_t capacity() const { return capacity_; }
@@ -72,7 +103,12 @@ class JobQueue {
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<T> items_;
+  /// key -> that tenant's FIFO lane. Lanes are erased when drained, so
+  /// the map size tracks tenants with work, not tenants ever seen.
+  std::map<std::string, std::deque<T>> lanes_;
+  /// Round-robin order over non-empty lanes; front = next lane to serve.
+  std::deque<std::string> rotation_;
+  size_t size_ = 0;
   bool closed_ = false;
 };
 

@@ -1,34 +1,11 @@
 #include "slfe/service/job_service.h"
 
-#include <algorithm>
 #include <chrono>
-#include <limits>
-#include <set>
 #include <utility>
-
-#include "slfe/apps/app_common.h"
-#include "slfe/apps/bfs.h"
-#include "slfe/apps/cc.h"
-#include "slfe/apps/pr.h"
-#include "slfe/apps/sssp.h"
-#include "slfe/apps/tr.h"
-#include "slfe/apps/wp.h"
-#include "slfe/gas/gas_apps.h"
 
 namespace slfe::service {
 
 namespace {
-
-bool IsDistApp(const std::string& app) {
-  return app == "sssp" || app == "bfs" || app == "cc" || app == "wp" ||
-         app == "pr" || app == "tr";
-}
-
-bool IsGasApp(const std::string& app) { return app == "sssp" || app == "cc"; }
-
-bool IsSingleSourceApp(const std::string& app) {
-  return app == "sssp" || app == "bfs" || app == "wp";
-}
 
 /// Guidance payload bytes per acquisition — the same per-vertex payload
 /// size the store persists and the tenant byte budgets meter.
@@ -52,30 +29,57 @@ JobServiceOptions Normalize(JobServiceOptions o) {
   return o;
 }
 
-void FillFromRunInfo(const AppRunInfo& info, JobResult* result) {
-  result->supersteps = info.supersteps;
-  result->computations = info.stats.computations;
-  result->skipped = info.stats.skipped;
-  result->updates = info.stats.updates;
-  result->runtime_seconds = info.stats.RuntimeSeconds();
-  result->guidance_acquired = info.guidance_acquired;
-  result->guidance_seconds = info.guidance_seconds;
-  result->guidance_cache_hit = info.guidance_cache_hit;
-  result->guidance_coalesced = info.guidance_coalesced;
+/// The session all jobs run through: the service's cluster shape, its
+/// shared provider configuration, and STRICT requirement checking — a
+/// multi-tenant daemon rejects meaningless jobs at Submit instead of
+/// burning a worker on them.
+api::SessionOptions SessionOptionsFor(const JobServiceOptions& o) {
+  api::SessionOptions s;
+  s.num_nodes = o.job_nodes;
+  s.threads_per_node = o.job_threads;
+  s.auto_symmetrize = o.auto_symmetrize;
+  s.strict_weights = true;
+  s.provider = o.provider;
+  return s;
+}
+
+void FillFromOutcome(const api::AppOutcome& outcome, JobResult* result) {
+  result->status = outcome.status;
+  result->supersteps = outcome.info.supersteps;
+  result->computations = outcome.info.stats.computations;
+  result->skipped = outcome.info.stats.skipped;
+  result->updates = outcome.info.stats.updates;
+  result->runtime_seconds = outcome.info.stats.RuntimeSeconds();
+  result->guidance_acquired = outcome.info.guidance_acquired;
+  result->guidance_seconds = outcome.info.guidance_seconds;
+  result->guidance_cache_hit = outcome.info.guidance_cache_hit;
+  result->guidance_coalesced = outcome.info.guidance_coalesced;
+  result->summary = outcome.summary;
 }
 
 }  // namespace
 
+api::AppRequest JobService::ToAppRequest(const JobRequest& request) {
+  api::AppRequest out;
+  out.app = request.app;
+  out.engine = request.engine;
+  out.graph = request.graph;
+  out.root = request.root;
+  out.max_iters = request.max_iters;
+  out.enable_rr = request.enable_rr;
+  return out;
+}
+
 JobService::JobService(JobServiceOptions options)
     : options_(Normalize(std::move(options))),
-      provider_(options_.provider),
+      session_(std::make_unique<api::Session>(SessionOptionsFor(options_))),
       queue_(options_.queue_capacity) {
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   if (options_.maintenance_interval_seconds > 0 &&
-      provider_.store() != nullptr) {
+      provider().store() != nullptr) {
     maintenance_ = std::thread([this] { MaintenanceLoop(); });
   }
 }
@@ -83,21 +87,16 @@ JobService::JobService(JobServiceOptions options)
 JobService::~JobService() { Shutdown(); }
 
 Status JobService::RegisterGraph(const std::string& name, Graph graph) {
-  if (name.empty()) return Status::InvalidArgument("graph name is empty");
-  auto shared = std::make_shared<const Graph>(std::move(graph));
-  std::lock_guard<std::mutex> lock(graphs_mu_);
-  if (graphs_.find(name) != graphs_.end()) {
-    // Replacing would silently swap the data under queued/running jobs
-    // that resolved the old graph at submit time.
-    return Status::FailedPrecondition("graph already registered: " + name);
-  }
-  graphs_.emplace(name, std::move(shared));
-  return Status::OK();
+  return session_->AddGraph(name, std::move(graph));
+}
+
+Status JobService::RegisterGraph(const std::string& name, Graph graph,
+                                 api::GraphTraits traits) {
+  return session_->AddGraph(name, std::move(graph), traits);
 }
 
 bool JobService::HasGraph(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(graphs_mu_);
-  return graphs_.find(name) != graphs_.end();
+  return session_->HasGraph(name);
 }
 
 Result<JobTicket> JobService::Submit(const JobRequest& request) {
@@ -111,38 +110,22 @@ Result<JobTicket> JobService::Submit(const JobRequest& request) {
   if (!accepting_.load()) {
     return reject(Status::FailedPrecondition("service is shutting down"));
   }
-  bool dist = request.engine == "dist";
-  bool gas = request.engine == "gas";
-  if (!dist && !gas) {
-    return reject(Status::InvalidArgument("unknown engine: " + request.engine));
-  }
-  if ((dist && !IsDistApp(request.app)) || (gas && !IsGasApp(request.app))) {
-    return reject(Status::InvalidArgument("app " + request.app +
-                                          " not available on engine " +
-                                          request.engine));
-  }
-
-  std::shared_ptr<const Graph> graph;
-  {
-    std::lock_guard<std::mutex> lock(graphs_mu_);
-    auto it = graphs_.find(request.graph);
-    if (it != graphs_.end()) graph = it->second;
-  }
-  if (graph == nullptr) {
-    return reject(Status::NotFound("graph not registered: " + request.graph));
-  }
-  if (IsSingleSourceApp(request.app) && request.root >= graph->num_vertices()) {
-    return reject(Status::InvalidArgument("root out of range for graph " +
-                                          request.graph));
-  }
+  api::AppRequest app_request = ToAppRequest(request);
+  // One validation path, shared with the CLI: ResolveGraph runs the full
+  // registry check (app/engine declarations, graph requirements, root
+  // range) before resolving, so a job that passes here can only fail for
+  // runtime reasons.
+  Result<std::shared_ptr<const Graph>> resolved =
+      session_->ResolveGraph(app_request);
+  if (!resolved.ok()) return reject(resolved.status());
 
   QueuedJob job;
   job.request = request;
-  job.graph = std::move(graph);
+  job.graph = std::move(resolved).value();
   job.ticket = std::make_shared<JobHandle>();
   job.id = next_job_id_.fetch_add(1);
 
-  GuidanceStore* store = provider_.store();
+  GuidanceStore* store = provider().store();
   if (store != nullptr && request.enable_rr) {
     // Pin the graph so no maintenance sweep can evict guidance between
     // now and the job's completion. The matching Unpin is in WorkerLoop —
@@ -160,7 +143,7 @@ Result<JobTicket> JobService::Submit(const JobRequest& request) {
   }
   JobTicket ticket = job.ticket;
   uint64_t fingerprint = job.graph->fingerprint();
-  if (!queue_.TryPush(std::move(job))) {
+  if (!queue_.TryPush(request.tenant, std::move(job))) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       --stats_.submitted;
@@ -183,8 +166,9 @@ void JobService::WorkerLoop() {
   QueuedJob job;
   while (queue_.Pop(&job)) {
     JobResult result = Execute(job);
+    result.sequence = completion_seq_.fetch_add(1) + 1;
 
-    GuidanceStore* store = provider_.store();
+    GuidanceStore* store = provider().store();
     if (store != nullptr && job.request.enable_rr) {
       store->UnpinGraph(job.graph->fingerprint());
     }
@@ -222,119 +206,11 @@ JobResult JobService::Execute(const QueuedJob& job) {
   result.app = job.request.app;
   result.engine = job.request.engine;
   result.graph = job.request.graph;
-  if (job.request.engine == "gas") {
-    ExecuteGas(job, &result);
-  } else {
-    ExecuteDist(job, &result);
-  }
+  // THE execution path: the same Session::Run the CLI and the benches
+  // use. The registry's runner for (app, engine) does the dispatch that
+  // used to live in two hand-written switches here.
+  FillFromOutcome(session_->Run(ToAppRequest(job.request)), &result);
   return result;
-}
-
-void JobService::ExecuteDist(const QueuedJob& job, JobResult* out) {
-  JobResult& result = *out;
-
-  AppConfig cfg;
-  cfg.num_nodes = options_.job_nodes;
-  cfg.threads_per_node = options_.job_threads;
-  cfg.enable_rr = job.request.enable_rr;
-  cfg.max_iters = job.request.max_iters;
-  cfg.root = job.request.root;
-  cfg.guidance_provider = &provider_;
-
-  const Graph& g = *job.graph;
-  const std::string& app = job.request.app;
-  if (app == "sssp") {
-    SsspResult r = RunSssp(g, cfg);
-    FillFromRunInfo(r.info, &result);
-    uint64_t reached = 0;
-    for (float d : r.dist) {
-      if (d < std::numeric_limits<float>::infinity()) ++reached;
-    }
-    result.summary = reached;
-  } else if (app == "bfs") {
-    BfsResult r = RunBfs(g, cfg);
-    FillFromRunInfo(r.info, &result);
-    uint32_t depth = 0;
-    for (uint32_t l : r.levels) {
-      if (l != UINT32_MAX) depth = std::max(depth, l);
-    }
-    result.summary = depth;
-  } else if (app == "cc") {
-    CcResult r = RunCc(g, cfg);
-    FillFromRunInfo(r.info, &result);
-    std::set<uint32_t> components(r.labels.begin(), r.labels.end());
-    result.summary = components.size();
-  } else if (app == "wp") {
-    WpResult r = RunWp(g, cfg);
-    FillFromRunInfo(r.info, &result);
-    uint64_t reachable = 0;
-    for (float w : r.width) {
-      if (w > 0) ++reachable;
-    }
-    result.summary = reachable;
-  } else if (app == "pr") {
-    PrResult r = RunPr(g, cfg);
-    FillFromRunInfo(r.info, &result);
-    result.summary = r.info.ec_vertices;
-  } else if (app == "tr") {
-    TrResult r = RunTr(g, cfg);
-    FillFromRunInfo(r.info, &result);
-    result.summary = r.info.ec_vertices;
-  } else {
-    // Submit validated the app set; reaching here is a service bug.
-    result.status = Status::Internal("unhandled dist app: " + app);
-  }
-}
-
-void JobService::ExecuteGas(const QueuedJob& job, JobResult* out) {
-  JobResult& result = *out;
-
-  const Graph& g = *job.graph;
-  // The service acquires guidance itself (instead of the RunGas*Guided
-  // wrappers) so the acquisition's hit/coalesced accounting lands in the
-  // job result exactly like the dist path.
-  GuidanceAcquisition acquisition;
-  if (job.request.enable_rr) {
-    GuidanceRequest greq;
-    greq.policy = job.request.app == "sssp" ? GuidanceRootPolicy::kSingleSource
-                                            : GuidanceRootPolicy::kLocalMinima;
-    greq.root = job.request.root;
-    acquisition = provider_.Acquire(g, greq);
-    if (acquisition) {
-      result.guidance_acquired = true;
-      result.guidance_seconds = acquisition.acquire_seconds;
-      result.guidance_cache_hit = acquisition.cache_hit;
-      result.guidance_coalesced = acquisition.coalesced;
-    }
-  }
-
-  gas::GasOptions gopt;
-  gopt.num_nodes = options_.job_nodes;
-  gopt.guidance = acquisition.guidance;
-
-  auto fill = [&](const gas::GasStats& stats) {
-    result.supersteps = stats.supersteps;
-    result.computations = stats.computations;
-    result.skipped = stats.skipped;
-    result.updates = stats.updates;
-    result.runtime_seconds = stats.RuntimeSeconds();
-  };
-  if (job.request.app == "sssp") {
-    gas::GasSsspResult r = gas::RunGasSssp(g, job.request.root, gopt);
-    fill(r.stats);
-    uint64_t reached = 0;
-    for (float d : r.dist) {
-      if (d < std::numeric_limits<float>::infinity()) ++reached;
-    }
-    result.summary = reached;
-  } else if (job.request.app == "cc") {
-    gas::GasCcResult r = gas::RunGasCc(g, gopt);
-    fill(r.stats);
-    std::set<uint32_t> components(r.labels.begin(), r.labels.end());
-    result.summary = components.size();
-  } else {
-    result.status = Status::Internal("unhandled gas app: " + job.request.app);
-  }
 }
 
 void JobService::MaintenanceLoop() {
@@ -345,7 +221,7 @@ void JobService::MaintenanceLoop() {
     maintenance_cv_.wait_for(lock, interval,
                              [&] { return stopping_.load(); });
     if (stopping_.load()) break;
-    RecordSweep(provider_.store()->Sweep());
+    RecordSweep(provider().store()->Sweep());
   }
 }
 
@@ -358,7 +234,7 @@ void JobService::RecordSweep(const GuidanceStoreSweepStats& sweep) {
 }
 
 GuidanceStoreSweepStats JobService::SweepNow() {
-  GuidanceStore* store = provider_.store();
+  GuidanceStore* store = provider().store();
   if (store == nullptr) return {};
   GuidanceStoreSweepStats sweep = store->Sweep();
   RecordSweep(sweep);
@@ -371,8 +247,9 @@ JobServiceStats JobService::Stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);
     snapshot = stats_;
   }
-  snapshot.provider = provider_.stats();
-  snapshot.cache = provider_.cache_stats();
+  GuidanceProvider& provider = session_->provider();
+  snapshot.provider = provider.stats();
+  snapshot.cache = provider.cache_stats();
   return snapshot;
 }
 
@@ -398,8 +275,8 @@ void JobService::Shutdown() {
 
   // 3. Final sweep: a stopped service leaves its store within budget, and
   //    with every job drained no pins remain to spare anything.
-  if (options_.final_sweep_on_shutdown && provider_.store() != nullptr) {
-    RecordSweep(provider_.store()->Sweep());
+  if (options_.final_sweep_on_shutdown && provider().store() != nullptr) {
+    RecordSweep(provider().store()->Sweep());
   }
 }
 

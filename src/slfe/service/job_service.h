@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "slfe/api/session.h"
 #include "slfe/common/status.h"
 #include "slfe/core/guidance_provider.h"
 #include "slfe/core/guidance_store.h"
@@ -27,16 +28,17 @@ namespace slfe::service {
 /// paper's §4.4 multi-job amortization happens inside the process.
 struct JobRequest {
   std::string tenant = "default";
-  /// dist engine: sssp|bfs|cc|wp|pr|tr. gas engine: sssp|cc.
+  /// Any application the AppRegistry declares for `engine` — the service
+  /// carries no app list of its own (`slfe_cli --list-apps` prints the
+  /// authoritative set).
   std::string app = "sssp";
-  /// "dist" (the simulated-cluster SLFE engine) or "gas" (the
-  /// PowerGraph-style comparator with "start late" guidance).
+  /// Any engine name the registry knows: dist|shm|gas|ooc.
   std::string engine = "dist";
   /// Name previously passed to JobService::RegisterGraph.
   std::string graph;
-  /// Query root for the single-source apps (sssp/bfs/wp).
+  /// Query root for the single-source apps (sssp/bfs/wp/numpaths).
   VertexId root = 0;
-  /// Iteration cap for the arithmetic apps (pr/tr).
+  /// Iteration cap for the arithmetic apps (pr/tr/...).
   uint32_t max_iters = 50;
   /// false = baseline run (no guidance acquisition, no RR).
   bool enable_rr = true;
@@ -61,9 +63,13 @@ struct JobResult {
   bool guidance_acquired = false;
   bool guidance_cache_hit = false;
   bool guidance_coalesced = false;
-  /// App-specific scalar: reached vertices (sssp/wp), max level (bfs),
-  /// distinct components (cc), early-converged vertices (pr/tr).
+  /// App-specific scalar (AppOutcome::summary): reached vertices
+  /// (sssp/wp), max level (bfs), distinct components (cc),
+  /// early-converged vertices (pr/tr), ...
   uint64_t summary = 0;
+  /// Service-wide completion order (1 = first job finished). Exposes the
+  /// fair scheduler's interleaving to callers and tests.
+  uint64_t sequence = 0;
 };
 
 /// Completion handle for one submitted job. Wait() blocks until a worker
@@ -137,15 +143,20 @@ struct JobServiceStats {
 struct JobServiceOptions {
   /// Worker threads executing jobs (>= 1).
   size_t workers = 2;
-  /// Bounded queue depth; submissions beyond it are rejected, not queued.
+  /// Bounded queue depth (total across all tenant lanes); submissions
+  /// beyond it are rejected, not queued.
   size_t queue_capacity = 64;
-  /// Simulated cluster shape each job runs on (dist engine), and the GAS
-  /// engine's node count.
+  /// Simulated cluster shape each job runs on (dist engine), the GAS
+  /// engine's node count, and (nodes x threads) the shm thread count.
   int job_nodes = 2;
   int job_threads = 1;
   /// The shared guidance provider's configuration — store_dir + store_gc
   /// here give the service its persistence and GC policy.
   GuidanceProviderOptions provider;
+  /// needs_symmetric apps (cc/mst) on a graph not registered as
+  /// symmetric: true = the session lazily derives (and caches) the
+  /// undirected closure; false = Submit rejects such jobs up front.
+  bool auto_symmetrize = true;
   /// Per-tenant store budgets, merged into provider.store_gc (convenience
   /// so callers configure the service in one place).
   std::map<std::string, GuidanceTenantBudget> tenant_budgets;
@@ -159,14 +170,22 @@ struct JobServiceOptions {
 };
 
 /// The long-lived multi-tenant daemon core: accepts job requests into a
-/// bounded queue, executes them on a worker pool, and routes every
-/// guidance acquisition through ONE shared GuidanceProvider — concurrent
-/// jobs on the same graph coalesce into a single generation
-/// (singleflight), so provider generations == distinct graphs no matter
-/// how many tenants pile on. A maintenance timer thread sweeps the
-/// guidance store on a configurable cadence, enforcing global AND
-/// per-tenant byte/entry budgets; graphs with in-flight jobs are pinned,
-/// so a sweep can never evict guidance a running job is using.
+/// tenant-fair bounded queue (per-tenant lanes, round-robin pop — one
+/// tenant's burst cannot head-of-line-block another tenant's jobs),
+/// executes them on a worker pool, and routes EVERY job through one
+/// api::Session — Session::Run is the single execution path, so the set
+/// of submittable (app, engine) pairs is exactly what the AppRegistry
+/// declares (including gas and ooc apps), and requirement-violating jobs
+/// (unweighted graph for sssp/wp/mst, asymmetric graph for cc/mst when
+/// auto-symmetrize is off) bounce at Submit with a registry-derived
+/// message instead of failing mid-run. All guidance flows through the
+/// session's ONE shared GuidanceProvider — concurrent jobs on the same
+/// graph coalesce into a single generation (singleflight), so provider
+/// generations == distinct graphs no matter how many tenants pile on. A
+/// maintenance timer thread sweeps the guidance store on a configurable
+/// cadence, enforcing global AND per-tenant byte/entry budgets; graphs
+/// with in-flight jobs are pinned, so a sweep can never evict guidance a
+/// running job is using.
 ///
 /// Lifecycle: construct -> RegisterGraph() -> Submit()/Wait() ->
 /// Shutdown() (stop admissions, drain the queue, final sweep, join).
@@ -182,21 +201,28 @@ class JobService {
 
   /// Makes `graph` submittable under `name`. Graphs are immutable and
   /// shared by reference across all jobs; a duplicate name is rejected
-  /// (re-registering would silently change running jobs' data).
+  /// (re-registering would silently change running jobs' data). The
+  /// traits overload lets callers declare an already-symmetric (or
+  /// known-weighted) graph, so needs_symmetric jobs skip the session's
+  /// derived-closure copy.
   Status RegisterGraph(const std::string& name, Graph graph);
+  Status RegisterGraph(const std::string& name, Graph graph,
+                       api::GraphTraits traits);
   bool HasGraph(const std::string& name) const;
 
   /// Validates and enqueues one job. Returns the completion ticket, or:
   /// kFailedPrecondition when the service is shutting down or the queue
   /// is full (retryable backpressure), kNotFound for an unregistered
-  /// graph, kInvalidArgument for an unknown app/engine combination or an
-  /// out-of-range root.
+  /// graph, kInvalidArgument for an app/engine pair the registry does not
+  /// declare, a graph-requirement violation, or an out-of-range root.
   Result<JobTicket> Submit(const JobRequest& request);
 
   JobServiceStats Stats() const;
 
-  /// The shared provider all jobs acquire guidance through.
-  GuidanceProvider& provider() { return provider_; }
+  /// The session every job executes through (and with it the shared
+  /// provider all jobs acquire guidance from).
+  api::Session& session() { return *session_; }
+  GuidanceProvider& provider() { return session_->provider(); }
 
   /// Runs one maintenance sweep immediately (independent of the timer).
   /// No-op zero stats when the provider has no store.
@@ -213,6 +239,9 @@ class JobService {
  private:
   struct QueuedJob {
     JobRequest request;
+    /// The exact graph the job runs on (Session::ResolveGraph — the
+    /// symmetrized variant for needs_symmetric apps), for pinning and
+    /// byte metering.
     std::shared_ptr<const Graph> graph;
     JobTicket ticket;
     uint64_t id = 0;
@@ -221,16 +250,12 @@ class JobService {
   void WorkerLoop();
   void MaintenanceLoop();
   JobResult Execute(const QueuedJob& job);
-  void ExecuteDist(const QueuedJob& job, JobResult* out);
-  void ExecuteGas(const QueuedJob& job, JobResult* out);
   void RecordSweep(const GuidanceStoreSweepStats& sweep);
+  static api::AppRequest ToAppRequest(const JobRequest& request);
 
   JobServiceOptions options_;
-  GuidanceProvider provider_;
+  std::unique_ptr<api::Session> session_;
   JobQueue<QueuedJob> queue_;
-
-  mutable std::mutex graphs_mu_;
-  std::map<std::string, std::shared_ptr<const Graph>> graphs_;
 
   mutable std::mutex stats_mu_;
   JobServiceStats stats_;
@@ -238,6 +263,7 @@ class JobService {
   std::atomic<bool> accepting_{true};
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> next_job_id_{1};
+  std::atomic<uint64_t> completion_seq_{0};
 
   std::mutex maintenance_mu_;
   std::condition_variable maintenance_cv_;

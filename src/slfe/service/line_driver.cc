@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "slfe/api/app_registry.h"
 #include "slfe/graph/generators.h"
 
 namespace slfe::service {
@@ -159,7 +160,9 @@ int RunLineDriver(JobService& service, std::FILE* in, std::FILE* out,
       request.graph = tokens[3];
       for (size_t i = 4; i < tokens.size(); ++i) {
         const std::string& t = tokens[i];
-        if (t == "gas" || t == "dist") {
+        if (api::ParseEngine(t).ok()) {
+          // Any engine the registry knows (dist|shm|gas|ooc); whether the
+          // app runs on it is the registry's call, enforced by Submit.
           request.engine = t;
         } else if (t == "norr") {
           request.enable_rr = false;

@@ -20,7 +20,7 @@ struct LineDriverOptions {
 /// Drives `service` with the newline-delimited job protocol from `in`
 /// until EOF or `quit`, writing acknowledgements and results to `out`:
 ///
-///   submit <tenant> <app> <graph> [root] [gas|dist] [norr]
+///   submit <tenant> <app> <graph> [root] [dist|shm|gas|ooc] [norr]
 ///   wait          # block until all submitted jobs finish, print results
 ///   sweep         # run a maintenance sweep now, print what it did
 ///   stats         # print the service + per-tenant counters

@@ -1,8 +1,10 @@
-// Tests for the multi-tenant guidance job service: the bounded queue, the
-// shared-provider amortization (N tenants x M jobs on K graphs must pay
-// exactly K generations), per-tenant accounting that sums to the totals,
-// per-tenant store budgets enforced by the maintenance loop, in-flight
-// pinning, and the graceful-shutdown drain.
+// Tests for the multi-tenant guidance job service: the tenant-fair
+// bounded queue (per-tenant lanes, round-robin pop, starvation freedom),
+// registry-derived validation (app/engine pairs and graph requirements
+// reject at Submit), the shared-provider amortization (N tenants x M jobs
+// on K graphs must pay exactly K generations), per-tenant accounting that
+// sums to the totals, per-tenant store budgets enforced by the
+// maintenance loop, in-flight pinning, and the graceful-shutdown drain.
 
 #include <gtest/gtest.h>
 
@@ -12,6 +14,9 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
+#include "slfe/api/app_registry.h"
 #include "slfe/core/guidance_cache.h"
 #include "slfe/graph/generators.h"
 #include "slfe/service/job_queue.h"
@@ -42,23 +47,62 @@ std::string StoreDir(const std::string& name) {
 
 TEST(JobQueueTest, BoundedFifoRejectsWhenFull) {
   JobQueue<int> queue(2);
-  EXPECT_TRUE(queue.TryPush(1));
-  EXPECT_TRUE(queue.TryPush(2));
-  EXPECT_FALSE(queue.TryPush(3));  // full: reject, never block
+  EXPECT_TRUE(queue.TryPush("t", 1));
+  EXPECT_TRUE(queue.TryPush("t", 2));
+  EXPECT_FALSE(queue.TryPush("t", 3));   // full: reject, never block
+  EXPECT_FALSE(queue.TryPush("u", 3));   // capacity bounds the TOTAL
   int out = 0;
   EXPECT_TRUE(queue.Pop(&out));
-  EXPECT_EQ(out, 1);  // FIFO
-  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(out, 1);  // FIFO within a tenant lane
+  EXPECT_TRUE(queue.TryPush("t", 3));
   EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(JobQueueTest, RoundRobinAcrossTenantLanes) {
+  // Tenant a floods before b and c enqueue one job each: pops must
+  // alternate lanes (a b c a a ...), not drain a's burst first.
+  JobQueue<int> queue(16);
+  ASSERT_TRUE(queue.TryPush("a", 1));
+  ASSERT_TRUE(queue.TryPush("a", 2));
+  ASSERT_TRUE(queue.TryPush("a", 3));
+  ASSERT_TRUE(queue.TryPush("b", 100));
+  ASSERT_TRUE(queue.TryPush("c", 200));
+  EXPECT_EQ(queue.active_lanes(), 3u);
+  std::vector<int> order;
+  int out = 0;
+  while (queue.size() > 0) {
+    ASSERT_TRUE(queue.Pop(&out));
+    order.push_back(out);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 100, 200, 2, 3}));
+  EXPECT_EQ(queue.active_lanes(), 0u);  // drained lanes are erased
+}
+
+TEST(JobQueueTest, LateTenantIsServedNextNotAfterTheBurst) {
+  // b arrives AFTER a's burst is queued; the very next pops still
+  // alternate a/b — the head-of-line-blocking regression this queue
+  // exists to prevent.
+  JobQueue<int> queue(16);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.TryPush("a", i));
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 0);
+  ASSERT_TRUE(queue.TryPush("b", 100));
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);  // a's lane was already at the rotation head
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 100);  // b served before a's remaining backlog
+  ASSERT_TRUE(queue.Pop(&out));
   EXPECT_EQ(out, 2);
 }
 
 TEST(JobQueueTest, CloseDrainsThenSignalsExit) {
   JobQueue<int> queue(8);
-  ASSERT_TRUE(queue.TryPush(7));
-  ASSERT_TRUE(queue.TryPush(8));
+  ASSERT_TRUE(queue.TryPush("t", 7));
+  ASSERT_TRUE(queue.TryPush("t", 8));
   queue.Close();
-  EXPECT_FALSE(queue.TryPush(9));  // no admissions after close
+  EXPECT_FALSE(queue.TryPush("t", 9));  // no admissions after close
   int out = 0;
   EXPECT_TRUE(queue.Pop(&out));  // ...but queued items drain
   EXPECT_EQ(out, 7);
@@ -101,53 +145,228 @@ TEST(JobServiceTest, ValidatesRequestsAndCountsRejections) {
   EXPECT_EQ(service.Submit(request).status().code(),
             StatusCode::kInvalidArgument);
   request.engine = "gas";
-  request.app = "pr";  // gas supports sssp/cc only
-  EXPECT_EQ(service.Submit(request).status().code(),
-            StatusCode::kInvalidArgument);
+  request.app = "mst";  // the registry declares mst on dist only
+  Status undeclared = service.Submit(request).status();
+  EXPECT_EQ(undeclared.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(undeclared.message().find("dist"), std::string::npos)
+      << "rejection should cite the registry's declared engines: "
+      << undeclared.ToString();
   request.engine = "dist";
+  request.app = "nosuchapp";
+  Status unknown = service.Submit(request).status();
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.message().find("sssp"), std::string::npos)
+      << "rejection should list the registered apps: " << unknown.ToString();
   request.app = "sssp";
   request.root = 100000;  // out of range
   EXPECT_EQ(service.Submit(request).status().code(),
             StatusCode::kInvalidArgument);
 
   JobServiceStats stats = service.Stats();
-  EXPECT_EQ(stats.rejected, 4u);
+  EXPECT_EQ(stats.rejected, 5u);
   EXPECT_EQ(stats.submitted, 0u);
-  EXPECT_EQ(stats.tenants.at("default").jobs_rejected, 4u);
+  EXPECT_EQ(stats.tenants.at("default").jobs_rejected, 5u);
 }
 
-TEST(JobServiceTest, RunsEveryAppOnBothEngines) {
-  JobService service;
+// Every (app, engine) pair the registry declares must be submittable and
+// run clean through the service — including the pairs no surface exposed
+// before the Session facade (gas:wp, ooc:pr, shm:cc, ...).
+TEST(JobServiceTest, RunsEveryRegistryDeclaredPair) {
+  JobServiceOptions options;
+  options.queue_capacity = 128;
+  JobService service(options);
   ASSERT_TRUE(service.RegisterGraph("g", Rmat(300, 2400, 7)).ok());
-  const char* dist_apps[] = {"sssp", "bfs", "cc", "wp", "pr", "tr"};
   std::vector<JobTicket> tickets;
-  for (const char* app : dist_apps) {
-    JobRequest request;
-    request.app = app;
-    request.graph = "g";
-    auto ticket = service.Submit(request);
-    ASSERT_TRUE(ticket.ok()) << app;
-    tickets.push_back(std::move(ticket).value());
+  size_t pairs = 0;
+  for (const api::AppDescriptor* app : api::AppRegistry::Global().Apps()) {
+    for (api::Engine engine : app->engines()) {
+      JobRequest request;
+      request.app = app->name;
+      request.engine = api::EngineName(engine);
+      request.graph = "g";
+      request.max_iters = 10;
+      auto ticket = service.Submit(request);
+      ASSERT_TRUE(ticket.ok())
+          << request.engine << "/" << request.app << ": "
+          << ticket.status().ToString();
+      tickets.push_back(std::move(ticket).value());
+      ++pairs;
+    }
   }
-  for (const char* app : {"sssp", "cc"}) {
-    JobRequest request;
-    request.app = app;
-    request.engine = "gas";
-    request.graph = "g";
-    auto ticket = service.Submit(request);
-    ASSERT_TRUE(ticket.ok()) << "gas " << app;
-    tickets.push_back(std::move(ticket).value());
-  }
+  EXPECT_GE(pairs, 20u);  // 13 apps, several multi-engine
   for (const JobTicket& ticket : tickets) {
     const JobResult& result = ticket->Wait();
     EXPECT_TRUE(result.status.ok())
         << result.engine << "/" << result.app << ": "
         << result.status.ToString();
-    EXPECT_GT(result.supersteps, 0u);
+    EXPECT_GT(result.supersteps, 0u)
+        << result.engine << "/" << result.app;
   }
   JobServiceStats stats = service.Stats();
   EXPECT_EQ(stats.completed, tickets.size());
   EXPECT_EQ(stats.failed, 0u);
+}
+
+// The acceptance pairs called out in the ISSUE: ooc:pr and gas:sssp were
+// unreachable through any surface before the registry; both must now run
+// through the service with sane results.
+TEST(JobServiceTest, PreviouslyUnreachablePairsRunViaService) {
+  JobService service;
+  ASSERT_TRUE(service.RegisterGraph("g", Rmat(300, 2400, 7)).ok());
+
+  JobRequest ooc_pr;
+  ooc_pr.app = "pr";
+  ooc_pr.engine = "ooc";
+  ooc_pr.graph = "g";
+  ooc_pr.max_iters = 15;
+  auto ooc_ticket = service.Submit(ooc_pr);
+  ASSERT_TRUE(ooc_ticket.ok()) << ooc_ticket.status().ToString();
+
+  JobRequest gas_sssp;
+  gas_sssp.app = "sssp";
+  gas_sssp.engine = "gas";
+  gas_sssp.graph = "g";
+  auto gas_ticket = service.Submit(gas_sssp);
+  ASSERT_TRUE(gas_ticket.ok()) << gas_ticket.status().ToString();
+
+  // Reference runs on the dist engine: cross-engine fixpoints must agree
+  // on the summary scalar (reached vertices for sssp).
+  JobRequest dist_sssp = gas_sssp;
+  dist_sssp.engine = "dist";
+  auto dist_ticket = service.Submit(dist_sssp);
+  ASSERT_TRUE(dist_ticket.ok());
+
+  const JobResult& ooc_result = ooc_ticket.value()->Wait();
+  EXPECT_TRUE(ooc_result.status.ok()) << ooc_result.status.ToString();
+  EXPECT_TRUE(ooc_result.guidance_acquired);
+  EXPECT_GT(ooc_result.supersteps, 0u);
+
+  const JobResult& gas_result = gas_ticket.value()->Wait();
+  const JobResult& dist_result = dist_ticket.value()->Wait();
+  EXPECT_TRUE(gas_result.status.ok()) << gas_result.status.ToString();
+  EXPECT_TRUE(dist_result.status.ok());
+  EXPECT_EQ(gas_result.summary, dist_result.summary)
+      << "gas and dist sssp disagree on reached-vertex count";
+}
+
+// Graph-requirement checks live in the AppDescriptor and reject at
+// Submit: a needs_weights app on a unit-weight graph bounces with a
+// registry-derived message instead of burning a worker.
+TEST(JobServiceTest, RejectsRequirementViolatingJobsUpFront) {
+  JobService service;
+  RmatOptions opt;
+  opt.num_vertices = 200;
+  opt.num_edges = 1500;
+  opt.weighted = false;  // unit weights
+  opt.seed = 11;
+  EdgeList edges = GenerateRmat(opt);
+  edges.Deduplicate();
+  ASSERT_TRUE(service.RegisterGraph("unweighted",
+                                    Graph::FromEdges(edges)).ok());
+
+  JobRequest request;
+  request.app = "sssp";
+  request.graph = "unweighted";
+  Status rejected = service.Submit(request).status();
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.message().find("weight"), std::string::npos)
+      << rejected.ToString();
+
+  // bfs has no weight requirement: same graph, accepted and clean.
+  request.app = "bfs";
+  auto ticket = service.Submit(request);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  EXPECT_TRUE(ticket.value()->Wait().status.ok());
+
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+// With auto-symmetrize off, a needs_symmetric app (cc) on a directed
+// graph is a Submit-time rejection; with it on (the default), the session
+// derives the undirected closure and the job runs.
+TEST(JobServiceTest, SymmetryRequirementHonorsAutoSymmetrizeOption) {
+  JobRequest request;
+  request.app = "cc";
+  request.graph = "g";
+
+  JobServiceOptions strict;
+  strict.auto_symmetrize = false;
+  {
+    JobService service(strict);
+    ASSERT_TRUE(service.RegisterGraph("g", Rmat(200, 1500, 12)).ok());
+    Status rejected = service.Submit(request).status();
+    EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(rejected.message().find("symmetric"), std::string::npos)
+        << rejected.ToString();
+  }
+  {
+    JobService service;  // default: auto_symmetrize
+    ASSERT_TRUE(service.RegisterGraph("g", Rmat(200, 1500, 12)).ok());
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    EXPECT_TRUE(ticket.value()->Wait().status.ok());
+  }
+}
+
+// The starvation bar from the ROADMAP's fair-scheduling item: tenant A
+// floods the (single-worker) service, tenant B submits a handful of jobs
+// afterwards — round-robin popping must interleave B's jobs into A's
+// burst instead of making B wait for the whole flood.
+TEST(JobServiceTest, FloodingTenantCannotStarveAnotherTenant) {
+  constexpr int kFlood = 60;
+  constexpr int kVictim = 3;
+  JobServiceOptions options;
+  options.workers = 1;  // completion order == pop order
+  options.queue_capacity = 256;
+  JobService service(options);
+  ASSERT_TRUE(service.RegisterGraph("g", Rmat(300, 2400, 13)).ok());
+
+  std::vector<JobTicket> flood_tickets, victim_tickets;
+  for (int i = 0; i < kFlood; ++i) {
+    JobRequest request;
+    request.tenant = "flooder";
+    request.app = "pr";
+    request.graph = "g";
+    request.max_iters = 10;
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok());
+    flood_tickets.push_back(std::move(ticket).value());
+  }
+  for (int i = 0; i < kVictim; ++i) {
+    JobRequest request;
+    request.tenant = "victim";
+    request.app = "sssp";
+    request.graph = "g";
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok());
+    victim_tickets.push_back(std::move(ticket).value());
+  }
+
+  uint64_t victim_last = 0;
+  for (const JobTicket& ticket : victim_tickets) {
+    const JobResult& result = ticket->Wait();
+    ASSERT_TRUE(result.status.ok());
+    victim_last = std::max(victim_last, result.sequence);
+  }
+  size_t flood_after_victim = 0;
+  for (const JobTicket& ticket : flood_tickets) {
+    const JobResult& result = ticket->Wait();
+    ASSERT_TRUE(result.status.ok());
+    if (result.sequence > victim_last) ++flood_after_victim;
+  }
+  // Round-robin guarantees the victim's 3 jobs complete within ~6 pops
+  // of entering the queue; with a 60-job flood, a large share of the
+  // flood MUST still be pending when the victim finishes. (A FIFO queue
+  // would leave flood_after_victim == 0.)
+  EXPECT_GE(flood_after_victim, 10u)
+      << "victim tenant waited out the flood (victim_last=" << victim_last
+      << ")";
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.completed,
+            static_cast<uint64_t>(kFlood + kVictim));
 }
 
 TEST(JobServiceTest, BaselineJobsSkipGuidanceEntirely) {
