@@ -151,6 +151,65 @@ inline double Median(std::vector<double> v) {
   return v.empty() ? 0.0 : v[v.size() / 2];
 }
 
+/// Minimal JSON emitter for machine-readable bench artifacts (the CI
+/// baseline-comparison path): correct comma placement for nested
+/// objects/arrays, string escaping for the characters bench data can
+/// actually contain. Not a general serializer — benches emit flat,
+/// known-shape documents.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* out) : out_(out) {}
+
+  void BeginObject(const char* key = nullptr) { Open(key, '{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray(const char* key = nullptr) { Open(key, '['); }
+  void EndArray() { Close(']'); }
+
+  void Field(const char* key, const std::string& value) {
+    Prefix(key);
+    std::fputc('"', out_);
+    for (char c : value) {
+      if (c == '"' || c == '\\') std::fputc('\\', out_);
+      std::fputc(c, out_);
+    }
+    std::fputc('"', out_);
+  }
+  void Field(const char* key, const char* value) {
+    Field(key, std::string(value));
+  }
+  void Field(const char* key, double value) {
+    Prefix(key);
+    std::fprintf(out_, "%.6g", value);
+  }
+  void Field(const char* key, uint64_t value) {
+    Prefix(key);
+    std::fprintf(out_, "%llu", static_cast<unsigned long long>(value));
+  }
+  void Field(const char* key, bool value) {
+    Prefix(key);
+    std::fputs(value ? "true" : "false", out_);
+  }
+
+ private:
+  void Prefix(const char* key) {
+    if (need_comma_) std::fputc(',', out_);
+    need_comma_ = true;
+    if (key != nullptr) std::fprintf(out_, "\"%s\":", key);
+  }
+  void Open(const char* key, char bracket) {
+    Prefix(key);
+    std::fputc(bracket, out_);
+    need_comma_ = false;
+  }
+  void Close(char bracket) {
+    std::fputc(bracket, out_);
+    need_comma_ = true;
+  }
+
+  std::FILE* out_;
+  bool need_comma_ = false;
+};
+
 inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }

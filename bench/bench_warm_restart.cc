@@ -1,0 +1,275 @@
+// Warm-restart serving: the arena tentpole's headline measurement. For
+// each graph the bench times the COLD daemon start (parse the text edge
+// list, build the CSR, fingerprint it, partition it for 8 nodes) against
+// the WARM start (map the saved *.sga arena read-only, validate its
+// checksums, adopt the recorded partition), reports the speedup and the
+// on-disk footprint of both codecs, and proves the mapped graph serves
+// bit-identical guided results (same per-vertex values as the parsed
+// graph, through the same Session::Run path the daemon uses).
+//
+//   bench_warm_restart                       # table + BENCH_warm_restart.json
+//   bench_warm_restart --json=out.json --min-speedup=10
+//   bench_warm_restart --smoke               # CI wiring check, tiny graph
+//
+// Exits non-zero when any graph's speedup falls below --min-speedup or a
+// mapped result diverges from the parsed one — the acceptance gate, not
+// just a report.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "slfe/common/timer.h"
+#include "slfe/engine/dist_graph.h"
+#include "slfe/graph/arena.h"
+#include "slfe/graph/loader.h"
+
+namespace slfe {
+namespace {
+
+struct Row {
+  std::string alias;
+  uint64_t vertices = 0;
+  uint64_t edges = 0;
+  double cold_seconds = 0;   // parse + CSR + fingerprint + partition
+  double warm_seconds = 0;   // arena map + validate + adopt ranges
+  double speedup = 0;
+  uint64_t text_bytes = 0;
+  uint64_t arena_bytes = 0;         // raw codec
+  uint64_t arena_varint_bytes = 0;  // delta-varint codec
+  bool identical = false;  // guided per-vertex results parsed vs mapped
+};
+
+uint64_t FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  return size < 0 ? 0 : static_cast<uint64_t>(size);
+}
+
+/// The cold path a daemon start pays per graph today: text parse, CSR
+/// build, fingerprint, 8-node partition. Returns the built graph (used
+/// afterwards to write the arena the warm path maps).
+Graph ColdStart(const std::string& text_path, double* seconds) {
+  Timer t;
+  Result<EdgeList> edges = LoadEdgeListText(text_path);
+  if (!edges.ok()) {
+    std::fprintf(stderr, "bench: parse %s: %s\n", text_path.c_str(),
+                 edges.status().ToString().c_str());
+    std::exit(1);
+  }
+  Graph graph = Graph::FromEdges(edges.value());
+  graph.fingerprint();  // the registration path always fingerprints
+  std::vector<VertexRange> ranges = DistGraph::BuildRanges(graph, 8);
+  *seconds = t.Seconds();
+  if (ranges.size() != 8) std::exit(1);  // keep the work observable
+  return graph;
+}
+
+/// The warm path: map + validate + adopt the recorded partition (Open
+/// already re-checksums the payload and validates the ranges — the honest
+/// comparison verifies what the cold path re-derives). Like registration,
+/// neither leg builds a DistGraph: engines do that per run, from
+/// BuildRanges (cold) or BuildWithRanges (warm) at identical cost.
+double WarmStart(const std::string& arena_path) {
+  Timer t;
+  Result<std::shared_ptr<GraphArena>> arena = GraphArena::Open(arena_path);
+  if (!arena.ok()) {
+    std::fprintf(stderr, "bench: map %s: %s\n", arena_path.c_str(),
+                 arena.status().ToString().c_str());
+    std::exit(1);
+  }
+  Graph graph = arena.value()->graph();
+  const std::vector<VertexRange>& ranges = arena.value()->ranges();
+  double seconds = t.Seconds();
+  if (ranges.size() != 8 || graph.num_edges() == 0) std::exit(1);
+  return seconds;
+}
+
+/// Same app, same request, one Session over the parsed graph and one over
+/// the mapped graph: per-vertex values must match bit-for-bit.
+bool GuidedResultsIdentical(const Graph& parsed, const std::string& arena_path,
+                            const std::string& alias) {
+  api::SessionOptions opt;
+  opt.num_nodes = 8;
+  api::Session from_parse(opt);
+  api::Session from_arena(opt);
+  if (!from_parse.AddGraph(alias, parsed).ok() ||
+      !from_arena.AddGraphFromArena(alias, arena_path).ok()) {
+    return false;
+  }
+  api::AppRequest request;
+  request.app = "sssp";
+  request.graph = alias;
+  request.enable_rr = true;
+  api::AppOutcome a = from_parse.Run(request);
+  api::AppOutcome b = from_arena.Run(request);
+  if (!a.status.ok() || !b.status.ok()) return false;
+  if (a.values.size() != b.values.size() || a.summary != b.summary) {
+    return false;
+  }
+  return std::memcmp(a.values.data(), b.values.data(),
+                     a.values.size() * sizeof(double)) == 0;
+}
+
+Row MeasureGraph(const std::string& alias, const std::string& work_dir) {
+  Row row;
+  row.alias = alias;
+
+  std::string text_path = work_dir + "/" + alias + ".txt";
+  std::string arena_path = work_dir + "/" + alias + ".sga";
+  std::string varint_path = work_dir + "/" + alias + ".varint.sga";
+
+  EdgeList edges = bench::EdgesFor(alias);
+  Status saved = SaveEdgeListText(edges, text_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "bench: %s\n", saved.ToString().c_str());
+    std::exit(1);
+  }
+
+  std::vector<double> cold_runs, warm_runs;
+  Graph graph;
+  for (int i = 0; i < 3; ++i) {
+    double seconds = 0;
+    graph = ColdStart(text_path, &seconds);
+    cold_runs.push_back(seconds);
+  }
+  row.vertices = graph.num_vertices();
+  row.edges = graph.num_edges();
+
+  ArenaBuildOptions build;
+  build.num_nodes = 8;
+  build.weighted = true;
+  Status built = GraphArena::Build(graph, arena_path, build);
+  build.codec = ArenaCodec::kDeltaVarint;
+  Status built_varint = GraphArena::Build(graph, varint_path, build);
+  if (!built.ok() || !built_varint.ok()) {
+    std::fprintf(stderr, "bench: arena build failed for %s\n", alias.c_str());
+    std::exit(1);
+  }
+
+  for (int i = 0; i < 3; ++i) warm_runs.push_back(WarmStart(arena_path));
+
+  row.cold_seconds = bench::Median(cold_runs);
+  row.warm_seconds = bench::Median(warm_runs);
+  row.speedup = row.warm_seconds > 0 ? row.cold_seconds / row.warm_seconds : 0;
+  row.text_bytes = FileBytes(text_path);
+  row.arena_bytes = FileBytes(arena_path);
+  row.arena_varint_bytes = FileBytes(varint_path);
+  row.identical = GuidedResultsIdentical(graph, arena_path, alias);
+
+  std::remove(text_path.c_str());
+  std::remove(arena_path.c_str());
+  std::remove(varint_path.c_str());
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<Row>& rows,
+               double min_speedup) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  bench::JsonWriter json(f);
+  json.BeginObject();
+  json.Field("bench", "warm_restart");
+  json.Field("scale_divisor", static_cast<uint64_t>(bench::ScaleDivisor()));
+  json.Field("min_speedup", min_speedup);
+  json.BeginArray("graphs");
+  for (const Row& r : rows) {
+    json.BeginObject();
+    json.Field("alias", r.alias);
+    json.Field("vertices", r.vertices);
+    json.Field("edges", r.edges);
+    json.Field("cold_parse_seconds", r.cold_seconds);
+    json.Field("warm_map_seconds", r.warm_seconds);
+    json.Field("speedup", r.speedup);
+    json.Field("text_bytes", r.text_bytes);
+    json.Field("arena_bytes", r.arena_bytes);
+    json.Field("arena_varint_bytes", r.arena_varint_bytes);
+    json.Field("guided_results_identical", r.identical);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace slfe
+
+int main(int argc, char** argv) {
+  using slfe::Row;
+  std::string json_path = "BENCH_warm_restart.json";
+  double min_speedup = 10.0;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      min_speedup = std::atof(argv[i] + 14);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_warm_restart [--json=PATH] "
+                   "[--min-speedup=N] [--smoke]\n");
+      return 2;
+    }
+  }
+
+  std::string work_dir =
+      "/tmp/slfe_bench_warm." + std::to_string(::getpid());
+  ::mkdir(work_dir.c_str(), 0755);
+
+  // --smoke keeps CI fast: one graph, wiring + identity only (speedup on
+  // a tiny graph is noise-bound, so the gate stays but loosened to >1).
+  std::vector<std::string> aliases =
+      smoke ? std::vector<std::string>{"PK"}
+            : std::vector<std::string>{"PK", "OK", "LJ"};
+  if (smoke && min_speedup == 10.0) min_speedup = 1.0;
+
+  slfe::bench::PrintHeader(
+      "Warm restart: arena map vs text parse + partition (8N)");
+  std::printf("%-8s %-12s %-12s %-12s %-10s %-12s %-12s %-10s\n", "graph",
+              "cold(s)", "warm(s)", "speedup", "text(MB)", "arena(MB)",
+              "varint(MB)", "identical");
+  slfe::bench::PrintRule();
+
+  std::vector<Row> rows;
+  bool ok = true;
+  for (const std::string& alias : aliases) {
+    Row row = slfe::MeasureGraph(alias, work_dir);
+    std::printf("%-8s %-12.5f %-12.5f %-12.1f %-10.2f %-12.2f %-12.2f %-10s\n",
+                row.alias.c_str(), row.cold_seconds, row.warm_seconds,
+                row.speedup, row.text_bytes / 1048576.0,
+                row.arena_bytes / 1048576.0,
+                row.arena_varint_bytes / 1048576.0,
+                row.identical ? "yes" : "NO");
+    if (row.speedup < min_speedup) {
+      std::fprintf(stderr, "bench: %s speedup %.1fx below the %.1fx gate\n",
+                   row.alias.c_str(), row.speedup, min_speedup);
+      ok = false;
+    }
+    if (!row.identical) {
+      std::fprintf(stderr, "bench: %s mapped results diverge from parsed\n",
+                   row.alias.c_str());
+      ok = false;
+    }
+    rows.push_back(std::move(row));
+  }
+  ::rmdir(work_dir.c_str());
+
+  slfe::WriteJson(json_path, rows, min_speedup);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return ok ? 0 : 1;
+}

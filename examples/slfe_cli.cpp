@@ -58,6 +58,7 @@ struct CliOptions {
   uint64_t store_max_entries = 0;
   uint64_t store_max_bytes = 0;
   double store_ttl = 0;
+  std::string arena_dir;
   std::string gen_strategy = "auto";
   uint32_t gen_threads = 0;
   size_t mini_chunk = 0;
@@ -79,7 +80,8 @@ void PrintUsage() {
       "                   (default sssp; see --list-apps)\n"
       "  --engine=NAME    %s (default dist)\n"
       "  --dataset=ALIAS  PK|OK|LJ|WK|DI|ST|FS|RMAT (default PK)\n"
-      "  --file=PATH      load a text edge list instead of a dataset\n"
+      "  --file=PATH      load a graph file instead of a dataset (text or\n"
+      "                   binary edge list, or a *.sga arena — sniffed)\n"
       "  --nodes=N        simulated cluster nodes (default 1)\n"
       "  --threads=N      threads per node (default 1)\n"
       "  --rr             enable SLFE redundancy reduction\n"
@@ -93,6 +95,10 @@ void PrintUsage() {
       "  --store-max-bytes=N    guidance store GC: keep at most N bytes\n"
       "  --store-ttl=SECS       guidance store GC: drop entries older\n"
       "                         than SECS (swept when the store opens)\n"
+      "  --arena-dir=PATH map the dataset's saved *.sga graph arena when\n"
+      "                   present (skipping the synthesis + parse), and\n"
+      "                   write one back after a cold load (warm restarts;\n"
+      "                   also honored by --serve)\n"
       "  --gen-strategy=S guidance generation: auto|serial|uniform|\n"
       "                   partitioned (default auto)\n"
       "  --gen-threads=N  guidance generation workers (default: cores)\n"
@@ -166,6 +172,8 @@ int main(int argc, char** argv) {
       opt.store_max_bytes = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--store-ttl", &value)) {
       opt.store_ttl = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--arena-dir", &value)) {
+      opt.arena_dir = value;
     } else if (ParseFlag(argv[i], "--gen-strategy", &value)) {
       opt.gen_strategy = value;
     } else if (ParseFlag(argv[i], "--gen-threads", &value)) {
@@ -237,6 +245,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     sopt.maintenance_interval_seconds = opt.maintenance_interval;
+    sopt.arena_dir = opt.arena_dir;
     std::FILE* in = stdin;
     if (!opt.jobs_file.empty()) {
       in = std::fopen(opt.jobs_file.c_str(), "r");
@@ -256,24 +265,6 @@ int main(int argc, char** argv) {
 
   // One-shot mode. Load or synthesize the graph; the session (not the
   // CLI) derives the undirected closure when the app requires one.
-  slfe::EdgeList edges;
-  if (!opt.file.empty()) {
-    auto loaded = slfe::LoadEdgeListText(opt.file);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "load failed: %s\n",
-                   loaded.status().ToString().c_str());
-      return 1;
-    }
-    edges = std::move(loaded).value();
-  } else {
-    auto spec = slfe::FindDataset(opt.dataset);
-    if (!spec.ok()) {
-      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
-      return 2;
-    }
-    edges = slfe::MakeDataset(spec.value(), opt.scale_divisor);
-  }
-
   slfe::api::SessionOptions sopt;
   sopt.num_nodes = opt.nodes;
   sopt.threads_per_node = opt.threads;
@@ -294,6 +285,7 @@ int main(int argc, char** argv) {
   }
   sopt.provider.generation_threads = opt.gen_threads;
   sopt.provider.generation_mini_chunk = opt.mini_chunk;
+  sopt.arena_dir = opt.arena_dir;
   if (!ParseStrategy(opt.gen_strategy, &sopt.provider.generation_strategy)) {
     std::fprintf(stderr, "unknown --gen-strategy: %s\n",
                  opt.gen_strategy.c_str());
@@ -302,18 +294,58 @@ int main(int argc, char** argv) {
   }
 
   slfe::api::Session session(sopt);
-  slfe::Graph graph = slfe::Graph::FromEdges(edges);
-  std::printf("graph: %u vertices, %llu edges | app=%s engine=%s nodes=%d "
-              "threads=%d rr=%d\n",
-              graph.num_vertices(),
-              static_cast<unsigned long long>(graph.num_edges()),
-              opt.app.c_str(), opt.engine.c_str(), opt.nodes, opt.threads,
-              opt.rr ? 1 : 0);
-  slfe::Status added = session.AddGraph("cli", std::move(graph));
-  if (!added.ok()) {
-    std::fprintf(stderr, "%s\n", added.ToString().c_str());
-    return 1;
+
+  // Registration: a saved arena (dataset mode with --arena-dir) maps in
+  // milliseconds; otherwise synthesize/parse, then write the arena back so
+  // the NEXT invocation takes the warm path. --file goes through the
+  // format-sniffing loader, so pointing it at a *.sga maps it directly.
+  std::string arena_path;
+  bool mapped = false;
+  if (!opt.file.empty()) {
+    auto loaded = slfe::LoadGraphAuto(opt.file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    slfe::Status added = session.AddGraph("cli", std::move(loaded).value());
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.ToString().c_str());
+      return 1;
+    }
+  } else {
+    arena_path = session.ArenaPath(opt.dataset + ".s" +
+                                   std::to_string(opt.scale_divisor));
+    mapped = !arena_path.empty() &&
+             session.AddGraphFromArena("cli", arena_path).ok();
+    if (!mapped) {
+      auto spec = slfe::FindDataset(opt.dataset);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+        return 2;
+      }
+      slfe::EdgeList edges = slfe::MakeDataset(spec.value(), opt.scale_divisor);
+      slfe::Status added =
+          session.AddGraph("cli", slfe::Graph::FromEdges(edges));
+      if (!added.ok()) {
+        std::fprintf(stderr, "%s\n", added.ToString().c_str());
+        return 1;
+      }
+      if (!arena_path.empty()) {
+        // Best-effort: a failed write-back costs the next run its warm
+        // path, nothing else.
+        (void)session.SaveGraphArena("cli", arena_path);
+      }
+    }
   }
+
+  std::shared_ptr<const slfe::Graph> graph = session.GetGraph("cli");
+  std::printf("graph: %u vertices, %llu edges | app=%s engine=%s nodes=%d "
+              "threads=%d rr=%d%s\n",
+              graph->num_vertices(),
+              static_cast<unsigned long long>(graph->num_edges()),
+              opt.app.c_str(), opt.engine.c_str(), opt.nodes, opt.threads,
+              opt.rr ? 1 : 0, mapped ? " (mapped from arena)" : "");
 
   slfe::api::AppRequest request;
   request.app = opt.app;

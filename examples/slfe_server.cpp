@@ -39,6 +39,7 @@ struct ServerOptions {
   uint32_t scale_divisor = 4;
   std::string jobs_file;  // empty = stdin
   std::string store_dir;
+  std::string arena_dir;
   uint64_t store_max_entries = 0;
   uint64_t store_max_bytes = 0;
   double store_ttl = 0;
@@ -73,6 +74,12 @@ void PrintUsage() {
       "  --scale=N            dataset shrink divisor for lazily registered "
       "aliases (default 4)\n"
       "  --store-dir=PATH     persistent guidance store directory\n"
+      "  --arena-dir=PATH     graph arena directory: lazily registered "
+      "aliases map a saved\n"
+      "                       *.sga arena instead of regenerating + "
+      "re-partitioning, and\n"
+      "                       write one back after a cold registration "
+      "(warm restarts)\n"
       "  --store-max-entries=N / --store-max-bytes=N / --store-ttl=SECS\n"
       "                       global store GC budgets\n"
       "  --tenant-budget=T:BYTES:ENTRIES\n"
@@ -127,6 +134,7 @@ slfe::service::JobServiceOptions ServiceOptions(const ServerOptions& opt) {
   sopt.provider.generation_mini_chunk = opt.mini_chunk;
   sopt.tenant_budgets = opt.tenant_budgets;
   sopt.maintenance_interval_seconds = opt.maintenance_interval;
+  sopt.arena_dir = opt.arena_dir;
   return sopt;
 }
 
@@ -237,6 +245,8 @@ int main(int argc, char** argv) {
       opt.scale_divisor = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(argv[i], "--store-dir", &value)) {
       opt.store_dir = value;
+    } else if (ParseFlag(argv[i], "--arena-dir", &value)) {
+      opt.arena_dir = value;
     } else if (ParseFlag(argv[i], "--store-max-entries", &value)) {
       opt.store_max_entries = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--store-max-bytes", &value)) {

@@ -52,6 +52,9 @@ Session::Session(SessionOptions options) : options_(std::move(options)) {
     owned_provider_ = std::make_unique<GuidanceProvider>(options_.provider);
     provider_ = owned_provider_.get();
   }
+  if (!options_.arena_dir.empty()) {
+    ::mkdir(options_.arena_dir.c_str(), 0755);  // EEXIST is the happy path
+  }
 }
 
 Status Session::AddGraph(const std::string& name, Graph graph) {
@@ -62,13 +65,62 @@ Status Session::AddGraph(const std::string& name, Graph graph) {
 
 Status Session::AddGraph(const std::string& name, Graph graph,
                          GraphTraits traits) {
+  SLFE_RETURN_IF_ERROR(AddGraphEntry(
+      name, std::make_shared<const Graph>(std::move(graph)), traits));
+  ++graphs_parsed_;
+  return Status::OK();
+}
+
+Status Session::AddGraphFromArena(const std::string& name,
+                                  const std::string& path) {
+  Result<std::shared_ptr<GraphArena>> arena = GraphArena::Open(path);
+  if (!arena.ok()) return arena.status();
+  GraphTraits traits;
+  traits.symmetric = arena.value()->symmetric();
+  traits.weighted = arena.value()->weighted();
+  // graph() co-owns the arena, so the shared_ptr<GraphArena> going out of
+  // scope here does not unmap anything while the entry lives.
+  SLFE_RETURN_IF_ERROR(AddGraphEntry(
+      name, std::make_shared<const Graph>(arena.value()->graph()), traits));
+  ++graphs_mapped_;
+  return Status::OK();
+}
+
+Status Session::SaveGraphArena(const std::string& name,
+                               const std::string& path, ArenaCodec codec) {
+  std::shared_ptr<const Graph> graph;
+  GraphTraits traits;
+  {
+    std::lock_guard<std::mutex> lock(graphs_mu_);
+    auto it = graphs_.find(name);
+    if (it == graphs_.end()) {
+      return Status::NotFound("graph not registered: " + name);
+    }
+    graph = it->second.graph;
+    traits = it->second.traits;
+  }
+  ArenaBuildOptions build;
+  build.num_nodes = options_.num_nodes;
+  build.codec = codec;
+  build.symmetric = traits.symmetric;
+  build.weighted = traits.weighted;
+  return GraphArena::Build(*graph, path, build);
+}
+
+std::string Session::ArenaPath(const std::string& stem) const {
+  if (options_.arena_dir.empty()) return std::string();
+  return options_.arena_dir + "/" + stem + ".sga";
+}
+
+Status Session::AddGraphEntry(const std::string& name,
+                              std::shared_ptr<const Graph> graph,
+                              GraphTraits traits) {
   if (name.empty()) return Status::InvalidArgument("graph name is empty");
-  auto shared = std::make_shared<const Graph>(std::move(graph));
   std::lock_guard<std::mutex> lock(graphs_mu_);
   if (graphs_.find(name) != graphs_.end()) {
     return Status::FailedPrecondition("graph already registered: " + name);
   }
-  graphs_.emplace(name, GraphEntry{std::move(shared), traits, nullptr});
+  graphs_.emplace(name, GraphEntry{std::move(graph), traits, nullptr});
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SLFE_API_SESSION_H_
 #define SLFE_API_SESSION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -9,6 +10,7 @@
 #include "slfe/api/app_registry.h"
 #include "slfe/common/status.h"
 #include "slfe/core/guidance_provider.h"
+#include "slfe/graph/arena.h"
 #include "slfe/graph/graph.h"
 
 namespace slfe::api {
@@ -51,6 +53,11 @@ struct SessionOptions {
   /// Empty = /tmp/slfe_session.<pid>.
   std::string scratch_dir;
   uint32_t ooc_shards = 4;
+  /// Directory of `*.sga` graph arenas for warm restarts. Empty =
+  /// disabled. When set, the directory is created on construction and
+  /// ArenaPath names where a graph's arena lives; callers decide when to
+  /// map (AddGraphFromArena) and when to write back (SaveGraphArena).
+  std::string arena_dir;
 };
 
 /// The one front door to running applications: a Session owns graph
@@ -73,6 +80,32 @@ class Session {
   /// detects weights (O(|E|) scan) and assumes not-symmetric.
   Status AddGraph(const std::string& name, Graph graph);
   Status AddGraph(const std::string& name, Graph graph, GraphTraits traits);
+
+  /// Warm-restart registration: maps the arena at `path` (read-only mmap,
+  /// no parse, no re-partition) and registers its graph under `name` with
+  /// the traits recorded in the arena header. The mapping is co-owned by
+  /// the served Graph, so the arena file's pages stay valid for as long
+  /// as any run references the graph. Counted in graphs_mapped().
+  Status AddGraphFromArena(const std::string& name, const std::string& path);
+
+  /// Serializes the registered graph `name` (topology + weights +
+  /// fingerprint + this session's num_nodes partition) into an arena file
+  /// at `path`, atomically. The codec trades adjacency bytes for decode
+  /// work on the next Open (kRaw maps in place; kDeltaVarint decodes into
+  /// heap vectors).
+  Status SaveGraphArena(const std::string& name, const std::string& path,
+                        ArenaCodec codec = ArenaCodec::kRaw);
+
+  /// Where graph `stem` lives under options().arena_dir
+  /// (`<arena_dir>/<stem>.sga`), or "" when no arena_dir is configured.
+  std::string ArenaPath(const std::string& stem) const;
+
+  /// Restart observability: how many graphs entered this session via the
+  /// text/binary parse path vs. the arena mmap path. The service-smoke CI
+  /// job asserts a second server start over a populated arena_dir shows
+  /// mapped > 0, parsed == 0.
+  uint64_t graphs_parsed() const { return graphs_parsed_.load(); }
+  uint64_t graphs_mapped() const { return graphs_mapped_.load(); }
 
   bool HasGraph(const std::string& name) const;
   /// nullptr when unknown.
@@ -112,6 +145,11 @@ class Session {
   Status Check(const AppRequest& request, const AppDescriptor** descriptor,
                Engine* engine) const;
 
+  /// Internal registration shared by the parse and arena paths (so each
+  /// public entry point bumps exactly one provenance counter).
+  Status AddGraphEntry(const std::string& name,
+                       std::shared_ptr<const Graph> graph, GraphTraits traits);
+
   /// Internal resolution after a successful Check: the registered graph,
   /// or its symmetrized variant (built outside graphs_mu_ so a large
   /// closure rebuild cannot stall concurrent Validate/Run calls).
@@ -124,6 +162,9 @@ class Session {
 
   mutable std::mutex graphs_mu_;
   std::map<std::string, GraphEntry> graphs_;
+
+  std::atomic<uint64_t> graphs_parsed_{0};
+  std::atomic<uint64_t> graphs_mapped_{0};
 };
 
 }  // namespace slfe::api

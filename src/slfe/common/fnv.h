@@ -31,6 +31,22 @@ inline uint64_t Fnv1aBytes(const void* data, size_t bytes, uint64_t h) {
   return h;
 }
 
+/// Folds a byte range at word granularity: 8-byte chunks through Fnv1aMix,
+/// the sub-word tail through the byte fold. ~8x the byte fold's throughput,
+/// used where the hashed volume is megabytes (the graph arena payload,
+/// re-verified on every warm start). NOT interchangeable with Fnv1aBytes —
+/// each on-disk format picks one and keeps it forever.
+inline uint64_t Fnv1aWords(const void* data, size_t bytes, uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  size_t words = bytes / 8;
+  for (size_t i = 0; i < words; ++i) {
+    uint64_t w;
+    __builtin_memcpy(&w, p + i * 8, 8);  // alignment-safe load
+    h = Fnv1aMix(h, w);
+  }
+  return Fnv1aBytes(p + words * 8, bytes - words * 8, h);
+}
+
 }  // namespace slfe
 
 #endif  // SLFE_COMMON_FNV_H_

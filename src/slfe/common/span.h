@@ -1,0 +1,38 @@
+#ifndef SLFE_COMMON_SPAN_H_
+#define SLFE_COMMON_SPAN_H_
+
+#include <cstddef>
+
+namespace slfe {
+
+/// A read-only pointer+length view over contiguous elements. The CSR
+/// accessors return this instead of `const std::vector&` so adjacency can
+/// live either in owned heap vectors or in an mmap'd graph arena without
+/// the call sites caring which. Deliberately minimal (no std::span
+/// dependency in public headers): iteration, indexing, and sizing — the
+/// operations the fingerprint loops and serializers actually use.
+template <typename T>
+class ConstSpan {
+ public:
+  constexpr ConstSpan() = default;
+  constexpr ConstSpan(const T* data, size_t size) : data_(data), size_(size) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace slfe
+
+#endif  // SLFE_COMMON_SPAN_H_

@@ -105,7 +105,9 @@ class GuidanceCache {
 
   /// Drops every entry generated for the given graph fingerprint (e.g.
   /// after a mutation produced a new Graph with the same storage), from
-  /// memory and from the attached store.
+  /// memory and from the attached store. The store side matches by file
+  /// name, not content, so entries of every codec — including ones
+  /// written by a newer build this reader rejects — go together.
   void InvalidateGraph(uint64_t graph_fingerprint);
 
   /// Drops every in-memory entry. Store files survive — Clear models

@@ -45,11 +45,20 @@ static_assert(sizeof(StoreHeader) == 56, "StoreHeader must pack to 56 bytes");
 constexpr size_t kChecksummedHeaderBytes =
     offsetof(StoreHeader, payload_checksum);
 
-uint64_t Checksum(const StoreHeader& header, const uint32_t* last_iter,
-                  const uint8_t* visited, uint64_t n) {
+/// Checksum over the sealed header bytes plus the two payload planes AS
+/// WRITTEN (codec-width, so the checksum also witnesses the codec byte:
+/// reinterpreting a packed plane as raw changes the hashed byte count).
+uint64_t Checksum(const StoreHeader& header, const void* last_iter,
+                  uint64_t last_iter_bytes, const uint8_t* visited,
+                  uint64_t n) {
   uint64_t h = Fnv1aBytes(&header, kChecksummedHeaderBytes, kFnvBasis);
-  h = Fnv1aBytes(last_iter, n * sizeof(uint32_t), h);
+  h = Fnv1aBytes(last_iter, last_iter_bytes, h);
   return Fnv1aBytes(visited, n * sizeof(uint8_t), h);
+}
+
+uint32_t EncodeVersion(GuidanceCodec codec) {
+  return GuidanceStore::kFormatVersion |
+         (static_cast<uint32_t>(codec) << 16);
 }
 
 std::string Hex(uint64_t v) {
@@ -335,25 +344,48 @@ Status GuidanceStore::Save(const GuidanceKey& key,
   const std::vector<VertexGuidance>& raw = guidance.raw();
   VertexId n = guidance.num_vertices();
 
-  // Split the AoS records into the two packed on-disk planes.
-  std::vector<uint32_t> last_iter(n);
-  std::vector<uint8_t> visited(n);
+  // Split the AoS records into the two packed on-disk planes, negotiating
+  // the codec from the data: byte-wide last_iter whenever every level
+  // fits (levels are bounded by the small sweep depth, so this is the
+  // overwhelmingly common case), raw u32 otherwise.
+  GuidanceCodec codec = GuidanceCodec::kPackedU8;
   for (VertexId v = 0; v < n; ++v) {
-    last_iter[v] = raw[v].last_iter;
-    visited[v] = raw[v].visited ? 1 : 0;
+    if (raw[v].last_iter > 0xFF) {
+      codec = GuidanceCodec::kRawU32;
+      break;
+    }
   }
+  std::vector<uint32_t> last_iter_u32;
+  std::vector<uint8_t> last_iter_u8;
+  std::vector<uint8_t> visited(n);
+  const void* last_iter_data = nullptr;
+  uint64_t last_iter_bytes = 0;
+  if (codec == GuidanceCodec::kPackedU8) {
+    last_iter_u8.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+      last_iter_u8[v] = static_cast<uint8_t>(raw[v].last_iter);
+    }
+    last_iter_data = last_iter_u8.data();
+    last_iter_bytes = n * sizeof(uint8_t);
+  } else {
+    last_iter_u32.resize(n);
+    for (VertexId v = 0; v < n; ++v) last_iter_u32[v] = raw[v].last_iter;
+    last_iter_data = last_iter_u32.data();
+    last_iter_bytes = static_cast<uint64_t>(n) * sizeof(uint32_t);
+  }
+  for (VertexId v = 0; v < n; ++v) visited[v] = raw[v].visited ? 1 : 0;
 
   StoreHeader header;
   header.magic = kMagic;
-  header.version = kFormatVersion;
+  header.version = EncodeVersion(codec);
   header.graph_fingerprint = key.graph_fingerprint;
   header.roots_digest = key.roots_digest;
   header.num_roots = key.num_roots;
   header.num_vertices = n;
   header.depth = guidance.depth();
-  header.payload_bytes = static_cast<uint64_t>(n) * kPayloadBytesPerVertex;
+  header.payload_bytes = static_cast<uint64_t>(n) * PayloadBytesPerVertex(codec);
   header.payload_checksum =
-      Checksum(header, last_iter.data(), visited.data(), n);
+      Checksum(header, last_iter_data, last_iter_bytes, visited.data(), n);
 
   // Unique temp name: mu_ only serializes savers within THIS process, but
   // the store directory is shared across processes (restart survival), so
@@ -370,7 +402,8 @@ Status GuidanceStore::Save(const GuidanceKey& key,
     if (!f.ok()) return Status::IOError("cannot create " + tmp);
     if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1 ||
         (n > 0 &&
-         (std::fwrite(last_iter.data(), sizeof(uint32_t), n, f.get()) != n ||
+         (std::fwrite(last_iter_data, 1, last_iter_bytes, f.get()) !=
+              last_iter_bytes ||
           std::fwrite(visited.data(), sizeof(uint8_t), n, f.get()) != n))) {
       std::remove(tmp.c_str());
       return Status::IOError("short write to " + tmp);
@@ -403,17 +436,28 @@ Result<RRGuidance> GuidanceStore::Load(const GuidanceKey& key) {
     return corrupt("truncated header");
   }
   if (header.magic != kMagic) return corrupt("bad magic");
-  if (header.version != kFormatVersion) {
+  if ((header.version & 0xFFFFu) != kFormatVersion) {
     return corrupt("unsupported format version " +
-                   std::to_string(header.version));
+                   std::to_string(header.version & 0xFFFFu));
   }
+  uint32_t codec_byte = (header.version >> 16) & 0xFFu;
+  if (codec_byte > static_cast<uint32_t>(GuidanceCodec::kPackedU8) ||
+      (header.version >> 24) != 0) {
+    // Distinct from a checksum failure: this file is from a NEWER writer,
+    // not damaged — surfaced separately so the remedy (upgrade, don't
+    // delete) is visible in the stats.
+    ++stats_.codec_errors;
+    return corrupt("unsupported guidance codec " +
+                   std::to_string(codec_byte));
+  }
+  GuidanceCodec codec = static_cast<GuidanceCodec>(codec_byte);
   if (header.graph_fingerprint != key.graph_fingerprint ||
       header.roots_digest != key.roots_digest ||
       header.num_roots != key.num_roots) {
     return corrupt("key mismatch (stale or colliding entry)");
   }
   uint64_t n = header.num_vertices;
-  if (header.payload_bytes != n * kPayloadBytesPerVertex) {
+  if (header.payload_bytes != n * PayloadBytesPerVertex(codec)) {
     return corrupt("payload size inconsistent with vertex count");
   }
   // Validate the real file size against the header BEFORE sizing buffers
@@ -430,22 +474,37 @@ Result<RRGuidance> GuidanceStore::Load(const GuidanceKey& key) {
     return corrupt("file size does not match header");
   }
 
-  std::vector<uint32_t> last_iter(n);
+  std::vector<uint32_t> last_iter_u32;
+  std::vector<uint8_t> last_iter_u8;
   std::vector<uint8_t> visited(n);
+  const void* last_iter_data = nullptr;
+  uint64_t last_iter_bytes = 0;
+  if (codec == GuidanceCodec::kPackedU8) {
+    last_iter_u8.resize(n);
+    last_iter_data = last_iter_u8.data();
+    last_iter_bytes = n * sizeof(uint8_t);
+  } else {
+    last_iter_u32.resize(n);
+    last_iter_data = last_iter_u32.data();
+    last_iter_bytes = n * sizeof(uint32_t);
+  }
   if (n > 0 &&
-      (std::fread(last_iter.data(), sizeof(uint32_t), n, f.get()) != n ||
+      (std::fread(const_cast<void*>(last_iter_data), 1, last_iter_bytes,
+                  f.get()) != last_iter_bytes ||
        std::fread(visited.data(), sizeof(uint8_t), n, f.get()) != n)) {
     return corrupt("truncated payload");
   }
 
-  if (Checksum(header, last_iter.data(), visited.data(), n) !=
+  if (Checksum(header, last_iter_data, last_iter_bytes, visited.data(), n) !=
       header.payload_checksum) {
     return corrupt("checksum mismatch");
   }
 
   std::vector<VertexGuidance> records(n);
   for (uint64_t v = 0; v < n; ++v) {
-    records[v].last_iter = last_iter[v];
+    records[v].last_iter = codec == GuidanceCodec::kPackedU8
+                               ? last_iter_u8[v]
+                               : last_iter_u32[v];
     records[v].visited = visited[v] != 0;
   }
   // Mark the entry recently-used for the LRU-by-mtime GC: without the

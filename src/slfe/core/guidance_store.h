@@ -15,6 +15,21 @@
 
 namespace slfe {
 
+/// How the two per-vertex payload planes are encoded in a `.rrg` file.
+/// Carried in bits 16-23 of the header's version field, so a version-1
+/// reader that predates the codec byte sees a nonzero "version" and
+/// rejects cleanly rather than misparsing the payload.
+enum class GuidanceCodec : uint8_t {
+  /// last_iter as u32 per vertex (5 bytes/vertex total) — the original
+  /// version-1 layout; a plain version field of 1 IS this codec.
+  kRawU32 = 0,
+  /// last_iter packed to u8 per vertex (2 bytes/vertex total). RR levels
+  /// are bounded by the sweep depth, which is single-digit in practice
+  /// (the paper sweeps to depth 3), so Save picks this whenever every
+  /// level fits a byte.
+  kPackedU8 = 1,
+};
+
 /// Persistence counters, split by direction so benches can report the
 /// amortization that survives a restart (saves during the warm run, loads
 /// instead of regenerations after it).
@@ -23,6 +38,10 @@ struct GuidanceStoreStats {
   uint64_t loads = 0;        ///< successful reloads from disk
   uint64_t load_misses = 0;  ///< no file for the key (a cold store)
   uint64_t load_errors = 0;  ///< file present but rejected (see Load)
+  /// Rejections (also counted in load_errors) whose specific reason is an
+  /// unknown codec byte — a NEWER writer's file, not damage. Split out so
+  /// operators can tell "upgrade the reader" from "disk corruption".
+  uint64_t codec_errors = 0;
   uint64_t sweeps = 0;       ///< GC sweeps executed (construction + manual)
   uint64_t gc_removed = 0;   ///< entries removed by GC (TTL + budget)
   uint64_t gc_bytes_reclaimed = 0;
@@ -94,19 +113,31 @@ struct GuidanceStoreSweepStats {
 ///
 ///   [StoreHeader — 56 bytes]
 ///     magic              u32   0x53'4C'46'47 ("SLFG")
-///     version            u32   1
+///     version            u32   low 16 bits: format version (1);
+///                              bits 16-23: GuidanceCodec byte;
+///                              bits 24-31: must be 0
 ///     graph_fingerprint  u64   ┐
 ///     roots_digest       u64   ├ must equal the requested key on load
 ///     num_roots          u64   ┘
 ///     num_vertices       u32
 ///     depth              u32   sweep depth (RRGuidance::depth())
-///     payload_bytes      u64   5 * num_vertices
+///     payload_bytes      u64   PayloadBytesPerVertex(codec) * num_vertices
 ///     payload_checksum   u64   FNV-1a over the 48 header bytes above AND
 ///                              the payload (depth etc. have no other
 ///                              witness, so the checksum must cover them)
-///   [payload]
-///     last_iter          u32 * num_vertices
+///   [payload]  (two packed planes; width of the first is the codec's)
+///     last_iter          u32 * num_vertices   (kRawU32)
+///                     or u8  * num_vertices   (kPackedU8)
 ///     visited            u8  * num_vertices
+///
+/// Codec negotiation: Save writes kPackedU8 whenever every last_iter fits
+/// a byte (in practice always — levels are bounded by the small sweep
+/// depth) and falls back to kRawU32 otherwise; Load dispatches on the
+/// codec byte and accepts both, so pre-codec files (a plain version field
+/// of 1 == kRawU32) stay loadable forever. An unknown codec byte is
+/// rejected with a distinct "unsupported guidance codec" reason and
+/// counted in stats().codec_errors — it means a newer writer, not a
+/// damaged file, and deleting the entry would be the wrong fix.
 ///
 /// The two per-vertex arrays are written as separate packed planes (not the
 /// in-memory VertexGuidance struct) so the on-disk layout is independent of
@@ -128,12 +159,20 @@ class GuidanceStore {
  public:
   static constexpr uint32_t kMagic = 0x53'4C'46'47;  // "SLFG"
   static constexpr uint32_t kFormatVersion = 1;
-  /// Payload bytes per vertex (the last_iter + visited planes) — the unit
-  /// the byte budgets meter; exposed so accounting layers (the
-  /// JobService's per-tenant guidance_bytes) cannot drift from the
-  /// serialization.
+  /// kRawU32 payload bytes per vertex (the last_iter + visited planes).
+  /// Accounting layers (the JobService's per-tenant guidance_bytes) meter
+  /// with this codec-independent upper bound — it measures logical
+  /// guidance volume, not on-disk bytes, which the codec may shrink.
   static constexpr uint64_t kPayloadBytesPerVertex =
       sizeof(uint32_t) + sizeof(uint8_t);
+  /// kPackedU8 payload bytes per vertex (both planes byte-wide).
+  static constexpr uint64_t kPackedPayloadBytesPerVertex =
+      sizeof(uint8_t) + sizeof(uint8_t);
+
+  static constexpr uint64_t PayloadBytesPerVertex(GuidanceCodec codec) {
+    return codec == GuidanceCodec::kPackedU8 ? kPackedPayloadBytesPerVertex
+                                             : kPayloadBytesPerVertex;
+  }
 
   /// Uses `dir` (created if needed) for all entry files. When `gc` sets
   /// any limit (and sweep_on_construction is left on), the constructor
@@ -207,10 +246,14 @@ class GuidanceStore {
 
   /// Removes every entry generated for `graph_fingerprint` (the persistent
   /// counterpart of GuidanceCache::InvalidateGraph). Returns the number of
-  /// files removed.
+  /// files removed. Matches by file-name prefix, never by content, so
+  /// entries of EVERY codec — including unknown codec bytes written by a
+  /// newer build — are invalidated together; a stale-graph purge must not
+  /// leave foreign-codec leftovers behind.
   Result<size_t> RemoveGraph(uint64_t graph_fingerprint);
 
-  /// Removes all `*.rrg` entries (tests / cache-busting).
+  /// Removes all `*.rrg` entries regardless of codec (tests /
+  /// cache-busting).
   Status RemoveAll();
 
   GuidanceStoreStats stats() const;

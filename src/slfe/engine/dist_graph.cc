@@ -13,9 +13,18 @@ std::vector<VertexRange> DistGraph::BuildRanges(const Graph& graph,
 
 DistGraph DistGraph::Build(const Graph& graph, int num_nodes) {
   SLFE_CHECK_GE(num_nodes, 1);
+  return BuildWithRanges(graph, BuildRanges(graph, num_nodes));
+}
+
+DistGraph DistGraph::BuildWithRanges(const Graph& graph,
+                                     std::vector<VertexRange> ranges) {
+  SLFE_CHECK_GE(ranges.size(), 1u);
+  SLFE_CHECK(ChunkPartitioner::ValidatePartition(ranges, graph.num_vertices())
+                 .ok());
+  int num_nodes = static_cast<int>(ranges.size());
   DistGraph dg;
   dg.graph_ = &graph;
-  dg.ranges_ = BuildRanges(graph, num_nodes);
+  dg.ranges_ = std::move(ranges);
 
   VertexId n = graph.num_vertices();
   dg.mirror_count_.assign(n, 0);

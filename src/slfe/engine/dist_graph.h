@@ -24,6 +24,13 @@ class DistGraph {
   /// mirror index for `num_nodes` nodes.
   static DistGraph Build(const Graph& graph, int num_nodes);
 
+  /// Build over pre-computed ownership ranges — the warm-restart path: a
+  /// GraphArena persists the ranges Build would derive, so a restarted
+  /// daemon reuses them instead of re-running the partitioner. The ranges
+  /// must form a valid partition of [0, |V|) (checked).
+  static DistGraph BuildWithRanges(const Graph& graph,
+                                   std::vector<VertexRange> ranges);
+
   /// Just the ownership ranges Build would produce — exported so other
   /// range-partitioned work (the partition-aware guidance generator) slices
   /// vertices exactly the way the distributed engine does, keeping each

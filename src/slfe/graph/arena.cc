@@ -1,0 +1,375 @@
+#include "slfe/graph/arena.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "slfe/common/fnv.h"
+#include "slfe/common/scoped_file.h"
+
+namespace slfe {
+
+namespace {
+
+constexpr size_t kSectionAlign = 64;
+
+constexpr size_t kSealedHeaderBytes = offsetof(ArenaHeader, header_checksum);
+
+uint64_t AlignUp(uint64_t offset) {
+  return (offset + (kSectionAlign - 1)) & ~static_cast<uint64_t>(
+                                              kSectionAlign - 1);
+}
+
+/// Zigzag-encodes the per-row neighbor deltas of `csr` (first delta is
+/// against 0). Neighbors within a CSR row keep edge-list insertion order —
+/// they are NOT sorted — so deltas can be negative; zigzag keeps small
+/// magnitudes small either way.
+std::vector<uint8_t> EncodeDeltaVarint(const Csr& csr) {
+  std::vector<uint8_t> out;
+  out.reserve(static_cast<size_t>(csr.num_edges()) * 2);
+  VertexId n = csr.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    int64_t prev = 0;
+    for (EdgeId e = csr.begin(v); e < csr.end(v); ++e) {
+      int64_t value = static_cast<int64_t>(csr.neighbor(e));
+      int64_t delta = value - prev;
+      uint64_t zz = (static_cast<uint64_t>(delta) << 1) ^
+                    static_cast<uint64_t>(delta >> 63);
+      while (zz >= 0x80) {
+        out.push_back(static_cast<uint8_t>(zz) | 0x80);
+        zz >>= 7;
+      }
+      out.push_back(static_cast<uint8_t>(zz));
+      prev = value;
+    }
+  }
+  return out;
+}
+
+/// Inverse of EncodeDeltaVarint, driven by the (already validated) offsets
+/// plane. Every byte must be consumed and every decoded neighbor must be a
+/// valid vertex — a failed decode is a corrupt or foreign file, never UB.
+Status DecodeDeltaVarint(const uint8_t* data, uint64_t bytes,
+                         const EdgeId* offsets, VertexId num_vertices,
+                         VertexId max_vertex_bound,
+                         std::vector<VertexId>* out) {
+  const uint8_t* p = data;
+  const uint8_t* end = data + bytes;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    int64_t prev = 0;
+    for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+      uint64_t zz = 0;
+      int shift = 0;
+      while (true) {
+        if (p == end) return Status::Corruption("truncated varint plane");
+        uint8_t b = *p++;
+        zz |= static_cast<uint64_t>(b & 0x7F) << shift;
+        if ((b & 0x80) == 0) break;
+        shift += 7;
+        if (shift > 63) return Status::Corruption("varint overflow");
+      }
+      int64_t delta = static_cast<int64_t>(zz >> 1) ^
+                      -static_cast<int64_t>(zz & 1);
+      int64_t value = prev + delta;
+      if (value < 0 || value >= static_cast<int64_t>(max_vertex_bound)) {
+        return Status::Corruption("decoded neighbor out of range");
+      }
+      (*out)[e] = static_cast<VertexId>(value);
+      prev = value;
+    }
+  }
+  if (p != end) return Status::Corruption("trailing bytes in varint plane");
+  return Status::OK();
+}
+
+/// Offsets planes index every traversal loop, so a malformed one is
+/// remote-code-adjacent, not merely wrong: validate shape before any use
+/// (including before driving the varint decoder with it).
+Status ValidateOffsets(const EdgeId* offsets, VertexId num_vertices,
+                       EdgeId num_edges) {
+  if (offsets[0] != 0) return Status::Corruption("offsets[0] != 0");
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (offsets[v + 1] < offsets[v]) {
+      return Status::Corruption("offsets plane not monotonic");
+    }
+  }
+  if (offsets[num_vertices] != num_edges) {
+    return Status::Corruption("offsets[|V|] != |E|");
+  }
+  return Status::OK();
+}
+
+/// Word-granularity FNV over the section payloads in table order (the
+/// inter-section alignment padding is excluded — it is not data). The
+/// word fold keeps warm-start verification of multi-GB arenas at memory
+/// bandwidth rather than byte-loop speed.
+uint64_t PayloadChecksum(const uint8_t* base, const ArenaHeader& header) {
+  uint64_t h = kFnvBasis;
+  for (const ArenaSection& s : header.sections) {
+    h = Fnv1aWords(base + s.offset, s.bytes, h);
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ArenaHeaderChecksum(const ArenaHeader& header) {
+  return Fnv1aBytes(&header, kSealedHeaderBytes, kFnvBasis);
+}
+
+Status GraphArena::Build(const Graph& graph, const std::string& path,
+                         const ArenaBuildOptions& options) {
+  if (options.num_nodes < 1) {
+    return Status::InvalidArgument("arena num_nodes must be >= 1");
+  }
+  VertexId n = graph.num_vertices();
+  EdgeId m = graph.num_edges();
+  ChunkPartitioner partitioner;
+  std::vector<VertexRange> ranges =
+      partitioner.Partition(graph, static_cast<size_t>(options.num_nodes));
+
+  // Codec-dependent neighbor planes; everything else is always raw.
+  std::vector<uint8_t> out_nbr_encoded;
+  std::vector<uint8_t> in_nbr_encoded;
+  const void* out_nbr_data = graph.out().neighbors().data();
+  const void* in_nbr_data = graph.in().neighbors().data();
+  uint64_t out_nbr_bytes = m * sizeof(VertexId);
+  uint64_t in_nbr_bytes = m * sizeof(VertexId);
+  if (options.codec == ArenaCodec::kDeltaVarint) {
+    out_nbr_encoded = EncodeDeltaVarint(graph.out());
+    in_nbr_encoded = EncodeDeltaVarint(graph.in());
+    out_nbr_data = out_nbr_encoded.data();
+    in_nbr_data = in_nbr_encoded.data();
+    out_nbr_bytes = out_nbr_encoded.size();
+    in_nbr_bytes = in_nbr_encoded.size();
+  } else if (options.codec != ArenaCodec::kRaw) {
+    return Status::InvalidArgument("unsupported arena codec " +
+                                   std::to_string(static_cast<unsigned>(
+                                       options.codec)));
+  }
+
+  struct Plane {
+    const void* data;
+    uint64_t bytes;
+  };
+  const Plane planes[kArenaSectionCount] = {
+      {graph.out().offsets().data(), (static_cast<uint64_t>(n) + 1) *
+                                         sizeof(EdgeId)},
+      {out_nbr_data, out_nbr_bytes},
+      {graph.out().weights().data(), m * sizeof(Weight)},
+      {graph.in().offsets().data(), (static_cast<uint64_t>(n) + 1) *
+                                        sizeof(EdgeId)},
+      {in_nbr_data, in_nbr_bytes},
+      {graph.in().weights().data(), m * sizeof(Weight)},
+      {ranges.data(), ranges.size() * sizeof(VertexRange)},
+  };
+  static_assert(sizeof(VertexRange) == 2 * sizeof(VertexId),
+                "VertexRange must serialize without padding");
+
+  ArenaHeader header;
+  header.magic = kMagic;
+  header.version = kFormatVersion |
+                   (static_cast<uint32_t>(options.codec) << 16);
+  header.graph_fingerprint = graph.fingerprint();
+  header.num_edges = m;
+  header.num_vertices = n;
+  header.num_nodes = static_cast<uint32_t>(options.num_nodes);
+  header.traits = (options.symmetric ? 1u : 0u) |
+                  (options.weighted ? 2u : 0u);
+  uint64_t offset = sizeof(ArenaHeader);
+  for (uint32_t i = 0; i < kArenaSectionCount; ++i) {
+    offset = AlignUp(offset);
+    header.sections[i] = ArenaSection{offset, planes[i].bytes};
+    offset += planes[i].bytes;
+  }
+  uint64_t h = kFnvBasis;
+  for (uint32_t i = 0; i < kArenaSectionCount; ++i) {
+    h = Fnv1aWords(planes[i].data, planes[i].bytes, h);
+  }
+  header.payload_checksum = h;
+  header.header_checksum = ArenaHeaderChecksum(header);
+
+  // Same crash discipline as GuidanceStore::Save: unique temp name (the
+  // arena dir can be shared by multiple building processes), rename into
+  // place only after a complete write.
+  static std::atomic<uint64_t> tmp_counter{0};
+  std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(tmp_counter.fetch_add(1));
+  {
+    ScopedFile f(tmp, "wb");
+    if (!f.ok()) return Status::IOError("cannot create " + tmp);
+    auto write_all = [&](const void* data, uint64_t bytes) {
+      return bytes == 0 || std::fwrite(data, 1, bytes, f.get()) == bytes;
+    };
+    bool ok = write_all(&header, sizeof(header));
+    uint64_t written = sizeof(header);
+    static const char kZeros[kSectionAlign] = {};
+    for (uint32_t i = 0; ok && i < kArenaSectionCount; ++i) {
+      ok = write_all(kZeros, header.sections[i].offset - written) &&
+           write_all(planes[i].data, planes[i].bytes);
+      written = header.sections[i].offset + header.sections[i].bytes;
+    }
+    if (!ok) {
+      std::remove(tmp.c_str());
+      return Status::IOError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " into place");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<GraphArena>> GraphArena::Open(
+    const std::string& path, const ArenaOpenOptions& options) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("no graph arena at " + path);
+  struct ::stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  uint64_t file_bytes = static_cast<uint64_t>(st.st_size);
+  if (file_bytes < sizeof(ArenaHeader)) {
+    ::close(fd);
+    return Status::Corruption(path + ": truncated header");
+  }
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping outlives the descriptor
+  if (map == MAP_FAILED) return Status::IOError("cannot mmap " + path);
+
+  auto arena = std::shared_ptr<GraphArena>(new GraphArena());
+  arena->path_ = path;
+  arena->map_ = map;
+  arena->map_bytes_ = file_bytes;
+  const uint8_t* base = static_cast<const uint8_t*>(map);
+  std::memcpy(&arena->header_, base, sizeof(ArenaHeader));
+  const ArenaHeader& header = arena->header_;
+
+  auto corrupt = [&](const std::string& why) {
+    return Status::Corruption(path + ": " + why);
+  };
+  if (header.magic != kMagic) return corrupt("bad magic");
+  // Everything below trusts header fields, so seal-check the header first:
+  // a single flipped byte must fail here, not as a confusing downstream
+  // geometry error.
+  if (header.header_checksum != ArenaHeaderChecksum(header)) {
+    return corrupt("header checksum mismatch");
+  }
+  if ((header.version & 0xFFFFu) != kFormatVersion) {
+    return corrupt("unsupported format version " +
+                   std::to_string(header.version & 0xFFFFu));
+  }
+  uint32_t codec_byte = (header.version >> 16) & 0xFFu;
+  if (codec_byte > static_cast<uint32_t>(ArenaCodec::kDeltaVarint) ||
+      (header.version >> 24) != 0) {
+    // A newer writer's codec, not damage — distinct from checksum failures
+    // so operators know to upgrade rather than delete.
+    return corrupt("unsupported arena codec " + std::to_string(codec_byte));
+  }
+  if (header.reserved != 0) return corrupt("reserved field not zero");
+  if (header.num_nodes < 1) return corrupt("num_nodes < 1");
+
+  // Section geometry against the REAL file size before any header-derived
+  // allocation or dereference. Sections must be in order, aligned, and the
+  // last must end exactly at EOF (no trailing garbage).
+  VertexId n = header.num_vertices;
+  EdgeId m = header.num_edges;
+  uint64_t expect_offsets = (static_cast<uint64_t>(n) + 1) * sizeof(EdgeId);
+  uint64_t expected_bytes[kArenaSectionCount] = {
+      expect_offsets,
+      codec_byte == 0 ? m * sizeof(VertexId) : header.sections[1].bytes,
+      m * sizeof(Weight),
+      expect_offsets,
+      codec_byte == 0 ? m * sizeof(VertexId) : header.sections[4].bytes,
+      m * sizeof(Weight),
+      static_cast<uint64_t>(header.num_nodes) * sizeof(VertexRange),
+  };
+  uint64_t cursor = sizeof(ArenaHeader);
+  for (uint32_t i = 0; i < kArenaSectionCount; ++i) {
+    const ArenaSection& s = header.sections[i];
+    if (s.offset != AlignUp(cursor) || s.bytes != expected_bytes[i] ||
+        s.offset > file_bytes || file_bytes - s.offset < s.bytes) {
+      return corrupt("section table inconsistent with file size");
+    }
+    // Varint planes are bounded by the worst case (5 bytes per neighbor);
+    // anything larger cannot have come from the encoder.
+    if (codec_byte == 1 && (i == kArenaOutNeighbors ||
+                            i == kArenaInNeighbors) &&
+        s.bytes > m * 5) {
+      return corrupt("varint plane larger than worst case");
+    }
+    cursor = s.offset + s.bytes;
+  }
+  if (cursor != file_bytes) return corrupt("trailing bytes after sections");
+
+  if (options.verify_payload &&
+      PayloadChecksum(base, header) != header.payload_checksum) {
+    return corrupt("payload checksum mismatch");
+  }
+
+  auto section_ptr = [&](uint32_t i) {
+    return base + header.sections[i].offset;
+  };
+  arena->out_offsets_ =
+      reinterpret_cast<const EdgeId*>(section_ptr(kArenaOutOffsets));
+  arena->in_offsets_ =
+      reinterpret_cast<const EdgeId*>(section_ptr(kArenaInOffsets));
+  SLFE_RETURN_IF_ERROR(ValidateOffsets(arena->out_offsets_, n, m));
+  SLFE_RETURN_IF_ERROR(ValidateOffsets(arena->in_offsets_, n, m));
+  arena->out_weights_ =
+      reinterpret_cast<const Weight*>(section_ptr(kArenaOutWeights));
+  arena->in_weights_ =
+      reinterpret_cast<const Weight*>(section_ptr(kArenaInWeights));
+
+  if (codec_byte == static_cast<uint32_t>(ArenaCodec::kDeltaVarint)) {
+    arena->decoded_out_.resize(m);
+    arena->decoded_in_.resize(m);
+    SLFE_RETURN_IF_ERROR(DecodeDeltaVarint(
+        section_ptr(kArenaOutNeighbors), header.sections[1].bytes,
+        arena->out_offsets_, n, n, &arena->decoded_out_));
+    SLFE_RETURN_IF_ERROR(DecodeDeltaVarint(
+        section_ptr(kArenaInNeighbors), header.sections[4].bytes,
+        arena->in_offsets_, n, n, &arena->decoded_in_));
+    arena->out_neighbors_ = arena->decoded_out_.data();
+    arena->in_neighbors_ = arena->decoded_in_.data();
+  } else {
+    arena->out_neighbors_ =
+        reinterpret_cast<const VertexId*>(section_ptr(kArenaOutNeighbors));
+    arena->in_neighbors_ =
+        reinterpret_cast<const VertexId*>(section_ptr(kArenaInNeighbors));
+  }
+
+  const VertexRange* ranges =
+      reinterpret_cast<const VertexRange*>(section_ptr(kArenaRanges));
+  arena->ranges_.assign(ranges, ranges + header.num_nodes);
+  SLFE_RETURN_IF_ERROR(
+      ChunkPartitioner::ValidatePartition(arena->ranges_, n));
+  return arena;
+}
+
+GraphArena::~GraphArena() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+Graph GraphArena::graph() const {
+  VertexId n = header_.num_vertices;
+  EdgeId m = header_.num_edges;
+  Csr out = Csr::FromPlanes(out_offsets_, n, out_neighbors_, out_weights_, m);
+  Csr in = Csr::FromPlanes(in_offsets_, n, in_neighbors_, in_weights_, m);
+  return Graph::FromParts(n, m, std::move(out), std::move(in),
+                          header_.graph_fingerprint, shared_from_this());
+}
+
+uint64_t GraphArena::heap_bytes() const {
+  return (decoded_out_.size() + decoded_in_.size()) * sizeof(VertexId);
+}
+
+}  // namespace slfe

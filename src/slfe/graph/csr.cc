@@ -10,28 +10,51 @@ Csr Csr::FromEdgesByDestination(const EdgeList& edges) {
   return Build(edges, /*by_source=*/false);
 }
 
-Csr Csr::Build(const EdgeList& edges, bool by_source) {
+Csr Csr::FromPlanes(const EdgeId* offsets, VertexId num_vertices,
+                    const VertexId* neighbors, const Weight* weights,
+                    EdgeId num_edges) {
   Csr csr;
+  csr.offsets_ = offsets;
+  csr.neighbors_ = neighbors;
+  csr.weights_ = weights;
+  csr.num_vertices_ = num_vertices;
+  csr.num_edges_ = num_edges;
+  return csr;
+}
+
+Csr Csr::Build(const EdgeList& edges, bool by_source) {
+  auto planes = std::make_shared<OwnedPlanes>();
   VertexId n = edges.num_vertices();
-  csr.offsets_.assign(static_cast<size_t>(n) + 1, 0);
-  csr.neighbors_.resize(edges.num_edges());
-  csr.weights_.resize(edges.num_edges());
+  planes->offsets.assign(static_cast<size_t>(n) + 1, 0);
+  planes->neighbors.resize(edges.num_edges());
+  planes->weights.resize(edges.num_edges());
 
   // Counting sort by row key: two passes over the edge list.
   for (const Edge& e : edges.edges()) {
     VertexId key = by_source ? e.src : e.dst;
-    ++csr.offsets_[key + 1];
+    ++planes->offsets[key + 1];
   }
-  for (size_t v = 0; v < n; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
+  for (size_t v = 0; v < n; ++v) {
+    planes->offsets[v + 1] += planes->offsets[v];
+  }
 
-  std::vector<EdgeId> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  std::vector<EdgeId> cursor(planes->offsets.begin(),
+                             planes->offsets.end() - 1);
   for (const Edge& e : edges.edges()) {
     VertexId key = by_source ? e.src : e.dst;
     VertexId other = by_source ? e.dst : e.src;
     EdgeId slot = cursor[key]++;
-    csr.neighbors_[slot] = other;
-    csr.weights_[slot] = e.weight;
+    planes->neighbors[slot] = other;
+    planes->weights[slot] = e.weight;
   }
+
+  Csr csr;
+  csr.offsets_ = planes->offsets.data();
+  csr.neighbors_ = planes->neighbors.data();
+  csr.weights_ = planes->weights.data();
+  csr.num_vertices_ = n;
+  csr.num_edges_ = edges.num_edges();
+  csr.owned_ = std::move(planes);
   return csr;
 }
 

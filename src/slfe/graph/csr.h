@@ -2,8 +2,10 @@
 #define SLFE_GRAPH_CSR_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "slfe/common/span.h"
 #include "slfe/common/status.h"
 #include "slfe/graph/edge_list.h"
 #include "slfe/graph/types.h"
@@ -13,6 +15,13 @@ namespace slfe {
 /// Compressed sparse row adjacency: for vertex v, its neighbors (and edge
 /// weights) live at indices [offsets[v], offsets[v+1]). Depending on how it
 /// was built this stores out-neighbors (CSR proper) or in-neighbors (CSC).
+///
+/// Storage comes in two flavors behind one representation: FromEdges*
+/// builds owned heap planes (shared across copies — the CSR is immutable),
+/// while FromPlanes views externally owned memory, which is how a
+/// GraphArena serves an mmap'd file with zero copies. The hot accessors
+/// (begin/end/neighbor/weight) read raw pointers either way, so view mode
+/// costs the traversal loops nothing.
 class Csr {
  public:
   Csr() = default;
@@ -23,10 +32,17 @@ class Csr {
   /// Builds in-neighbor adjacency (row = dst) from an edge list.
   static Csr FromEdgesByDestination(const EdgeList& edges);
 
-  VertexId num_vertices() const {
-    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
-  }
-  EdgeId num_edges() const { return offsets_.empty() ? 0 : offsets_.back(); }
+  /// Zero-copy view over externally owned planes: `offsets` has
+  /// num_vertices+1 entries, `neighbors` and `weights` have num_edges. The
+  /// planes must outlive every copy of the returned Csr — Graph::FromParts
+  /// pairs a view Csr with a backing handle that keeps the owner (the
+  /// mapped arena) alive.
+  static Csr FromPlanes(const EdgeId* offsets, VertexId num_vertices,
+                        const VertexId* neighbors, const Weight* weights,
+                        EdgeId num_edges);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return num_edges_; }
 
   EdgeId begin(VertexId v) const { return offsets_[v]; }
   EdgeId end(VertexId v) const { return offsets_[v + 1]; }
@@ -43,16 +59,35 @@ class Csr {
     for (EdgeId e = begin(v); e < end(v); ++e) fn(neighbors_[e], weights_[e]);
   }
 
-  const std::vector<EdgeId>& offsets() const { return offsets_; }
-  const std::vector<VertexId>& neighbors() const { return neighbors_; }
-  const std::vector<Weight>& weights() const { return weights_; }
+  ConstSpan<EdgeId> offsets() const {
+    return {offsets_,
+            offsets_ == nullptr ? 0 : static_cast<size_t>(num_vertices_) + 1};
+  }
+  ConstSpan<VertexId> neighbors() const {
+    return {neighbors_, static_cast<size_t>(num_edges_)};
+  }
+  ConstSpan<Weight> weights() const {
+    return {weights_, static_cast<size_t>(num_edges_)};
+  }
 
  private:
+  /// Heap storage for the owned flavor. Held by shared_ptr so copies of a
+  /// Csr share planes (cheap, and the raw pointers below stay valid across
+  /// copies/moves without a rebind step).
+  struct OwnedPlanes {
+    std::vector<EdgeId> offsets;      // size |V|+1
+    std::vector<VertexId> neighbors;  // size |E|
+    std::vector<Weight> weights;      // size |E|
+  };
+
   static Csr Build(const EdgeList& edges, bool by_source);
 
-  std::vector<EdgeId> offsets_;      // size |V|+1
-  std::vector<VertexId> neighbors_;  // size |E|
-  std::vector<Weight> weights_;      // size |E|
+  std::shared_ptr<const OwnedPlanes> owned_;  // null in view mode
+  const EdgeId* offsets_ = nullptr;
+  const VertexId* neighbors_ = nullptr;
+  const Weight* weights_ = nullptr;
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
 };
 
 }  // namespace slfe

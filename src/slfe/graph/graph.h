@@ -2,6 +2,7 @@
 #define SLFE_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 #include "slfe/common/fnv.h"
@@ -26,6 +27,25 @@ class Graph {
     g.num_edges_ = edges.num_edges();
     g.out_ = Csr::FromEdgesBySource(edges);
     g.in_ = Csr::FromEdgesByDestination(edges);
+    return g;
+  }
+
+  /// Assembles a graph from pre-built adjacency — the GraphArena's path
+  /// for serving an mmap'd file. `backing` keeps whatever owns the CSR
+  /// planes (the mapped arena) alive for the lifetime of this graph and
+  /// every copy of it. A non-zero `fingerprint` pre-seeds the memo, so a
+  /// mapped graph never pays the O(V+E) hash pass the arena already paid
+  /// at build time (pass 0 to keep lazy computation).
+  static Graph FromParts(VertexId num_vertices, EdgeId num_edges, Csr out,
+                         Csr in, uint64_t fingerprint,
+                         std::shared_ptr<const void> backing) {
+    Graph g;
+    g.num_vertices_ = num_vertices;
+    g.num_edges_ = num_edges;
+    g.out_ = std::move(out);
+    g.in_ = std::move(in);
+    g.fingerprint_ = fingerprint;
+    g.backing_ = std::move(backing);
     return g;
   }
 
@@ -76,6 +96,9 @@ class Graph {
   mutable uint64_t fingerprint_ = 0;
   Csr out_;
   Csr in_;
+  /// Keeps externally owned CSR planes alive when the Csrs are views
+  /// (Graph::FromParts over a mapped arena); null for owned graphs.
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace slfe

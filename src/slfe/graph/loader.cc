@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "slfe/graph/arena.h"
 
 namespace slfe {
 
@@ -117,6 +120,27 @@ Status SaveEdgeListBinary(const EdgeList& edges, const std::string& path) {
     }
   }
   return Status::OK();
+}
+
+Result<Graph> LoadGraphAuto(const std::string& path) {
+  uint64_t magic8 = 0;
+  {
+    File f(path, "rb");
+    if (!f.ok()) return Status::IOError("cannot open " + path);
+    // Short files fall through with magic8 == 0 and get the text parser's
+    // (more informative) diagnostics.
+    if (std::fread(&magic8, sizeof(magic8), 1, f.get()) != 1) magic8 = 0;
+  }
+  if (static_cast<uint32_t>(magic8) == GraphArena::kMagic) {
+    Result<std::shared_ptr<GraphArena>> arena = GraphArena::Open(path);
+    if (!arena.ok()) return arena.status();
+    return arena.value()->graph();
+  }
+  Result<EdgeList> edges = magic8 == kBinaryMagic
+                               ? LoadEdgeListBinary(path)
+                               : LoadEdgeListText(path);
+  if (!edges.ok()) return edges.status();
+  return Graph::FromEdges(edges.value());
 }
 
 }  // namespace slfe

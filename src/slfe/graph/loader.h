@@ -5,6 +5,7 @@
 
 #include "slfe/common/status.h"
 #include "slfe/graph/edge_list.h"
+#include "slfe/graph/graph.h"
 
 namespace slfe {
 
@@ -21,6 +22,14 @@ Status SaveEdgeListText(const EdgeList& edges, const std::string& path);
 /// to load than text for the larger synthetic datasets.
 Result<EdgeList> LoadEdgeListBinary(const std::string& path);
 Status SaveEdgeListBinary(const EdgeList& edges, const std::string& path);
+
+/// Loads a Graph from any on-disk format this library writes, sniffing the
+/// leading magic: a graph arena (`*.sga`, GraphArena::kMagic) takes the
+/// mmap fast path (map + validate, no parse, no re-fingerprint), a binary
+/// edge list takes LoadEdgeListBinary, and anything else is parsed as a
+/// text edge list. The arena path is how `slfe_cli --file=graph.sga` opens
+/// in milliseconds what the text parser rebuilds in seconds.
+Result<Graph> LoadGraphAuto(const std::string& path);
 
 }  // namespace slfe
 

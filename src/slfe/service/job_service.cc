@@ -7,8 +7,10 @@ namespace slfe::service {
 
 namespace {
 
-/// Guidance payload bytes per acquisition — the same per-vertex payload
-/// size the store persists and the tenant byte budgets meter.
+/// Guidance payload bytes per acquisition. Metered at the codec-
+/// independent raw width (kPayloadBytesPerVertex) so a tenant's usage
+/// number does not change when the store negotiates the packed codec —
+/// budgets meter logical guidance volume, the file system meters disk.
 uint64_t GuidanceBytes(const Graph& graph) {
   return static_cast<uint64_t>(graph.num_vertices()) *
          GuidanceStore::kPayloadBytesPerVertex;
@@ -40,6 +42,7 @@ api::SessionOptions SessionOptionsFor(const JobServiceOptions& o) {
   s.auto_symmetrize = o.auto_symmetrize;
   s.strict_weights = true;
   s.provider = o.provider;
+  s.arena_dir = o.arena_dir;
   return s;
 }
 
@@ -93,6 +96,20 @@ Status JobService::RegisterGraph(const std::string& name, Graph graph) {
 Status JobService::RegisterGraph(const std::string& name, Graph graph,
                                  api::GraphTraits traits) {
   return session_->AddGraph(name, std::move(graph), traits);
+}
+
+Status JobService::RegisterGraphFromArena(const std::string& name,
+                                          const std::string& path) {
+  return session_->AddGraphFromArena(name, path);
+}
+
+Status JobService::SaveGraphArena(const std::string& name,
+                                  const std::string& path, ArenaCodec codec) {
+  return session_->SaveGraphArena(name, path, codec);
+}
+
+std::string JobService::ArenaPathFor(const std::string& stem) const {
+  return session_->ArenaPath(stem);
 }
 
 bool JobService::HasGraph(const std::string& name) const {
@@ -250,6 +267,8 @@ JobServiceStats JobService::Stats() const {
   GuidanceProvider& provider = session_->provider();
   snapshot.provider = provider.stats();
   snapshot.cache = provider.cache_stats();
+  snapshot.graphs_parsed = session_->graphs_parsed();
+  snapshot.graphs_mapped = session_->graphs_mapped();
   return snapshot;
 }
 

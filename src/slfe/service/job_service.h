@@ -135,6 +135,11 @@ struct JobServiceStats {
   uint64_t maintenance_sweeps = 0;  ///< sweeps run by the timer + SweepNow
   uint64_t sweep_removed = 0;       ///< entries GC'd by those sweeps
   uint64_t sweep_pinned_spared = 0;  ///< victims spared by in-flight pins
+  /// Graph provenance (from the session): registered via the parse path
+  /// vs. mapped from an arena file. A warm restart over a populated
+  /// arena_dir shows mapped == graph count, parsed == 0.
+  uint64_t graphs_parsed = 0;
+  uint64_t graphs_mapped = 0;
   std::map<std::string, TenantStats> tenants;
   GuidanceProviderStats provider;
   GuidanceCacheStats cache;
@@ -167,6 +172,9 @@ struct JobServiceOptions {
   /// Run one last Sweep() during Shutdown() so a stopped service leaves
   /// its store directory within budget.
   bool final_sweep_on_shutdown = true;
+  /// Directory of `*.sga` graph arenas (passed through to the session).
+  /// Empty = warm-restart registration disabled.
+  std::string arena_dir;
 };
 
 /// The long-lived multi-tenant daemon core: accepts job requests into a
@@ -208,6 +216,18 @@ class JobService {
   Status RegisterGraph(const std::string& name, Graph graph);
   Status RegisterGraph(const std::string& name, Graph graph,
                        api::GraphTraits traits);
+
+  /// Warm-restart registration: maps the arena at `path` instead of
+  /// parsing + partitioning. Traits come from the arena header.
+  Status RegisterGraphFromArena(const std::string& name,
+                                const std::string& path);
+  /// Writes graph `name`'s arena to `path` (atomic temp + rename), so the
+  /// NEXT service start can map it.
+  Status SaveGraphArena(const std::string& name, const std::string& path,
+                        ArenaCodec codec = ArenaCodec::kRaw);
+  /// `<arena_dir>/<stem>.sga`, or "" when no arena_dir is configured.
+  std::string ArenaPathFor(const std::string& stem) const;
+
   bool HasGraph(const std::string& name) const;
 
   /// Validates and enqueues one job. Returns the completion ticket, or:

@@ -1,0 +1,363 @@
+// Tests for the mmap-backed graph arena: bit-identical CSR round-trips
+// under both codecs, rejection of every torn/corrupted/mislabeled file
+// (an error Status, never a partial graph), and the serving properties
+// the warm-restart path depends on — concurrent Sessions mapping one
+// arena, and mapped graphs producing the same guided results as parsed
+// ones.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slfe/api/session.h"
+#include "slfe/engine/dist_graph.h"
+#include "slfe/graph/arena.h"
+#include "slfe/graph/generators.h"
+#include "slfe/graph/graph.h"
+
+namespace slfe {
+namespace {
+
+std::string ArenaPath(const std::string& name) {
+  return ::testing::TempDir() + name + ".sga";
+}
+
+std::vector<unsigned char> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<unsigned char> bytes;
+  unsigned char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + got);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFile(const std::string& path,
+               const std::vector<unsigned char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+/// Patches the in-file header through `mutate` and re-seals the header
+/// checksum, so the test reaches the validation stage it targets instead
+/// of tripping the checksum first.
+void PatchHeader(std::vector<unsigned char>& bytes,
+                 void (*mutate)(ArenaHeader&)) {
+  ASSERT_GE(bytes.size(), sizeof(ArenaHeader));
+  ArenaHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  mutate(header);
+  header.header_checksum = ArenaHeaderChecksum(header);
+  std::memcpy(bytes.data(), &header, sizeof(header));
+}
+
+/// A weighted directed test graph with irregular degrees (star + chain +
+/// random edges), so rows of every shape cross the codecs.
+Graph TestGraph() {
+  EdgeList edges = GenerateErdosRenyi(/*num_vertices=*/200, /*num_edges=*/900,
+                                      /*seed=*/7, /*weighted=*/true);
+  return Graph::FromEdges(edges);
+}
+
+/// Plane-by-plane bit comparison between a built graph and its mapped
+/// twin (both CSR directions: offsets, neighbors, weights).
+void ExpectSameCsr(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  const Csr* lhs[2] = {&a.out(), &a.in()};
+  const Csr* rhs[2] = {&b.out(), &b.in()};
+  for (int d = 0; d < 2; ++d) {
+    auto ao = lhs[d]->offsets();
+    auto bo = rhs[d]->offsets();
+    ASSERT_EQ(ao.size(), bo.size());
+    EXPECT_EQ(std::memcmp(ao.data(), bo.data(), ao.size() * sizeof(EdgeId)),
+              0);
+    auto an = lhs[d]->neighbors();
+    auto bn = rhs[d]->neighbors();
+    ASSERT_EQ(an.size(), bn.size());
+    EXPECT_EQ(std::memcmp(an.data(), bn.data(), an.size() * sizeof(VertexId)),
+              0);
+    auto aw = lhs[d]->weights();
+    auto bw = rhs[d]->weights();
+    ASSERT_EQ(aw.size(), bw.size());
+    EXPECT_EQ(std::memcmp(aw.data(), bw.data(), aw.size() * sizeof(Weight)),
+              0);
+  }
+}
+
+TEST(GraphArena, RawRoundTripIsBitIdentical) {
+  Graph graph = TestGraph();
+  std::string path = ArenaPath("raw_roundtrip");
+  ArenaBuildOptions build;
+  build.num_nodes = 8;
+  build.weighted = true;
+  ASSERT_TRUE(GraphArena::Build(graph, path, build).ok());
+
+  auto arena = GraphArena::Open(path);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  EXPECT_EQ(arena.value()->codec(), ArenaCodec::kRaw);
+  EXPECT_EQ(arena.value()->num_nodes(), 8);
+  EXPECT_TRUE(arena.value()->weighted());
+  EXPECT_FALSE(arena.value()->symmetric());
+  EXPECT_EQ(arena.value()->heap_bytes(), 0u);  // raw serves from the mapping
+  ExpectSameCsr(graph, arena.value()->graph());
+
+  // The persisted partition is exactly what a cold start would rebuild.
+  std::vector<VertexRange> fresh = DistGraph::BuildRanges(graph, 8);
+  const std::vector<VertexRange>& mapped = arena.value()->ranges();
+  ASSERT_EQ(mapped.size(), fresh.size());
+  EXPECT_EQ(std::memcmp(mapped.data(), fresh.data(),
+                        fresh.size() * sizeof(VertexRange)),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(GraphArena, DeltaVarintRoundTripIsBitIdentical) {
+  Graph graph = TestGraph();
+  std::string raw_path = ArenaPath("varint_raw");
+  std::string varint_path = ArenaPath("varint_roundtrip");
+  ArenaBuildOptions build;
+  build.num_nodes = 4;
+  build.weighted = true;
+  ASSERT_TRUE(GraphArena::Build(graph, raw_path, build).ok());
+  build.codec = ArenaCodec::kDeltaVarint;
+  ASSERT_TRUE(GraphArena::Build(graph, varint_path, build).ok());
+
+  auto arena = GraphArena::Open(varint_path);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  EXPECT_EQ(arena.value()->codec(), ArenaCodec::kDeltaVarint);
+  EXPECT_GT(arena.value()->heap_bytes(), 0u);  // decoded neighbor planes
+  ExpectSameCsr(graph, arena.value()->graph());
+
+  // The codec's reason to exist: smaller neighbor planes on disk.
+  EXPECT_LT(ReadFile(varint_path).size(), ReadFile(raw_path).size());
+  std::remove(raw_path.c_str());
+  std::remove(varint_path.c_str());
+}
+
+TEST(GraphArena, SymmetrizedTraitsSurvive) {
+  EdgeList edges = GenerateChain(40, /*weighted=*/true);
+  edges.Symmetrize();
+  edges.Deduplicate();
+  Graph graph = Graph::FromEdges(edges);
+  std::string path = ArenaPath("symmetric");
+  ArenaBuildOptions build;
+  build.symmetric = true;
+  build.weighted = true;
+  ASSERT_TRUE(GraphArena::Build(graph, path, build).ok());
+
+  auto arena = GraphArena::Open(path);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  EXPECT_TRUE(arena.value()->symmetric());
+  EXPECT_TRUE(arena.value()->weighted());
+  ExpectSameCsr(graph, arena.value()->graph());
+  std::remove(path.c_str());
+}
+
+TEST(GraphArena, MappedGraphOutlivesTheArenaHandle) {
+  Graph graph = TestGraph();
+  std::string path = ArenaPath("outlives");
+  ASSERT_TRUE(GraphArena::Build(graph, path, {}).ok());
+
+  Graph mapped;
+  {
+    auto arena = GraphArena::Open(path);
+    ASSERT_TRUE(arena.ok());
+    mapped = arena.value()->graph();
+  }  // the arena handle dies here; the graph co-owns the mapping
+  ExpectSameCsr(graph, mapped);
+  std::remove(path.c_str());
+}
+
+TEST(GraphArena, MissingFileIsNotFound) {
+  auto arena = GraphArena::Open(ArenaPath("never_written"));
+  ASSERT_FALSE(arena.ok());
+  EXPECT_EQ(arena.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphArena, TruncationAnywhereIsRejected) {
+  Graph graph = TestGraph();
+  std::string path = ArenaPath("truncated");
+  ASSERT_TRUE(GraphArena::Build(graph, path, {}).ok());
+  std::vector<unsigned char> bytes = ReadFile(path);
+
+  // Mid-header, just past the header, and mid-payload: every cut must be
+  // caught by the size checks before any plane is trusted.
+  for (size_t keep : {size_t{40}, sizeof(ArenaHeader) + 8, bytes.size() - 1}) {
+    std::vector<unsigned char> cut(bytes.begin(), bytes.begin() + keep);
+    WriteFile(path, cut);
+    auto arena = GraphArena::Open(path);
+    EXPECT_FALSE(arena.ok()) << "accepted a file truncated to " << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphArena, PayloadCorruptionIsRejected) {
+  Graph graph = TestGraph();
+  std::string path = ArenaPath("corrupt_payload");
+  ArenaBuildOptions build;
+  build.weighted = true;
+  ASSERT_TRUE(GraphArena::Build(graph, path, build).ok());
+  std::vector<unsigned char> bytes = ReadFile(path);
+  bytes[bytes.size() - 3] ^= 0x40;  // flip a bit deep in the payload
+  WriteFile(path, bytes);
+
+  auto arena = GraphArena::Open(path);
+  ASSERT_FALSE(arena.ok());
+  EXPECT_EQ(arena.status().code(), StatusCode::kCorruption);
+}
+
+TEST(GraphArena, HeaderTamperIsRejected) {
+  Graph graph = TestGraph();
+  std::string path = ArenaPath("corrupt_header");
+  ASSERT_TRUE(GraphArena::Build(graph, path, {}).ok());
+  std::vector<unsigned char> bytes = ReadFile(path);
+  bytes[16] ^= 0x01;  // fingerprint field, header checksum NOT re-sealed
+  WriteFile(path, bytes);
+
+  auto arena = GraphArena::Open(path);
+  ASSERT_FALSE(arena.ok());
+  EXPECT_EQ(arena.status().code(), StatusCode::kCorruption);
+}
+
+TEST(GraphArena, FutureFormatVersionIsRejected) {
+  Graph graph = TestGraph();
+  std::string path = ArenaPath("future_version");
+  ASSERT_TRUE(GraphArena::Build(graph, path, {}).ok());
+  std::vector<unsigned char> bytes = ReadFile(path);
+  PatchHeader(bytes, [](ArenaHeader& h) {
+    h.version = (h.version & ~0xFFFFu) | (GraphArena::kFormatVersion + 1);
+  });
+  WriteFile(path, bytes);
+
+  auto arena = GraphArena::Open(path);
+  ASSERT_FALSE(arena.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphArena, UnknownCodecIsRejectedDistinctly) {
+  Graph graph = TestGraph();
+  std::string path = ArenaPath("unknown_codec");
+  ASSERT_TRUE(GraphArena::Build(graph, path, {}).ok());
+  std::vector<unsigned char> bytes = ReadFile(path);
+  PatchHeader(bytes,
+              [](ArenaHeader& h) { h.version |= uint32_t{9} << 16; });
+  WriteFile(path, bytes);
+
+  // A newer writer's codec is not a damaged file: the message must say
+  // codec, so operators upgrade instead of deleting arenas.
+  auto arena = GraphArena::Open(path);
+  ASSERT_FALSE(arena.ok());
+  EXPECT_NE(arena.status().message().find("codec"), std::string::npos)
+      << arena.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(GraphArena, SkippingPayloadVerificationStillValidatesStructure) {
+  Graph graph = TestGraph();
+  std::string path = ArenaPath("no_verify");
+  ArenaBuildOptions build;
+  build.weighted = true;
+  ASSERT_TRUE(GraphArena::Build(graph, path, build).ok());
+
+  ArenaOpenOptions open;
+  open.verify_payload = false;  // the demand-paging mode
+  auto arena = GraphArena::Open(path, open);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  ExpectSameCsr(graph, arena.value()->graph());
+
+  // Structural damage (a torn section table) is still caught without the
+  // payload pass.
+  std::vector<unsigned char> bytes = ReadFile(path);
+  PatchHeader(bytes, [](ArenaHeader& h) {
+    h.sections[kArenaOutNeighbors].bytes += 64;
+  });
+  WriteFile(path, bytes);
+  EXPECT_FALSE(GraphArena::Open(path, open).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphArena, TwoSessionsMapOneArenaConcurrently) {
+  Graph graph = TestGraph();
+  std::string path = ArenaPath("two_sessions");
+  ArenaBuildOptions build;
+  build.num_nodes = 8;
+  build.weighted = true;
+  ASSERT_TRUE(GraphArena::Build(graph, path, build).ok());
+
+  api::SessionOptions opt;
+  opt.num_nodes = 8;
+  api::Session parsed_session(opt);
+  ASSERT_TRUE(parsed_session.AddGraph("g", graph).ok());
+
+  auto mapped_a = std::make_unique<api::Session>(opt);
+  api::Session mapped_b(opt);
+  ASSERT_TRUE(mapped_a->AddGraphFromArena("g", path).ok());
+  ASSERT_TRUE(mapped_b.AddGraphFromArena("g", path).ok());
+
+  api::AppRequest request;
+  request.app = "sssp";
+  request.graph = "g";
+  request.enable_rr = true;
+  api::AppOutcome want = parsed_session.Run(request);
+  ASSERT_TRUE(want.status.ok()) << want.status.ToString();
+
+  api::AppOutcome got_a = mapped_a->Run(request);
+  ASSERT_TRUE(got_a.status.ok()) << got_a.status.ToString();
+  EXPECT_EQ(want.summary, got_a.summary);
+  ASSERT_EQ(want.values.size(), got_a.values.size());
+  EXPECT_EQ(std::memcmp(want.values.data(), got_a.values.data(),
+                        want.values.size() * sizeof(double)),
+            0);
+
+  // Tearing down one session must not unmap the other's planes.
+  mapped_a.reset();
+  api::AppOutcome got_b = mapped_b.Run(request);
+  ASSERT_TRUE(got_b.status.ok()) << got_b.status.ToString();
+  EXPECT_EQ(want.summary, got_b.summary);
+  ASSERT_EQ(want.values.size(), got_b.values.size());
+  EXPECT_EQ(std::memcmp(want.values.data(), got_b.values.data(),
+                        want.values.size() * sizeof(double)),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(GraphArena, SessionSaveAndReloadThroughTheFacade) {
+  std::string dir = ::testing::TempDir() + "arena_facade";
+  api::SessionOptions opt;
+  opt.num_nodes = 4;
+  opt.arena_dir = dir;
+  Graph graph = TestGraph();
+
+  // First process lifetime: parse-path registration, then persist.
+  {
+    api::Session session(opt);
+    ASSERT_TRUE(session.AddGraph("g", graph).ok());
+    EXPECT_EQ(session.graphs_parsed(), 1u);
+    EXPECT_EQ(session.graphs_mapped(), 0u);
+    ASSERT_TRUE(session.SaveGraphArena("g", session.ArenaPath("g")).ok());
+  }
+
+  // Second lifetime: warm restart maps instead of parsing.
+  api::Session session(opt);
+  ASSERT_TRUE(session.AddGraphFromArena("g", session.ArenaPath("g")).ok());
+  EXPECT_EQ(session.graphs_parsed(), 0u);
+  EXPECT_EQ(session.graphs_mapped(), 1u);
+  std::shared_ptr<const Graph> mapped = session.GetGraph("g");
+  ASSERT_NE(mapped, nullptr);
+  ExpectSameCsr(graph, *mapped);
+  std::remove(session.ArenaPath("g").c_str());
+}
+
+}  // namespace
+}  // namespace slfe

@@ -260,5 +260,61 @@ TEST(GuidanceStoreTest, EmptyGuidanceRoundTrips) {
   EXPECT_EQ(loaded.value().depth(), 0u);
 }
 
+TEST(GuidanceStoreTest, ShallowGuidancePacksToOneBytePerVertex) {
+  // Every last_iter in the chain-of-20 fixture fits a byte, so Save must
+  // negotiate kPackedU8: 56-byte header + 2 bytes/vertex on disk.
+  StoreFixture fx("slfe_gs_packed");
+  ASSERT_TRUE(fx.store.Save(fx.key, fx.guidance).ok());
+  std::vector<unsigned char> bytes = ReadFile(fx.store.EntryPath(fx.key));
+  EXPECT_EQ(bytes.size(), 56u + 2u * fx.guidance.num_vertices());
+
+  Result<RRGuidance> loaded = fx.store.Load(fx.key);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (VertexId v = 0; v < fx.guidance.num_vertices(); ++v) {
+    ASSERT_EQ(loaded.value().last_iter(v), fx.guidance.last_iter(v));
+  }
+}
+
+TEST(GuidanceStoreTest, DeepGuidanceFallsBackToRawCodec) {
+  // A 300-vertex chain drives last_iter past 255, so the packed codec
+  // cannot represent it and Save must fall back to raw u32 (5 B/vertex)
+  // without losing a single level.
+  StoreFixture fx("slfe_gs_deep");
+  Graph deep = Graph::FromEdges(GenerateChain(300));
+  std::vector<VertexId> roots = {0};
+  GuidanceKey key = GuidanceCache::MakeKey(deep.fingerprint(), roots);
+  RRGuidance guidance = RRGuidance::GenerateSerial(deep, roots);
+  ASSERT_GT(guidance.depth(), 255u) << "fixture must exceed the u8 range";
+  ASSERT_TRUE(fx.store.Save(key, guidance).ok());
+  std::vector<unsigned char> bytes = ReadFile(fx.store.EntryPath(key));
+  EXPECT_EQ(bytes.size(), 56u + 5u * guidance.num_vertices());
+
+  Result<RRGuidance> loaded = fx.store.Load(key);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (VertexId v = 0; v < guidance.num_vertices(); ++v) {
+    ASSERT_EQ(loaded.value().last_iter(v), guidance.last_iter(v)) << v;
+  }
+}
+
+TEST(GuidanceStoreTest, UnknownCodecByteIsRejectedAsCodecError) {
+  StoreFixture fx("slfe_gs_codec");
+  ASSERT_TRUE(fx.store.Save(fx.key, fx.guidance).ok());
+  std::string path = fx.store.EntryPath(fx.key);
+  std::vector<unsigned char> bytes = ReadFile(path);
+  bytes[6] = 9;  // version bits 16-23: a codec this build does not know
+  WriteFile(path, bytes);
+
+  // Rejected like corruption (no partial guidance), but ALSO counted in
+  // the distinct codec_errors stat — the operator's signal to upgrade
+  // readers rather than delete entries.
+  Result<RRGuidance> loaded = fx.store.Load(fx.key);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("codec"), std::string::npos);
+  GuidanceStoreStats stats = fx.store.stats();
+  EXPECT_EQ(stats.codec_errors, 1u);
+  EXPECT_EQ(stats.load_errors, 1u);
+}
+
 }  // namespace
 }  // namespace slfe
