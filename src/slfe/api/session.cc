@@ -120,7 +120,7 @@ Status Session::AddGraphEntry(const std::string& name,
   if (graphs_.find(name) != graphs_.end()) {
     return Status::FailedPrecondition("graph already registered: " + name);
   }
-  graphs_.emplace(name, GraphEntry{std::move(graph), traits, nullptr});
+  graphs_.emplace(name, GraphEntry{std::move(graph), traits, nullptr, 1, {}});
   return Status::OK();
 }
 
@@ -133,6 +133,97 @@ std::shared_ptr<const Graph> Session::GetGraph(const std::string& name) const {
   std::lock_guard<std::mutex> lock(graphs_mu_);
   auto it = graphs_.find(name);
   return it == graphs_.end() ? nullptr : it->second.graph;
+}
+
+Result<GraphMutationResult> Session::MutateGraph(const std::string& name,
+                                                 const GraphDelta& delta) {
+  // The delta outlives this call inside the provider's repair lineage.
+  auto delta_ptr = std::make_shared<const GraphDelta>(delta);
+  for (;;) {
+    std::shared_ptr<const Graph> base;
+    uint64_t base_version = 0;
+    {
+      std::lock_guard<std::mutex> lock(graphs_mu_);
+      auto it = graphs_.find(name);
+      if (it == graphs_.end()) {
+        return Status::NotFound("graph not registered: " + name);
+      }
+      base = it->second.graph;
+      base_version = it->second.version;
+    }
+
+    GraphMutationResult result;
+    result.old_fingerprint = base->fingerprint();
+    Result<Graph> next = ApplyDelta(*base, *delta_ptr, &result.delta_stats);
+    if (!next.ok()) return next.status();
+
+    if (result.delta_stats.edges_inserted == 0 &&
+        result.delta_stats.edges_deleted == 0) {
+      // Every insert was a duplicate and every delete was absent: the
+      // topology is unchanged, so keep serving the SAME Graph object
+      // (same fingerprint, same cached guidance) under the same version.
+      result.version = base_version;
+      result.new_fingerprint = result.old_fingerprint;
+      result.changed = false;
+      result.num_vertices = base->num_vertices();
+      result.num_edges = base->num_edges();
+      return result;
+    }
+
+    auto fresh = std::make_shared<const Graph>(std::move(next).value());
+    GraphTraits traits;
+    traits.weighted = HasNonUnitWeights(*fresh);
+    // A delta on a symmetric graph only preserves symmetry if the caller
+    // mirrored every edge; the session cannot assume that.
+    traits.symmetric = false;
+    // Force both fingerprints outside graphs_mu_ (lazy O(V+E) memo).
+    result.new_fingerprint = fresh->fingerprint();
+
+    {
+      std::lock_guard<std::mutex> lock(graphs_mu_);
+      auto it = graphs_.find(name);
+      if (it == graphs_.end()) {
+        return Status::NotFound("graph not registered: " + name);
+      }
+      GraphEntry& entry = it->second;
+      if (entry.graph != base) continue;  // lost the race: reapply on winner
+      if (entry.history.empty()) {
+        entry.history.push_back(
+            {entry.version, result.old_fingerprint, entry.graph});
+      }
+      entry.graph = fresh;
+      entry.traits = traits;
+      entry.symmetrized.reset();
+      ++entry.version;
+      entry.history.push_back({entry.version, result.new_fingerprint, fresh});
+      result.version = entry.version;
+    }
+    provider_->RecordMutation(std::move(base), *fresh, std::move(delta_ptr));
+    ++graphs_mutated_;
+    result.changed = true;
+    result.num_vertices = fresh->num_vertices();
+    result.num_edges = fresh->num_edges();
+    return result;
+  }
+}
+
+std::vector<GraphVersionInfo> Session::GraphVersions(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(graphs_mu_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) return {};
+  const GraphEntry& entry = it->second;
+  std::vector<GraphVersionInfo> out;
+  if (entry.history.empty()) {
+    // Never mutated: one synthetic row for the graph as registered.
+    out.push_back({entry.version, entry.graph->fingerprint(), true, true});
+    return out;
+  }
+  for (const VersionRecord& record : entry.history) {
+    out.push_back({record.version, record.fingerprint,
+                   !record.graph.expired(), record.version == entry.version});
+  }
+  return out;
 }
 
 Status Session::Check(const AppRequest& request,
@@ -223,6 +314,53 @@ AppOutcome Session::Run(const AppRequest& request) {
   Engine engine;
   outcome.status = Check(request, &app, &engine);
   if (!outcome.status.ok()) return outcome;
+  return RunWith(request, *app, engine,
+                 ResolveChecked(request.graph, *app));
+}
+
+AppOutcome Session::RunOn(const AppRequest& request,
+                          std::shared_ptr<const Graph> graph) {
+  AppOutcome outcome;
+  if (graph == nullptr) {
+    outcome.status = Status::InvalidArgument("RunOn: null graph");
+    return outcome;
+  }
+  // Registry checks repeat (they are cheap and request-local); the
+  // by-name graph lookup and trait checks do NOT — the pinned graph is
+  // the resolution, validated when the caller resolved it.
+  const AppRegistry& registry = AppRegistry::Global();
+  const AppDescriptor* app = registry.Find(request.app);
+  if (app == nullptr) {
+    outcome.status =
+        Status::InvalidArgument("unknown app: " + request.app + " (one of: " +
+                                registry.UsageList() + ")");
+    return outcome;
+  }
+  Result<Engine> engine = ParseEngine(request.engine);
+  if (!engine.ok()) {
+    outcome.status = engine.status();
+    return outcome;
+  }
+  if (!app->Supports(engine.value())) {
+    outcome.status = Status::InvalidArgument(
+        "app " + app->name + " not available on engine " + request.engine +
+        " (declared: " + app->EngineList() + ")");
+    return outcome;
+  }
+  if (app->single_source && request.root >= graph->num_vertices()) {
+    outcome.status = Status::InvalidArgument(
+        "root " + std::to_string(request.root) +
+        " out of range for the pinned graph (|V|=" +
+        std::to_string(graph->num_vertices()) + ")");
+    return outcome;
+  }
+  return RunWith(request, *app, engine.value(), std::move(graph));
+}
+
+AppOutcome Session::RunWith(const AppRequest& request, const AppDescriptor& app,
+                            Engine engine,
+                            std::shared_ptr<const Graph> graph) {
+  AppOutcome outcome;
   if (engine == Engine::kOoc) {
     // Lazily create the scratch root only when an engine with on-disk
     // state runs (OocEngine::Build mkdirs just the leaf under it), and
@@ -234,7 +372,6 @@ AppOutcome Session::Run(const AppRequest& request) {
       return outcome;
     }
   }
-  std::shared_ptr<const Graph> graph = ResolveChecked(request.graph, *app);
 
   AppConfig config;
   config.num_nodes = options_.num_nodes;
@@ -248,7 +385,7 @@ AppOutcome Session::Run(const AppRequest& request) {
 
   RunContext context{*graph, request, std::move(config),
                      options_.scratch_dir, options_.ooc_shards};
-  return app->runners.at(engine)(context);
+  return app.runners.at(engine)(context);
 }
 
 }  // namespace slfe::api

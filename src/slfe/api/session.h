@@ -11,6 +11,7 @@
 #include "slfe/common/status.h"
 #include "slfe/core/guidance_provider.h"
 #include "slfe/graph/arena.h"
+#include "slfe/graph/delta.h"
 #include "slfe/graph/graph.h"
 
 namespace slfe::api {
@@ -26,6 +27,31 @@ struct GraphTraits {
   /// Carries at least one non-unit edge weight. Detected automatically by
   /// AddGraph unless declared.
   bool weighted = false;
+};
+
+/// What one MutateGraph call did. Versions are per-name and monotonically
+/// increasing, starting at 1 for the graph as registered; a no-op delta
+/// (every insert was a duplicate, every delete was already absent) leaves
+/// the version — and the served Graph object — untouched.
+struct GraphMutationResult {
+  uint64_t version = 0;  ///< version now being served under the name
+  uint64_t old_fingerprint = 0;
+  uint64_t new_fingerprint = 0;  ///< == old_fingerprint on a no-op
+  bool changed = false;
+  GraphDeltaStats delta_stats;
+  VertexId num_vertices = 0;  ///< of the served version
+  EdgeId num_edges = 0;
+};
+
+/// One row of a graph's version history (GraphVersions).
+struct GraphVersionInfo {
+  uint64_t version = 0;
+  uint64_t fingerprint = 0;
+  /// Some reference (the session itself, an in-flight job, the provider's
+  /// repair lineage) still holds this version's Graph alive.
+  bool alive = false;
+  /// This is the version new requests resolve to.
+  bool current = false;
 };
 
 struct SessionOptions {
@@ -111,6 +137,30 @@ class Session {
   /// nullptr when unknown.
   std::shared_ptr<const Graph> GetGraph(const std::string& name) const;
 
+  /// Applies `delta` to the graph registered under `name`, atomically
+  /// publishing the result as the next version served under that name.
+  /// Graphs stay immutable: the old version's Graph object is untouched,
+  /// so views held by in-flight jobs (JobService pins the resolved graph
+  /// at submit time) keep executing on the version they were submitted
+  /// against until they drain. The mutation is recorded with the guidance
+  /// provider, so the next guidance miss on the new version can repair
+  /// the old version's guidance instead of re-sweeping. Weight traits are
+  /// re-detected; a symmetrized variant is dropped (rebuilt lazily);
+  /// symmetric reverts to false — a delta on a symmetric graph is only
+  /// symmetric if the caller mirrors every edge, which the session cannot
+  /// assume. Concurrent mutations of one name serialize (optimistic
+  /// retry: a lost race reapplies the delta on the winner's version).
+  /// kNotFound for an unknown name; kInvalidArgument from ApplyDelta.
+  Result<GraphMutationResult> MutateGraph(const std::string& name,
+                                          const GraphDelta& delta);
+
+  /// The version history of `name`, oldest first (always ends with the
+  /// current version). Unknown name returns an empty vector.
+  std::vector<GraphVersionInfo> GraphVersions(const std::string& name) const;
+
+  /// Total successful non-no-op MutateGraph calls on this session.
+  uint64_t graphs_mutated() const { return graphs_mutated_.load(); }
+
   /// Full up-front validation with registry-derived messages: unknown
   /// app/engine, an (app, engine) pair the descriptor does not declare,
   /// an unregistered graph, requirement violations (symmetric/weighted),
@@ -129,15 +179,39 @@ class Session {
   /// reported in AppOutcome::status, never thrown.
   AppOutcome Run(const AppRequest& request);
 
+  /// Run on an explicit, already-resolved graph instead of re-resolving
+  /// request.graph by name. This is the version-pinned path: the
+  /// JobService resolves at submit time and executes here, so a job
+  /// submitted against version N runs on version N even if the name now
+  /// serves N+1. Validates app/engine/root against `graph`; the caller
+  /// vouches for graph-requirement traits (it validated at resolve time).
+  AppOutcome RunOn(const AppRequest& request,
+                   std::shared_ptr<const Graph> graph);
+
   GuidanceProvider& provider() { return *provider_; }
   const SessionOptions& options() const { return options_; }
 
  private:
+  /// One superseded-or-current version in a GraphEntry's history. The
+  /// graph is held weakly: aliveness tracks whoever still pins it (the
+  /// entry itself for the current version, in-flight jobs or the repair
+  /// lineage for old ones) without the history extending any lifetime.
+  struct VersionRecord {
+    uint64_t version = 0;
+    uint64_t fingerprint = 0;
+    std::weak_ptr<const Graph> graph;
+  };
+
   struct GraphEntry {
     std::shared_ptr<const Graph> graph;
     GraphTraits traits;
     /// Lazily built undirected closure for needs_symmetric apps.
     std::shared_ptr<const Graph> symmetrized;
+    /// Serving version, starting at 1; bumped by every effective mutation.
+    uint64_t version = 1;
+    /// All versions ever served under this name (filled from the first
+    /// mutation on; a never-mutated graph has an empty history).
+    std::vector<VersionRecord> history;
   };
 
   /// Internal: descriptor lookup + requirement checks shared by
@@ -156,6 +230,11 @@ class Session {
   std::shared_ptr<const Graph> ResolveChecked(const std::string& name,
                                               const AppDescriptor& app);
 
+  /// Shared execution tail of Run/RunOn: scratch-dir setup for on-disk
+  /// engines, AppConfig assembly, dispatch to the registry runner.
+  AppOutcome RunWith(const AppRequest& request, const AppDescriptor& app,
+                     Engine engine, std::shared_ptr<const Graph> graph);
+
   SessionOptions options_;
   std::unique_ptr<GuidanceProvider> owned_provider_;
   GuidanceProvider* provider_;  // owned_provider_ or the external one
@@ -165,6 +244,7 @@ class Session {
 
   std::atomic<uint64_t> graphs_parsed_{0};
   std::atomic<uint64_t> graphs_mapped_{0};
+  std::atomic<uint64_t> graphs_mutated_{0};
 };
 
 }  // namespace slfe::api

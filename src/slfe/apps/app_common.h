@@ -54,6 +54,9 @@ struct AppRunInfo {
   /// (provider singleflight) — the JobService counts hit = cache_hit ||
   /// coalesced for its per-tenant amortization accounting.
   bool guidance_coalesced = false;
+  /// True when the miss was served by patching the previous graph
+  /// version's guidance (RRGuidance::Repair) instead of a full sweep.
+  bool guidance_repaired = false;
   /// Safety-sweep updates (min/max apps; 0 means guidance was exact).
   uint64_t safety_sweep_updates = 0;
   /// Early-converged vertices at termination (arith apps, Fig. 2).
@@ -84,6 +87,7 @@ inline void RecordGuidance(const GuidanceAcquisition& acquisition,
   info->guidance_depth = acquisition.guidance->depth();
   info->guidance_cache_hit = acquisition.cache_hit;
   info->guidance_coalesced = acquisition.coalesced;
+  info->guidance_repaired = acquisition.repaired;
 }
 
 /// Builds EngineOptions from an AppConfig (mode policy is set per app).

@@ -5,6 +5,7 @@
 
 #include "slfe/common/timer.h"
 #include "slfe/core/roots.h"
+#include "slfe/graph/delta.h"
 
 namespace slfe {
 
@@ -66,13 +67,19 @@ GuidanceAcquisition GuidanceProvider::Acquire(const Graph& graph,
     result.acquire_seconds = timer.Seconds();
     return result;
   }
-  result = AcquireForRoots(graph, roots, request.use_cache);
+  result = AcquireInternal(graph, roots, request.use_cache, &request);
   result.acquire_seconds = timer.Seconds();
   return result;
 }
 
 GuidanceAcquisition GuidanceProvider::AcquireForRoots(
     const Graph& graph, const std::vector<VertexId>& roots, bool use_cache) {
+  return AcquireInternal(graph, roots, use_cache, nullptr);
+}
+
+GuidanceAcquisition GuidanceProvider::AcquireInternal(
+    const Graph& graph, const std::vector<VertexId>& roots, bool use_cache,
+    const GuidanceRequest* request) {
   Timer timer;
   GuidanceAcquisition result;
   if (roots.empty()) {
@@ -164,11 +171,105 @@ GuidanceAcquisition GuidanceProvider::AcquireForRoots(
     }
   } completer{this, key, flight, nullptr};
 
-  result.guidance = GenerateNow(graph, roots);
+  // Repair first: a miss immediately after a recorded mutation can patch
+  // the predecessor version's guidance in time proportional to the damage
+  // instead of re-sweeping O(|E|). Any failed precondition falls back to
+  // the full sweep — correctness never depends on the repair succeeding.
+  result.guidance = TryRepair(graph, roots, request);
+  if (result.guidance != nullptr) {
+    result.repaired = true;
+  } else {
+    result.guidance = GenerateNow(graph, roots);
+  }
   cache_.Insert(key, result.guidance);
   completer.result = result.guidance;
   result.acquire_seconds = timer.Seconds();
   return result;
+}
+
+void GuidanceProvider::RecordMutation(std::shared_ptr<const Graph> old_graph,
+                                      const Graph& new_graph,
+                                      std::shared_ptr<const GraphDelta> delta) {
+  if (!options_.repair.enabled || options_.repair.lineage_capacity == 0 ||
+      old_graph == nullptr || delta == nullptr) {
+    return;
+  }
+  uint64_t new_fp = new_graph.fingerprint();
+  std::lock_guard<std::mutex> lock(lineage_mu_);
+  if (lineage_.emplace(new_fp, Lineage{std::move(old_graph),
+                                       std::move(delta)}).second) {
+    lineage_fifo_.push_back(new_fp);
+    while (lineage_fifo_.size() > options_.repair.lineage_capacity) {
+      lineage_.erase(lineage_fifo_.front());
+      lineage_fifo_.pop_front();
+    }
+  }
+}
+
+std::shared_ptr<const RRGuidance> GuidanceProvider::TryRepair(
+    const Graph& graph, const std::vector<VertexId>& roots,
+    const GuidanceRequest* request) {
+  if (!options_.repair.enabled) return nullptr;
+  Lineage lineage;
+  {
+    std::lock_guard<std::mutex> lock(lineage_mu_);
+    auto it = lineage_.find(graph.fingerprint());
+    if (it == lineage_.end()) return nullptr;  // unknown graph: no fallback
+    lineage = it->second;
+  }
+  auto fall_back = [&]() -> std::shared_ptr<const RRGuidance> {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.repair_fallbacks;
+    return nullptr;
+  };
+
+  const Graph& old_graph = *lineage.old_graph;
+  // Heuristic: a delta touching a large fraction of the old edge set
+  // damages too much for patching to beat the sweep it replaces.
+  if (static_cast<double>(lineage.delta->size()) >
+      options_.repair.max_delta_fraction *
+          static_cast<double>(old_graph.num_edges())) {
+    return fall_back();
+  }
+
+  // The old guidance lives under the OLD graph's key, which needs the old
+  // root set. With policy context we re-derive it (policies are pure
+  // functions of the topology); with explicit roots, the caller's roots
+  // must already exist in the old version or the keys cannot correspond.
+  std::vector<VertexId> old_roots;
+  if (request != nullptr) {
+    old_roots = SelectRoots(old_graph, *request);
+    if (old_roots.empty()) return fall_back();
+    if (request->policy == GuidanceRootPolicy::kSingleSource &&
+        request->root >= old_graph.num_vertices()) {
+      return fall_back();  // querying a vertex the old version lacked
+    }
+  } else {
+    for (VertexId r : roots) {
+      if (r >= old_graph.num_vertices()) return fall_back();
+    }
+    old_roots = roots;
+  }
+
+  // Lookup (not Peek): the store fallback makes warm-restart repair work —
+  // the predecessor entry may only exist on disk.
+  GuidanceKey old_key =
+      GuidanceCache::MakeKey(old_graph.fingerprint(), old_roots);
+  std::shared_ptr<const RRGuidance> old_guidance = cache_.Lookup(old_key);
+  if (old_guidance == nullptr) return fall_back();
+  if (!old_guidance->has_levels()) {
+    return fall_back();  // pre-levels store entry: not repairable
+  }
+
+  Result<RRGuidance> repaired = RRGuidance::Repair(
+      graph, *lineage.delta, *old_guidance, old_roots, roots,
+      options_.repair.max_affected_fraction);
+  if (!repaired.ok()) return fall_back();  // e.g. the cascade blew its bound
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.repairs;
+  }
+  return std::make_shared<const RRGuidance>(std::move(repaired).value());
 }
 
 std::shared_ptr<const RRGuidance> GuidanceProvider::GenerateNow(

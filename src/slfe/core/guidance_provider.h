@@ -20,6 +20,8 @@
 
 namespace slfe {
 
+struct GraphDelta;
+
 /// How the provider derives the guidance root set from a request — the
 /// per-application-class policies that used to be duplicated across the
 /// apps (DESIGN.md: the sweep must start where the application's own
@@ -57,10 +59,33 @@ struct GuidanceAcquisition {
   /// True when this request waited on (and shares the result of) another
   /// thread's in-flight generation instead of sweeping itself.
   bool coalesced = false;
+  /// True when the generation leader patched the previous graph version's
+  /// guidance (RRGuidance::Repair) instead of sweeping from scratch.
+  /// Only ever set on the leader; followers report coalesced as usual.
+  bool repaired = false;
   double acquire_seconds = 0;
 
   const RRGuidance* get() const { return guidance.get(); }
   explicit operator bool() const { return guidance != nullptr; }
+};
+
+/// Knobs for the incremental-repair path (see RecordMutation). Repair
+/// turns a post-mutation guidance miss from an O(|E|) sweep into work
+/// proportional to the damaged region, but only pays off for small
+/// deltas — both fractions below bound when it is attempted at all.
+struct GuidanceRepairOptions {
+  bool enabled = true;
+  /// Deltas touching more than this fraction of the old graph's edges
+  /// regenerate outright (the repair bookkeeping would cost more than the
+  /// sweep it saves).
+  double max_delta_fraction = 0.25;
+  /// Abort a running repair (and fall back to regeneration) once the
+  /// invalidation cascade exceeds this fraction of the new graph's
+  /// vertices — forwarded to RRGuidance::Repair.
+  double max_affected_fraction = 0.5;
+  /// Remembered mutations (new-fingerprint -> predecessor lineage), FIFO
+  /// evicted. 0 disables lineage tracking (and thereby repair).
+  size_t lineage_capacity = 32;
 };
 
 struct GuidanceProviderOptions {
@@ -91,6 +116,8 @@ struct GuidanceProviderOptions {
   /// Maximum remembered unproducible requests (see the negative cache
   /// note on GuidanceProvider). 0 disables negative caching.
   size_t negative_cache_capacity = 64;
+  /// Incremental-repair policy for mutated graphs.
+  GuidanceRepairOptions repair;
 };
 
 /// Provider-level counters (the cache and store keep their own).
@@ -101,6 +128,13 @@ struct GuidanceProviderStats {
   uint64_t coalesced = 0;
   /// Requests short-circuited by the negative cache.
   uint64_t negative_hits = 0;
+  /// Misses served by patching the predecessor version's guidance
+  /// (RRGuidance::Repair) instead of a full sweep.
+  uint64_t repairs = 0;
+  /// Repair attempts that found a recorded lineage but regenerated anyway
+  /// (delta too large, predecessor guidance missing or levels-less, roots
+  /// incompatible, or the invalidation cascade blew its bound).
+  uint64_t repair_fallbacks = 0;
 };
 
 class GuidanceProvider;
@@ -160,6 +194,16 @@ class GuidanceProvider {
   static std::vector<VertexId> SelectRoots(const Graph& graph,
                                            const GuidanceRequest& request);
 
+  /// Remembers that `new_graph` was produced from `old_graph` by `delta`,
+  /// so the NEXT guidance miss on the new graph can patch the old
+  /// version's guidance (RRGuidance::Repair) instead of re-sweeping.
+  /// Lineages are a bounded FIFO (repair.lineage_capacity); evicted or
+  /// never-recorded mutations simply regenerate. The old graph is held
+  /// alive by shared ownership only until its lineage entry is evicted.
+  void RecordMutation(std::shared_ptr<const Graph> old_graph,
+                      const Graph& new_graph,
+                      std::shared_ptr<const GraphDelta> delta);
+
   GuidanceCache& cache() { return cache_; }
   GuidanceCacheStats cache_stats() const { return cache_.stats(); }
   GuidanceProviderStats stats() const;
@@ -207,12 +251,36 @@ class GuidanceProvider {
     std::shared_ptr<const RRGuidance> result;
   };
 
+  /// One recorded mutation: how `new_fingerprint`'s graph came to be.
+  struct Lineage {
+    std::shared_ptr<const Graph> old_graph;
+    std::shared_ptr<const GraphDelta> delta;
+  };
+
   bool NegativeLookup(const NegativeKey& key);
   void NegativeInsert(const NegativeKey& key);
+
+  /// Shared slow path behind Acquire/AcquireForRoots. `request` is the
+  /// policy context when one exists (the Acquire path) — repair needs it
+  /// to re-derive the OLD graph's root set; nullptr (explicit-roots path)
+  /// restricts repair to roots that exist in both versions.
+  GuidanceAcquisition AcquireInternal(const Graph& graph,
+                                      const std::vector<VertexId>& roots,
+                                      bool use_cache,
+                                      const GuidanceRequest* request);
 
   /// The uncached sweep (leader path); counts a generation.
   std::shared_ptr<const RRGuidance> GenerateNow(
       const Graph& graph, const std::vector<VertexId>& roots);
+
+  /// Attempts the incremental-repair path for a miss on `graph`: finds a
+  /// recorded lineage, checks the delta-size heuristic, recovers the
+  /// predecessor's guidance (memory or store) and patches it. Returns
+  /// null — counting a repair_fallback iff a lineage existed — when any
+  /// precondition fails; the caller then regenerates.
+  std::shared_ptr<const RRGuidance> TryRepair(
+      const Graph& graph, const std::vector<VertexId>& roots,
+      const GuidanceRequest* request);
 
   ThreadPool* GenerationPool();
 
@@ -230,6 +298,11 @@ class GuidanceProvider {
   mutable std::mutex negative_mu_;
   std::unordered_set<NegativeKey, NegativeKeyHash> negative_;
   std::deque<NegativeKey> negative_fifo_;  // front = oldest, next to evict
+
+  mutable std::mutex lineage_mu_;
+  /// New graph fingerprint -> how it was derived (bounded FIFO).
+  std::unordered_map<uint64_t, Lineage> lineage_;
+  std::deque<uint64_t> lineage_fifo_;  // front = oldest, next to evict
 
   mutable std::mutex stats_mu_;
   GuidanceProviderStats stats_;

@@ -1,0 +1,241 @@
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "slfe/common/logging.h"
+#include "slfe/common/timer.h"
+#include "slfe/core/rr_guidance.h"
+#include "slfe/graph/delta.h"
+
+namespace slfe {
+
+namespace {
+
+constexpr uint32_t kInf = RRGuidance::kUnreachableLevel;
+
+}  // namespace
+
+// Incremental repair (see the contract in rr_guidance.h). Everything here
+// is derived from one identity the serial sweep establishes:
+//
+//   level(v)     = BFS distance from the root set (kInf if unreached)
+//   visited(v)   = level(v) finite
+//   last_iter(v) = max{ level(u) + 1 : u in in-neighbors(v), u visited }
+//                  (0 when v has no visited in-neighbor)
+//   depth        = max over v of last_iter(v)
+//
+// so repairing levels repairs everything: visited falls out of finiteness,
+// last_iter is recomputed only where an in-neighbor's level (or the
+// in-edge set itself) changed, and depth is one O(V) max scan.
+Result<RRGuidance> RRGuidance::Repair(const Graph& new_graph,
+                                      const GraphDelta& delta,
+                                      const RRGuidance& old_guidance,
+                                      const std::vector<VertexId>& old_roots,
+                                      const std::vector<VertexId>& new_roots,
+                                      double max_affected_fraction,
+                                      GuidanceRepairStats* stats) {
+  Timer timer;
+  GuidanceRepairStats local;
+
+  if (!old_guidance.has_levels()) {
+    return Status::FailedPrecondition(
+        "old guidance carries no levels plane (pre-levels store codec); "
+        "repair needs BFS levels — regenerate instead");
+  }
+  const VertexId n_new = new_graph.num_vertices();
+  const VertexId n_old = old_guidance.num_vertices();
+  if (n_new < n_old) {
+    return Status::FailedPrecondition(
+        "new graph has fewer vertices (" + std::to_string(n_new) +
+        ") than the old guidance (" + std::to_string(n_old) +
+        "); deltas never shrink the vertex set");
+  }
+
+  // Working distances: old levels, extended with kInf for grown vertices.
+  // Phase A discards entries into kInf; Phase B re-settles them.
+  std::vector<uint32_t> dist(n_new, kInf);
+  for (VertexId v = 0; v < n_old; ++v) dist[v] = old_guidance.level(v);
+  // Old levels again, unmodified, for change detection (dist mutates).
+  auto old_level = [&](VertexId v) -> uint32_t {
+    return v < n_old ? old_guidance.level(v) : kInf;
+  };
+
+  std::vector<uint8_t> is_new_root(n_new, 0);
+  for (VertexId r : new_roots) {
+    SLFE_CHECK_LT(r, n_new);
+    is_new_root[r] = 1;
+  }
+
+  const Csr& in = new_graph.in();
+  const Csr& out = new_graph.out();
+
+  // ---- Phase A: invalidation cascade -------------------------------------
+  // A vertex's old level is *supported* in the new graph iff it is a level-0
+  // vertex that is still a root, or some in-neighbor (in the NEW adjacency,
+  // so inserted edges count) with an intact old level sits exactly one level
+  // above it. Seeds are the only places support can have broken outright:
+  // destinations of deleted edges that rode the deleted edge, and removed
+  // roots. Every later loss of support is a cascade: when v's level is
+  // discarded, exactly the out-neighbors whose old level was level(v)+1
+  // could have been depending on it, so they re-check.
+  std::vector<uint8_t> affected(n_new, 0);
+  std::vector<uint8_t> in_queue(n_new, 0);
+  std::deque<VertexId> queue;
+  auto enqueue = [&](VertexId v) {
+    if (affected[v] != 0 || in_queue[v] != 0 || dist[v] == kInf) return;
+    in_queue[v] = 1;
+    queue.push_back(v);
+  };
+
+  for (const auto& [u, v] : delta.erase) {
+    if (u >= n_old || v >= n_old) continue;  // never carried a level
+    uint32_t du = old_guidance.level(u);
+    if (du != kInf && old_guidance.level(v) == du + 1) enqueue(v);
+  }
+  for (VertexId r : old_roots) {
+    if (r < n_new && is_new_root[r] == 0) enqueue(r);
+  }
+  local.seeds = queue.size();
+
+  const uint64_t affected_limit =
+      max_affected_fraction >= 1.0
+          ? UINT64_MAX
+          : static_cast<uint64_t>(max_affected_fraction *
+                                  static_cast<double>(n_new));
+  std::vector<VertexId> affected_list;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    in_queue[v] = 0;
+    if (affected[v] != 0) continue;
+    const uint32_t d = dist[v];
+    if (d == kInf) continue;
+    bool supported = (d == 0 && is_new_root[v] != 0);
+    if (!supported && d > 0) {
+      for (EdgeId e = in.begin(v); e < in.end(v); ++e) {
+        uint32_t du = dist[in.neighbor(e)];  // kInf for cascaded vertices
+        if (du != kInf && du + 1 == d) {
+          supported = true;
+          break;
+        }
+      }
+    }
+    if (supported) continue;
+    affected[v] = 1;
+    affected_list.push_back(v);
+    // Re-check dependents while v's old level is still visible as `d`.
+    for (EdgeId e = out.begin(v); e < out.end(v); ++e) {
+      VertexId x = out.neighbor(e);
+      if (affected[x] == 0 && dist[x] == d + 1) enqueue(x);
+    }
+    dist[v] = kInf;
+    if (affected_list.size() > affected_limit) {
+      return Status::FailedPrecondition(
+          "repair abandoned: invalidation cascade exceeded " +
+          std::to_string(max_affected_fraction) + " of |V| (" +
+          std::to_string(affected_list.size()) + "/" + std::to_string(n_new) +
+          " vertices) — a full regeneration is cheaper");
+    }
+  }
+  local.invalidated = affected_list.size();
+
+  // ---- Phase B: bucketed re-settlement -----------------------------------
+  // Level-synchronous BFS over the damaged region plus any improvements:
+  // seeds are (a) every new root at level 0 (covers added roots and roots
+  // that fell out during Phase A), (b) the unaffected fringe one step into
+  // each invalidated vertex, (c) inserted edges from intact sources.
+  // Monotone relaxation with ascending buckets: the first settlement of a
+  // vertex is its final (minimal) level, exactly what the full sweep's
+  // first-visit assignment produces — which is why the result is
+  // bit-identical, not merely equivalent.
+  std::vector<std::vector<VertexId>> buckets;
+  auto relax = [&](VertexId v, uint32_t d) {
+    if (d < dist[v]) {
+      dist[v] = d;
+      if (buckets.size() <= d) buckets.resize(d + 1);
+      buckets[d].push_back(v);
+    }
+  };
+  for (VertexId r : new_roots) relax(r, 0);
+  for (VertexId v : affected_list) {
+    for (EdgeId e = in.begin(v); e < in.end(v); ++e) {
+      uint32_t du = dist[in.neighbor(e)];
+      if (du != kInf) relax(v, du + 1);
+    }
+  }
+  for (const Edge& e : delta.insert) {
+    if (e.src >= n_new || e.dst >= n_new) continue;
+    if (dist[e.src] != kInf) relax(e.dst, dist[e.src] + 1);
+  }
+
+  std::vector<VertexId> changed;  // final level != old level
+  for (uint32_t d = 0; d < buckets.size(); ++d) {
+    // Index loop: relax() may grow `buckets` (reallocating the outer
+    // vector) while this level drains, so re-index on every access.
+    for (size_t i = 0; i < buckets[d].size(); ++i) {
+      VertexId v = buckets[d][i];
+      if (dist[v] != d) continue;  // stale entry, improved since
+      ++local.recomputed;
+      if (d != old_level(v)) changed.push_back(v);
+      for (EdgeId e = out.begin(v); e < out.end(v); ++e) {
+        relax(out.neighbor(e), d + 1);
+      }
+    }
+  }
+  // Invalidated vertices the re-settlement never reached went
+  // finite -> unreachable; settled ones were classified above.
+  for (VertexId v : affected_list) {
+    if (dist[v] == kInf && old_level(v) != kInf) changed.push_back(v);
+  }
+  local.level_changes = changed.size();
+
+  // ---- Phase C: patch the derived planes ---------------------------------
+  std::vector<VertexGuidance> records(n_new);
+  for (VertexId v = 0; v < n_old; ++v) records[v] = old_guidance.raw()[v];
+  for (VertexId v : changed) records[v].visited = dist[v] != kInf;
+
+  // last_iter must be re-derived exactly where its inputs moved: the
+  // destinations of every delta edge (their in-edge multiset changed) and
+  // the out-neighbors of every level-changed vertex (an input level
+  // moved). Everything else keeps its old value byte-for-byte.
+  std::vector<uint8_t> in_patch(n_new, 0);
+  std::vector<VertexId> patch;
+  auto add_patch = [&](VertexId p) {
+    if (in_patch[p] == 0) {
+      in_patch[p] = 1;
+      patch.push_back(p);
+    }
+  };
+  for (const auto& [u, v] : delta.erase) {
+    (void)u;
+    if (v < n_new) add_patch(v);
+  }
+  for (const Edge& e : delta.insert) {
+    if (e.dst < n_new) add_patch(e.dst);
+  }
+  for (VertexId v : changed) {
+    for (EdgeId e = out.begin(v); e < out.end(v); ++e) {
+      add_patch(out.neighbor(e));
+    }
+  }
+  for (VertexId p : patch) {
+    uint32_t li = 0;
+    for (EdgeId e = in.begin(p); e < in.end(p); ++e) {
+      uint32_t du = dist[in.neighbor(e)];
+      if (du != kInf && du + 1 > li) li = du + 1;
+    }
+    records[p].last_iter = li;
+  }
+  local.patched = patch.size();
+
+  uint32_t depth = 0;
+  for (VertexId v = 0; v < n_new; ++v) {
+    if (records[v].last_iter > depth) depth = records[v].last_iter;
+  }
+
+  local.repair_seconds = timer.Seconds();
+  if (stats != nullptr) *stats = local;
+  return RRGuidance::FromParts(std::move(records), depth, std::move(dist));
+}
+
+}  // namespace slfe

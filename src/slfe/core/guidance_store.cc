@@ -45,15 +45,20 @@ static_assert(sizeof(StoreHeader) == 56, "StoreHeader must pack to 56 bytes");
 constexpr size_t kChecksummedHeaderBytes =
     offsetof(StoreHeader, payload_checksum);
 
-/// Checksum over the sealed header bytes plus the two payload planes AS
+/// Checksum over the sealed header bytes plus the payload planes AS
 /// WRITTEN (codec-width, so the checksum also witnesses the codec byte:
 /// reinterpreting a packed plane as raw changes the hashed byte count).
+/// Levels-less codecs pass levels_bytes == 0, reproducing the historical
+/// two-plane checksum bit-for-bit — old files verify unchanged.
 uint64_t Checksum(const StoreHeader& header, const void* last_iter,
                   uint64_t last_iter_bytes, const uint8_t* visited,
-                  uint64_t n) {
+                  uint64_t n, const void* levels = nullptr,
+                  uint64_t levels_bytes = 0) {
   uint64_t h = Fnv1aBytes(&header, kChecksummedHeaderBytes, kFnvBasis);
   h = Fnv1aBytes(last_iter, last_iter_bytes, h);
-  return Fnv1aBytes(visited, n * sizeof(uint8_t), h);
+  h = Fnv1aBytes(visited, n * sizeof(uint8_t), h);
+  if (levels_bytes > 0) h = Fnv1aBytes(levels, levels_bytes, h);
+  return h;
 }
 
 uint32_t EncodeVersion(GuidanceCodec codec) {
@@ -344,23 +349,30 @@ Status GuidanceStore::Save(const GuidanceKey& key,
   const std::vector<VertexGuidance>& raw = guidance.raw();
   VertexId n = guidance.num_vertices();
 
-  // Split the AoS records into the two packed on-disk planes, negotiating
-  // the codec from the data: byte-wide last_iter whenever every level
-  // fits (levels are bounded by the small sweep depth, so this is the
-  // overwhelmingly common case), raw u32 otherwise.
-  GuidanceCodec codec = GuidanceCodec::kPackedU8;
-  for (VertexId v = 0; v < n; ++v) {
-    if (raw[v].last_iter > 0xFF) {
-      codec = GuidanceCodec::kRawU32;
-      break;
-    }
+  // Split the AoS records into packed on-disk planes, negotiating the
+  // codec from the data. Two independent axes: byte-wide packing whenever
+  // every value fits (levels are bounded by the small sweep depth, so
+  // this is the overwhelmingly common case), and a third BFS-levels plane
+  // whenever the guidance carries one — levels are what make the stored
+  // entry repairable after a graph mutation. Packed levels reserve 0xFF
+  // for "unreachable", so that family needs depth <= 254 (every finite
+  // level is bounded by the depth).
+  const bool with_levels = guidance.has_levels();
+  bool fits_u8 = guidance.depth() <= (with_levels ? 0xFEu : 0xFFu);
+  for (VertexId v = 0; fits_u8 && v < n; ++v) {
+    if (raw[v].last_iter > 0xFF) fits_u8 = false;
   }
+  GuidanceCodec codec =
+      with_levels
+          ? (fits_u8 ? GuidanceCodec::kPackedU8Levels
+                     : GuidanceCodec::kRawU32Levels)
+          : (fits_u8 ? GuidanceCodec::kPackedU8 : GuidanceCodec::kRawU32);
   std::vector<uint32_t> last_iter_u32;
   std::vector<uint8_t> last_iter_u8;
   std::vector<uint8_t> visited(n);
   const void* last_iter_data = nullptr;
   uint64_t last_iter_bytes = 0;
-  if (codec == GuidanceCodec::kPackedU8) {
+  if (fits_u8) {
     last_iter_u8.resize(n);
     for (VertexId v = 0; v < n; ++v) {
       last_iter_u8[v] = static_cast<uint8_t>(raw[v].last_iter);
@@ -374,6 +386,25 @@ Status GuidanceStore::Save(const GuidanceKey& key,
     last_iter_bytes = static_cast<uint64_t>(n) * sizeof(uint32_t);
   }
   for (VertexId v = 0; v < n; ++v) visited[v] = raw[v].visited ? 1 : 0;
+  std::vector<uint32_t> levels_u32;
+  std::vector<uint8_t> levels_u8;
+  const void* levels_data = nullptr;
+  uint64_t levels_bytes = 0;
+  if (codec == GuidanceCodec::kPackedU8Levels) {
+    levels_u8.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+      uint32_t level = guidance.level(v);
+      levels_u8[v] = level == RRGuidance::kUnreachableLevel
+                         ? 0xFF
+                         : static_cast<uint8_t>(level);
+    }
+    levels_data = levels_u8.data();
+    levels_bytes = n * sizeof(uint8_t);
+  } else if (codec == GuidanceCodec::kRawU32Levels) {
+    levels_u32.assign(guidance.levels().begin(), guidance.levels().end());
+    levels_data = levels_u32.data();
+    levels_bytes = static_cast<uint64_t>(n) * sizeof(uint32_t);
+  }
 
   StoreHeader header;
   header.magic = kMagic;
@@ -385,7 +416,8 @@ Status GuidanceStore::Save(const GuidanceKey& key,
   header.depth = guidance.depth();
   header.payload_bytes = static_cast<uint64_t>(n) * PayloadBytesPerVertex(codec);
   header.payload_checksum =
-      Checksum(header, last_iter_data, last_iter_bytes, visited.data(), n);
+      Checksum(header, last_iter_data, last_iter_bytes, visited.data(), n,
+               levels_data, levels_bytes);
 
   // Unique temp name: mu_ only serializes savers within THIS process, but
   // the store directory is shared across processes (restart survival), so
@@ -404,7 +436,10 @@ Status GuidanceStore::Save(const GuidanceKey& key,
         (n > 0 &&
          (std::fwrite(last_iter_data, 1, last_iter_bytes, f.get()) !=
               last_iter_bytes ||
-          std::fwrite(visited.data(), sizeof(uint8_t), n, f.get()) != n))) {
+          std::fwrite(visited.data(), sizeof(uint8_t), n, f.get()) != n ||
+          (levels_bytes > 0 &&
+           std::fwrite(levels_data, 1, levels_bytes, f.get()) !=
+               levels_bytes)))) {
       std::remove(tmp.c_str());
       return Status::IOError("short write to " + tmp);
     }
@@ -441,7 +476,7 @@ Result<RRGuidance> GuidanceStore::Load(const GuidanceKey& key) {
                    std::to_string(header.version & 0xFFFFu));
   }
   uint32_t codec_byte = (header.version >> 16) & 0xFFu;
-  if (codec_byte > static_cast<uint32_t>(GuidanceCodec::kPackedU8) ||
+  if (codec_byte > static_cast<uint32_t>(GuidanceCodec::kPackedU8Levels) ||
       (header.version >> 24) != 0) {
     // Distinct from a checksum failure: this file is from a NEWER writer,
     // not damaged — surfaced separately so the remedy (upgrade, don't
@@ -474,12 +509,15 @@ Result<RRGuidance> GuidanceStore::Load(const GuidanceKey& key) {
     return corrupt("file size does not match header");
   }
 
+  const bool packed = codec == GuidanceCodec::kPackedU8 ||
+                      codec == GuidanceCodec::kPackedU8Levels;
+  const bool with_levels = CodecHasLevels(codec);
   std::vector<uint32_t> last_iter_u32;
   std::vector<uint8_t> last_iter_u8;
   std::vector<uint8_t> visited(n);
   const void* last_iter_data = nullptr;
   uint64_t last_iter_bytes = 0;
-  if (codec == GuidanceCodec::kPackedU8) {
+  if (packed) {
     last_iter_u8.resize(n);
     last_iter_data = last_iter_u8.data();
     last_iter_bytes = n * sizeof(uint8_t);
@@ -488,23 +526,38 @@ Result<RRGuidance> GuidanceStore::Load(const GuidanceKey& key) {
     last_iter_data = last_iter_u32.data();
     last_iter_bytes = n * sizeof(uint32_t);
   }
+  std::vector<uint32_t> levels_u32;
+  std::vector<uint8_t> levels_u8;
+  void* levels_data = nullptr;
+  uint64_t levels_bytes = 0;
+  if (with_levels) {
+    if (packed) {
+      levels_u8.resize(n);
+      levels_data = levels_u8.data();
+      levels_bytes = n * sizeof(uint8_t);
+    } else {
+      levels_u32.resize(n);
+      levels_data = levels_u32.data();
+      levels_bytes = n * sizeof(uint32_t);
+    }
+  }
   if (n > 0 &&
       (std::fread(const_cast<void*>(last_iter_data), 1, last_iter_bytes,
                   f.get()) != last_iter_bytes ||
-       std::fread(visited.data(), sizeof(uint8_t), n, f.get()) != n)) {
+       std::fread(visited.data(), sizeof(uint8_t), n, f.get()) != n ||
+       (levels_bytes > 0 &&
+        std::fread(levels_data, 1, levels_bytes, f.get()) != levels_bytes))) {
     return corrupt("truncated payload");
   }
 
-  if (Checksum(header, last_iter_data, last_iter_bytes, visited.data(), n) !=
-      header.payload_checksum) {
+  if (Checksum(header, last_iter_data, last_iter_bytes, visited.data(), n,
+               levels_data, levels_bytes) != header.payload_checksum) {
     return corrupt("checksum mismatch");
   }
 
   std::vector<VertexGuidance> records(n);
   for (uint64_t v = 0; v < n; ++v) {
-    records[v].last_iter = codec == GuidanceCodec::kPackedU8
-                               ? last_iter_u8[v]
-                               : last_iter_u32[v];
+    records[v].last_iter = packed ? last_iter_u8[v] : last_iter_u32[v];
     records[v].visited = visited[v] != 0;
   }
   // Mark the entry recently-used for the LRU-by-mtime GC: without the
@@ -512,7 +565,20 @@ Result<RRGuidance> GuidanceStore::Load(const GuidanceKey& key) {
   // abandoned one. Best-effort — a failed touch just ages the entry.
   ::futimens(::fileno(f.get()), nullptr);
   ++stats_.loads;
-  return RRGuidance::FromParts(std::move(records), header.depth);
+  if (!with_levels) {
+    return RRGuidance::FromParts(std::move(records), header.depth);
+  }
+  std::vector<uint32_t> levels(n);
+  if (packed) {
+    for (uint64_t v = 0; v < n; ++v) {
+      levels[v] = levels_u8[v] == 0xFF ? RRGuidance::kUnreachableLevel
+                                       : levels_u8[v];
+    }
+  } else {
+    levels.assign(levels_u32.begin(), levels_u32.end());
+  }
+  return RRGuidance::FromParts(std::move(records), header.depth,
+                               std::move(levels));
 }
 
 bool GuidanceStore::Contains(const GuidanceKey& key) const {

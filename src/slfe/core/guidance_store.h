@@ -15,7 +15,7 @@
 
 namespace slfe {
 
-/// How the two per-vertex payload planes are encoded in a `.rrg` file.
+/// How the per-vertex payload planes are encoded in a `.rrg` file.
 /// Carried in bits 16-23 of the header's version field, so a version-1
 /// reader that predates the codec byte sees a nonzero "version" and
 /// rejects cleanly rather than misparsing the payload.
@@ -28,7 +28,21 @@ enum class GuidanceCodec : uint8_t {
   /// (the paper sweeps to depth 3), so Save picks this whenever every
   /// level fits a byte.
   kPackedU8 = 1,
+  /// kRawU32 plus a third plane of BFS levels as u32 per vertex (9
+  /// bytes/vertex). Levels make the stored entry repairable (see
+  /// RRGuidance::Repair); entries without them stay loadable but force a
+  /// full regeneration after a mutation.
+  kRawU32Levels = 2,
+  /// kPackedU8 plus byte-wide BFS levels (3 bytes/vertex); 0xFF encodes
+  /// "unreachable". Eligible only when depth <= 254 — every finite level
+  /// is bounded by the depth, so the sentinel can never collide.
+  kPackedU8Levels = 3,
 };
+
+constexpr bool CodecHasLevels(GuidanceCodec codec) {
+  return codec == GuidanceCodec::kRawU32Levels ||
+         codec == GuidanceCodec::kPackedU8Levels;
+}
 
 /// Persistence counters, split by direction so benches can report the
 /// amortization that survives a restart (saves during the warm run, loads
@@ -125,19 +139,27 @@ struct GuidanceStoreSweepStats {
 ///     payload_checksum   u64   FNV-1a over the 48 header bytes above AND
 ///                              the payload (depth etc. have no other
 ///                              witness, so the checksum must cover them)
-///   [payload]  (two packed planes; width of the first is the codec's)
-///     last_iter          u32 * num_vertices   (kRawU32)
-///                     or u8  * num_vertices   (kPackedU8)
+///   [payload]  (packed planes; widths are the codec's)
+///     last_iter          u32 * num_vertices   (kRawU32, kRawU32Levels)
+///                     or u8  * num_vertices   (kPackedU8, kPackedU8Levels)
 ///     visited            u8  * num_vertices
+///     levels             u32 * num_vertices   (kRawU32Levels)
+///                     or u8  * num_vertices   (kPackedU8Levels,
+///                                              0xFF = unreachable)
 ///
-/// Codec negotiation: Save writes kPackedU8 whenever every last_iter fits
-/// a byte (in practice always — levels are bounded by the small sweep
-/// depth) and falls back to kRawU32 otherwise; Load dispatches on the
-/// codec byte and accepts both, so pre-codec files (a plain version field
-/// of 1 == kRawU32) stay loadable forever. An unknown codec byte is
-/// rejected with a distinct "unsupported guidance codec" reason and
-/// counted in stats().codec_errors — it means a newer writer, not a
-/// damaged file, and deleting the entry would be the wrong fix.
+/// Codec negotiation: Save prefers a levels-bearing codec whenever the
+/// guidance carries its levels plane (generated or repaired in-process;
+/// levels are what make the entry repairable after a graph mutation), and
+/// within each family packs to bytes whenever every value fits — for the
+/// levels family that means depth <= 254, reserving 0xFF as the
+/// unreachable sentinel. Load dispatches on the codec byte and accepts
+/// all four, so pre-codec files (a plain version field of 1 == kRawU32)
+/// stay loadable forever; a levels-less entry loads into a guidance with
+/// has_levels() == false, which the repair path treats as "regenerate".
+/// An unknown codec byte is rejected with a distinct "unsupported
+/// guidance codec" reason and counted in stats().codec_errors — it means
+/// a newer writer, not a damaged file, and deleting the entry would be
+/// the wrong fix.
 ///
 /// The two per-vertex arrays are written as separate packed planes (not the
 /// in-memory VertexGuidance struct) so the on-disk layout is independent of
@@ -168,10 +190,26 @@ class GuidanceStore {
   /// kPackedU8 payload bytes per vertex (both planes byte-wide).
   static constexpr uint64_t kPackedPayloadBytesPerVertex =
       sizeof(uint8_t) + sizeof(uint8_t);
+  /// kRawU32Levels payload bytes per vertex (u32 last_iter + u8 visited +
+  /// u32 levels).
+  static constexpr uint64_t kRawLevelsPayloadBytesPerVertex =
+      sizeof(uint32_t) + sizeof(uint8_t) + sizeof(uint32_t);
+  /// kPackedU8Levels payload bytes per vertex (all three planes byte-wide).
+  static constexpr uint64_t kPackedLevelsPayloadBytesPerVertex =
+      sizeof(uint8_t) + sizeof(uint8_t) + sizeof(uint8_t);
 
   static constexpr uint64_t PayloadBytesPerVertex(GuidanceCodec codec) {
-    return codec == GuidanceCodec::kPackedU8 ? kPackedPayloadBytesPerVertex
-                                             : kPayloadBytesPerVertex;
+    switch (codec) {
+      case GuidanceCodec::kPackedU8:
+        return kPackedPayloadBytesPerVertex;
+      case GuidanceCodec::kRawU32Levels:
+        return kRawLevelsPayloadBytesPerVertex;
+      case GuidanceCodec::kPackedU8Levels:
+        return kPackedLevelsPayloadBytesPerVertex;
+      case GuidanceCodec::kRawU32:
+      default:
+        return kPayloadBytesPerVertex;
+    }
   }
 
   /// Uses `dir` (created if needed) for all entry files. When `gc` sets

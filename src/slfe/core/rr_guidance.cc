@@ -66,6 +66,7 @@ RRGuidance RRGuidance::GenerateSerial(const Graph& graph,
   RRGuidance rrg;
   VertexId n = graph.num_vertices();
   rrg.guidance_.assign(n, VertexGuidance{});
+  rrg.levels_.assign(n, kUnreachableLevel);
 
   // Algorithm 1, frontier form. `frontier` holds vertices first visited in
   // the previous iteration (the "active" set); every out-edge of a frontier
@@ -79,6 +80,7 @@ RRGuidance RRGuidance::GenerateSerial(const Graph& graph,
     SLFE_CHECK_LT(r, n);
     if (!rrg.guidance_[r].visited) {
       rrg.guidance_[r].visited = true;
+      rrg.levels_[r] = 0;
       frontier.push_back(r);
     }
   }
@@ -99,6 +101,9 @@ RRGuidance RRGuidance::GenerateSerial(const Graph& graph,
         deepest = iter;
         if (!rrg.guidance_[dst].visited) {
           rrg.guidance_[dst].visited = true;
+          // First visit fixes the BFS level — unique per vertex, which is
+          // why all strategies record bit-identical levels planes.
+          rrg.levels_[dst] = iter;
           next.push_back(dst);
         }
       }
@@ -119,13 +124,17 @@ RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
   RRGuidance rrg;
   VertexId n = graph.num_vertices();
   rrg.guidance_.assign(n, VertexGuidance{});
+  rrg.levels_.assign(n, kUnreachableLevel);
 
   Bitmap visited(n);
   std::vector<VertexId> frontier;
   frontier.reserve(roots.size());
   for (VertexId r : roots) {
     SLFE_CHECK_LT(r, n);
-    if (visited.SetBit(r)) frontier.push_back(r);
+    if (visited.SetBit(r)) {
+      rrg.levels_[r] = 0;
+      frontier.push_back(r);
+    }
   }
 
   const Csr& out = graph.out();
@@ -192,7 +201,13 @@ RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
           if (!hit) continue;
           rrg.guidance_[dst].last_iter = level;
           touched[w] = 1;
-          if (visited.SetBit(dst)) next[w].push_back(dst);
+          if (visited.SetBit(dst)) {
+            // SetBit's winner is the unique discoverer, so this plain
+            // store has exactly one writer (and `level` is the vertex's
+            // unique BFS distance — deterministic across strategies).
+            rrg.levels_[dst] = level;
+            next[w].push_back(dst);
+          }
         }
       });
     } else {
@@ -209,7 +224,10 @@ RRGuidance RRGuidance::GenerateParallel(const Graph& graph,
             __atomic_store_n(&rrg.guidance_[dst].last_iter, level,
                              __ATOMIC_RELAXED);
             touched[w] = 1;
-            if (visited.SetBit(dst)) next[w].push_back(dst);
+            if (visited.SetBit(dst)) {
+              rrg.levels_[dst] = level;  // unique discoverer (SetBit winner)
+              next[w].push_back(dst);
+            }
           }
         }
       });
@@ -249,6 +267,7 @@ RRGuidance RRGuidance::GeneratePartitioned(const Graph& graph,
   RRGuidance rrg;
   VertexId n = graph.num_vertices();
   rrg.guidance_.assign(n, VertexGuidance{});
+  rrg.levels_.assign(n, kUnreachableLevel);
 
   // One contiguous vertex range per worker, cut exactly where
   // DistGraph::Build would cut them for a cluster of pool-size nodes
@@ -278,6 +297,7 @@ RRGuidance RRGuidance::GeneratePartitioned(const Graph& graph,
   for (VertexId r : roots) {
     SLFE_CHECK_LT(r, n);
     if (visited.SetBit(r)) {
+      rrg.levels_[r] = 0;
       frontier[ChunkPartitioner::OwnerOf(ranges, r)].push_back(r);
       frontier_edges += out.degree(r);
       ++frontier_size;
@@ -330,6 +350,7 @@ RRGuidance RRGuidance::GeneratePartitioned(const Graph& graph,
           rrg.guidance_[dst].last_iter = level;
           touched[w] = 1;
           if (visited.SetBit(dst)) {
+            rrg.levels_[dst] = level;  // own-range write, no races
             next_local[w][w].push_back(dst);
             local_edges += out.degree(dst);
           }
@@ -354,6 +375,7 @@ RRGuidance RRGuidance::GeneratePartitioned(const Graph& graph,
                                  __ATOMIC_RELAXED);
                 touched[w] = 1;
                 if (visited.SetBit(dst)) {
+                  rrg.levels_[dst] = level;  // unique discoverer
                   next_local[w][ChunkPartitioner::OwnerOf(ranges, dst)]
                       .push_back(dst);
                   local_edges += out.degree(dst);
@@ -403,6 +425,21 @@ RRGuidance RRGuidance::FromParts(std::vector<VertexGuidance> guidance,
   RRGuidance rrg;
   rrg.guidance_ = std::move(guidance);
   rrg.depth_ = depth;
+  // No levels plane (pre-levels store codec): the guidance serves runs
+  // but cannot seed a Repair. Keep levels_ truly empty so has_levels()
+  // stays false for |V| > 0.
+  if (!rrg.guidance_.empty()) rrg.levels_.clear();
+  return rrg;
+}
+
+RRGuidance RRGuidance::FromParts(std::vector<VertexGuidance> guidance,
+                                 uint32_t depth,
+                                 std::vector<uint32_t> levels) {
+  RRGuidance rrg;
+  rrg.guidance_ = std::move(guidance);
+  rrg.levels_ = std::move(levels);
+  rrg.depth_ = depth;
+  SLFE_CHECK_EQ(rrg.levels_.size(), rrg.guidance_.size());
   return rrg;
 }
 

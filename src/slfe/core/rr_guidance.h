@@ -4,12 +4,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "slfe/common/status.h"
 #include "slfe/common/thread_pool.h"
 #include "slfe/common/timer.h"
 #include "slfe/graph/graph.h"
 #include "slfe/graph/types.h"
 
 namespace slfe {
+
+struct GraphDelta;
 
 /// Redundancy-reduction guidance for one vertex (the paper's `struct inf`):
 /// `last_iter` is the last propagation level at which the vertex can
@@ -40,11 +43,27 @@ enum class GuidanceGenerationStrategy {
 
 const char* GuidanceGenerationStrategyName(GuidanceGenerationStrategy s);
 
+/// What RRGuidance::Repair did — how tightly the delta's damage was
+/// bounded. invalidated/recomputed stay near the touched region when the
+/// delta is local; a delta that severs a hub pushes them toward |V| and
+/// the provider's heuristic should have regenerated instead.
+struct GuidanceRepairStats {
+  uint64_t seeds = 0;        ///< invalidation seeds (deleted edges + roots)
+  uint64_t invalidated = 0;  ///< vertices whose old level was discarded
+  uint64_t recomputed = 0;   ///< vertices re-settled by the repair BFS
+  uint64_t patched = 0;      ///< vertices whose last_iter was recomputed
+  uint64_t level_changes = 0;  ///< vertices whose final level differs
+  double repair_seconds = 0;
+};
+
 /// Result of the preprocessing stage (paper Algorithm 1): per-vertex
 /// propagation guidance plus the cost of producing it (Fig. 8 overhead).
 class RRGuidance {
  public:
   RRGuidance() = default;
+
+  /// Sentinel level for vertices the sweep never reached.
+  static constexpr uint32_t kUnreachableLevel = UINT32_MAX;
 
   /// Generates guidance for `graph` with the given root set. All edge
   /// weights are treated as 1 so the sweep captures pure topology; the
@@ -117,9 +136,46 @@ class RRGuidance {
   /// Reassembles a guidance object from previously generated parts — the
   /// deserialization entry point for GuidanceStore. `generation_seconds` is
   /// zero: a reloaded guidance paid no sweep cost (the load cost is
-  /// accounted by the acquiring layer instead).
+  /// accounted by the acquiring layer instead). The overload without a
+  /// levels plane yields has_levels() == false (pre-levels store codecs):
+  /// such a guidance serves runs normally but cannot seed a Repair.
   static RRGuidance FromParts(std::vector<VertexGuidance> guidance,
                               uint32_t depth);
+  static RRGuidance FromParts(std::vector<VertexGuidance> guidance,
+                              uint32_t depth, std::vector<uint32_t> levels);
+
+  /// Incrementally repairs `old_guidance` (generated on the pre-delta
+  /// graph for `old_roots`) into the guidance GenerateSerial(new_graph,
+  /// new_roots) would produce — bit-identical in last_iter, visited,
+  /// depth, AND levels (tests/guidance_repair_test.cc is the differential
+  /// proof). Two-phase incremental BFS in the Ramalingam–Reps tradition:
+  ///
+  ///  1. Invalidation: a bounded cascade from the delta's touched
+  ///   endpoints (deleted-edge destinations whose old level rode the
+  ///   deleted edge, plus removed roots) discards exactly the old levels
+  ///   that lost every supporting in-edge — vertices outside the cascade
+  ///   keep their levels untouched, which is what bounds the repair to the
+  ///   damaged region instead of O(|E|).
+  ///  2. Recomputation: a level-bucketed BFS re-settles the invalidated
+  ///   region from its unaffected fringe, inserted edges, and added roots;
+  ///   last_iter is then re-derived only for vertices with a touched or
+  ///   level-changed in-neighbor.
+  ///
+  /// Requirements: old_guidance.has_levels() (kFailedPrecondition
+  /// otherwise — e.g. it was loaded from a pre-levels store file), and
+  /// new_graph must be the delta applied to the graph old_guidance was
+  /// generated on (unverifiable here; the provider's lineage map is the
+  /// keeper of that invariant). When `max_affected_fraction` < 1 and the
+  /// invalidation cascade exceeds that fraction of |V|, returns
+  /// kFailedPrecondition so the caller falls back to a full regeneration
+  /// that would be cheaper anyway.
+  static Result<RRGuidance> Repair(const Graph& new_graph,
+                                   const GraphDelta& delta,
+                                   const RRGuidance& old_guidance,
+                                   const std::vector<VertexId>& old_roots,
+                                   const std::vector<VertexId>& new_roots,
+                                   double max_affected_fraction = 1.0,
+                                   GuidanceRepairStats* stats = nullptr);
 
   bool empty() const { return guidance_.empty(); }
   VertexId num_vertices() const {
@@ -128,6 +184,18 @@ class RRGuidance {
 
   uint32_t last_iter(VertexId v) const { return guidance_[v].last_iter; }
   bool visited(VertexId v) const { return guidance_[v].visited; }
+
+  /// BFS level (unweighted distance from the root set) per vertex, or
+  /// kUnreachableLevel for vertices the sweep never reached. Levels are a
+  /// derived-deterministic plane — BFS distance is unique, so all three
+  /// generation strategies record bit-identical levels — and they are what
+  /// makes incremental Repair possible: last_iter(v) alone (= max over
+  /// visited in-neighbors u of level(u)+1) cannot be patched without
+  /// knowing the levels it was derived from. False only for guidance
+  /// reloaded from a pre-levels store codec.
+  bool has_levels() const { return levels_.size() == guidance_.size(); }
+  uint32_t level(VertexId v) const { return levels_[v]; }
+  const std::vector<uint32_t>& levels() const { return levels_; }
 
   /// Number of label-propagation iterations the sweep took.
   uint32_t depth() const { return depth_; }
@@ -152,6 +220,10 @@ class RRGuidance {
 
  private:
   std::vector<VertexGuidance> guidance_;
+  /// Per-vertex BFS level; same size as guidance_ when present, empty for
+  /// pre-levels deserializations (has_levels() distinguishes, including
+  /// the |V| == 0 case where empty IS a complete plane).
+  std::vector<uint32_t> levels_;
   uint32_t depth_ = 0;
   double generation_seconds_ = 0;
   double bookkeeping_seconds_ = 0;

@@ -57,6 +57,7 @@ void FillFromOutcome(const api::AppOutcome& outcome, JobResult* result) {
   result->guidance_seconds = outcome.info.guidance_seconds;
   result->guidance_cache_hit = outcome.info.guidance_cache_hit;
   result->guidance_coalesced = outcome.info.guidance_coalesced;
+  result->guidance_repaired = outcome.info.guidance_repaired;
   result->summary = outcome.summary;
 }
 
@@ -179,6 +180,48 @@ Result<JobTicket> JobService::Submit(const JobRequest& request) {
   return ticket;
 }
 
+Result<JobTicket> JobService::SubmitMutation(const MutationRequest& request) {
+  auto reject = [&](Status status) -> Result<JobTicket> {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+    ++stats_.tenants[request.tenant].jobs_rejected;
+    return status;
+  };
+
+  if (!accepting_.load()) {
+    return reject(Status::FailedPrecondition("service is shutting down"));
+  }
+  if (!session_->HasGraph(request.graph)) {
+    return reject(Status::NotFound("graph not registered: " + request.graph));
+  }
+
+  QueuedJob job;
+  job.request.tenant = request.tenant;
+  job.request.app = "mutate";
+  job.request.graph = request.graph;
+  job.request.engine.clear();
+  job.request.enable_rr = false;  // no guidance acquisition, no pinning
+  job.mutation = std::make_shared<const GraphDelta>(request.delta);
+  job.ticket = std::make_shared<JobHandle>();
+  job.id = next_job_id_.fetch_add(1);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+    ++stats_.tenants[request.tenant].jobs_submitted;
+  }
+  JobTicket ticket = job.ticket;
+  if (!queue_.TryPush(request.tenant, std::move(job))) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      --stats_.submitted;
+      --stats_.tenants[request.tenant].jobs_submitted;
+    }
+    return reject(Status::FailedPrecondition("job queue full"));
+  }
+  return ticket;
+}
+
 void JobService::WorkerLoop() {
   QueuedJob job;
   while (queue_.Pop(&job)) {
@@ -196,6 +239,11 @@ void JobService::WorkerLoop() {
       if (result.status.ok()) {
         ++stats_.completed;
         ++tenant.jobs_completed;
+        if (job.mutation != nullptr && result.updates > 0) {
+          // A no-op delta completes fine but mutated nothing.
+          ++stats_.mutations;
+          ++tenant.mutations;
+        }
       } else {
         ++stats_.failed;
         ++tenant.jobs_failed;
@@ -205,6 +253,7 @@ void JobService::WorkerLoop() {
           ++tenant.guidance_hits;
         } else {
           ++tenant.guidance_misses;
+          if (result.guidance_repaired) ++tenant.guidance_repaired;
         }
         tenant.guidance_bytes += GuidanceBytes(*job.graph);
         tenant.guidance_seconds += result.guidance_seconds;
@@ -223,10 +272,34 @@ JobResult JobService::Execute(const QueuedJob& job) {
   result.app = job.request.app;
   result.engine = job.request.engine;
   result.graph = job.request.graph;
-  // THE execution path: the same Session::Run the CLI and the benches
-  // use. The registry's runner for (app, engine) does the dispatch that
-  // used to live in two hand-written switches here.
-  FillFromOutcome(session_->Run(ToAppRequest(job.request)), &result);
+  if (job.mutation != nullptr) {
+    Result<api::GraphMutationResult> mutated =
+        session_->MutateGraph(job.request.graph, *job.mutation);
+    if (!mutated.ok()) {
+      result.status = mutated.status();
+      return result;
+    }
+    result.summary = mutated.value().version;
+    result.updates = mutated.value().delta_stats.edges_inserted +
+                     mutated.value().delta_stats.edges_deleted;
+    GuidanceStore* store = provider().store();
+    if (store != nullptr && mutated.value().changed) {
+      // The new version's store entries belong to whoever mutated it into
+      // existence (until a later submitter takes it over). The OLD
+      // version's entries are deliberately NOT invalidated: in-flight
+      // jobs still execute on it, and its guidance is the repair source —
+      // GC ages it out once nothing pins it.
+      store->AssignGraphTenant(mutated.value().new_fingerprint,
+                               job.request.tenant);
+    }
+    return result;
+  }
+  // THE execution path: the same registry dispatch Session::Run does, but
+  // pinned to the graph resolved at SUBMIT time — a job submitted against
+  // version N computes on version N even if a mutation published N+1
+  // while the job sat in the queue.
+  FillFromOutcome(session_->RunOn(ToAppRequest(job.request), job.graph),
+                  &result);
   return result;
 }
 

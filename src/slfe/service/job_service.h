@@ -44,6 +44,19 @@ struct JobRequest {
   bool enable_rr = true;
 };
 
+/// One batched graph mutation as a tenant submits it. Mutations ride the
+/// same tenant-fair queue as query jobs — a tenant's mutation burst
+/// cannot head-of-line-block another tenant — and execute on the worker
+/// pool via Session::MutateGraph: jobs already in flight keep running on
+/// the version they were submitted against; jobs submitted after the
+/// mutation completes resolve to the new version.
+struct MutationRequest {
+  std::string tenant = "default";
+  /// Name previously passed to JobService::RegisterGraph.
+  std::string graph;
+  GraphDelta delta;
+};
+
 /// What a completed (or failed) job reports back to its submitter.
 struct JobResult {
   Status status;  ///< OK, or why the job could not run
@@ -63,9 +76,13 @@ struct JobResult {
   bool guidance_acquired = false;
   bool guidance_cache_hit = false;
   bool guidance_coalesced = false;
+  /// Guidance was produced by patching the previous graph version's
+  /// guidance (incremental repair) instead of a full sweep.
+  bool guidance_repaired = false;
   /// App-specific scalar (AppOutcome::summary): reached vertices
   /// (sssp/wp), max level (bfs), distinct components (cc),
-  /// early-converged vertices (pr/tr), ...
+  /// early-converged vertices (pr/tr), ...; for mutation jobs, the graph
+  /// version now being served.
   uint64_t summary = 0;
   /// Service-wide completion order (1 = first job finished). Exposes the
   /// fair scheduler's interleaving to callers and tests.
@@ -120,8 +137,14 @@ struct TenantStats {
   uint64_t jobs_rejected = 0;
   uint64_t guidance_hits = 0;
   uint64_t guidance_misses = 0;
+  /// Of the misses, how many were served by incremental repair (patched
+  /// predecessor-version guidance) instead of a full sweep.
+  uint64_t guidance_repaired = 0;
   uint64_t guidance_bytes = 0;
   double guidance_seconds = 0;
+  /// Effective (non-no-op) graph mutations this tenant completed. Also
+  /// counted in jobs_completed — a mutation is a job.
+  uint64_t mutations = 0;
 };
 
 /// A consistent snapshot of the service's counters plus the shared
@@ -132,6 +155,8 @@ struct JobServiceStats {
   uint64_t rejected = 0;  ///< queue-full / validation rejections
   uint64_t completed = 0;
   uint64_t failed = 0;
+  /// Effective graph mutations executed (sum of the tenant rows').
+  uint64_t mutations = 0;
   uint64_t maintenance_sweeps = 0;  ///< sweeps run by the timer + SweepNow
   uint64_t sweep_removed = 0;       ///< entries GC'd by those sweeps
   uint64_t sweep_pinned_spared = 0;  ///< victims spared by in-flight pins
@@ -237,6 +262,14 @@ class JobService {
   /// declare, a graph-requirement violation, or an out-of-range root.
   Result<JobTicket> Submit(const JobRequest& request);
 
+  /// Validates and enqueues one graph mutation into the tenant's lane.
+  /// The completed JobResult carries app == "mutate" and the served graph
+  /// version in `summary`. Rejections mirror Submit's: kFailedPrecondition
+  /// for shutdown/backpressure, kNotFound for an unregistered graph.
+  /// (The delta itself is validated at execution time — kInvalidArgument
+  /// from ApplyDelta surfaces in the result's status, as a failed job.)
+  Result<JobTicket> SubmitMutation(const MutationRequest& request);
+
   JobServiceStats Stats() const;
 
   /// The session every job executes through (and with it the shared
@@ -260,9 +293,14 @@ class JobService {
   struct QueuedJob {
     JobRequest request;
     /// The exact graph the job runs on (Session::ResolveGraph — the
-    /// symmetrized variant for needs_symmetric apps), for pinning and
-    /// byte metering.
+    /// symmetrized variant for needs_symmetric apps), for pinning, byte
+    /// metering, AND version pinning: the worker executes on THIS graph
+    /// (Session::RunOn), so a mutation landing between submit and
+    /// execution cannot change what the job computes on. Null for
+    /// mutation jobs.
     std::shared_ptr<const Graph> graph;
+    /// Non-null = this queued item is a mutation, not a query job.
+    std::shared_ptr<const GraphDelta> mutation;
     JobTicket ticket;
     uint64_t id = 0;
   };

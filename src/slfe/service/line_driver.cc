@@ -63,8 +63,9 @@ Status EnsureGraph(JobService& service, const std::string& name,
 void PrintResult(std::FILE* out, const JobResult& r) {
   const char* served = "none";
   if (r.guidance_acquired) {
-    served = r.guidance_cache_hit ? "cache"
+    served = r.guidance_cache_hit   ? "cache"
              : r.guidance_coalesced ? "coalesced"
+             : r.guidance_repaired  ? "repaired"
                                     : "generate";
   }
   std::fprintf(out,
@@ -83,35 +84,41 @@ void PrintResult(std::FILE* out, const JobResult& r) {
 void PrintStats(std::FILE* out, const JobServiceStats& stats) {
   std::fprintf(out,
                "service: submitted=%llu completed=%llu failed=%llu "
-               "rejected=%llu sweeps=%llu gc_removed=%llu pinned_spared=%llu "
-               "graphs_parsed=%llu graphs_mapped=%llu\n",
+               "rejected=%llu mutations=%llu sweeps=%llu gc_removed=%llu "
+               "pinned_spared=%llu graphs_parsed=%llu graphs_mapped=%llu\n",
                static_cast<unsigned long long>(stats.submitted),
                static_cast<unsigned long long>(stats.completed),
                static_cast<unsigned long long>(stats.failed),
                static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.mutations),
                static_cast<unsigned long long>(stats.maintenance_sweeps),
                static_cast<unsigned long long>(stats.sweep_removed),
                static_cast<unsigned long long>(stats.sweep_pinned_spared),
                static_cast<unsigned long long>(stats.graphs_parsed),
                static_cast<unsigned long long>(stats.graphs_mapped));
   std::fprintf(out,
-               "guidance: generations=%llu coalesced=%llu cache_hits=%llu "
-               "store_hits=%llu\n",
+               "guidance: generations=%llu coalesced=%llu repairs=%llu "
+               "repair_fallbacks=%llu cache_hits=%llu store_hits=%llu\n",
                static_cast<unsigned long long>(stats.provider.generations),
                static_cast<unsigned long long>(stats.provider.coalesced),
+               static_cast<unsigned long long>(stats.provider.repairs),
+               static_cast<unsigned long long>(stats.provider.repair_fallbacks),
                static_cast<unsigned long long>(stats.cache.hits),
                static_cast<unsigned long long>(stats.cache.store_hits));
   for (const auto& [tenant, t] : stats.tenants) {
     std::fprintf(out,
                  "tenant %s: jobs=%llu/%llu failed=%llu rejected=%llu "
-                 "guidance hits=%llu misses=%llu bytes=%llu acquire=%.4fs\n",
+                 "mutations=%llu guidance hits=%llu misses=%llu "
+                 "repaired=%llu bytes=%llu acquire=%.4fs\n",
                  tenant.c_str(),
                  static_cast<unsigned long long>(t.jobs_completed),
                  static_cast<unsigned long long>(t.jobs_submitted),
                  static_cast<unsigned long long>(t.jobs_failed),
                  static_cast<unsigned long long>(t.jobs_rejected),
+                 static_cast<unsigned long long>(t.mutations),
                  static_cast<unsigned long long>(t.guidance_hits),
                  static_cast<unsigned long long>(t.guidance_misses),
+                 static_cast<unsigned long long>(t.guidance_repaired),
                  static_cast<unsigned long long>(t.guidance_bytes),
                  t.guidance_seconds);
   }
@@ -218,6 +225,69 @@ int RunLineDriver(JobService& service, std::FILE* in, std::FILE* out,
         std::fprintf(out, "queued tenant=%s app=%s graph=%s (depth=%zu)\n",
                      request.tenant.c_str(), request.app.c_str(),
                      request.graph.c_str(), service.queued());
+      }
+      outstanding.push_back(std::move(ticket).value());
+      continue;
+    }
+
+    if (command == "mutate" && tokens.size() >= 3) {
+      // mutate <tenant> <graph> [ins <src> <dst> <w>]... [del <src> <dst>]...
+      MutationRequest request;
+      request.tenant = tokens[1];
+      request.graph = tokens[2];
+      bool parsed = true;
+      auto number = [](const std::string& t) {
+        return !t.empty() &&
+               t.find_first_not_of("0123456789.") == std::string::npos;
+      };
+      size_t i = 3;
+      while (i < tokens.size()) {
+        if (tokens[i] == "ins" && i + 3 < tokens.size() &&
+            number(tokens[i + 1]) && number(tokens[i + 2]) &&
+            number(tokens[i + 3])) {
+          Edge e;
+          e.src = static_cast<VertexId>(
+              std::strtoul(tokens[i + 1].c_str(), nullptr, 10));
+          e.dst = static_cast<VertexId>(
+              std::strtoul(tokens[i + 2].c_str(), nullptr, 10));
+          e.weight = std::strtof(tokens[i + 3].c_str(), nullptr);
+          request.delta.insert.push_back(e);
+          i += 4;
+        } else if (tokens[i] == "del" && i + 2 < tokens.size() &&
+                   number(tokens[i + 1]) && number(tokens[i + 2])) {
+          request.delta.erase.emplace_back(
+              static_cast<VertexId>(
+                  std::strtoul(tokens[i + 1].c_str(), nullptr, 10)),
+              static_cast<VertexId>(
+                  std::strtoul(tokens[i + 2].c_str(), nullptr, 10)));
+          i += 3;
+        } else {
+          std::fprintf(out, "reject: bad mutate token '%s'\n",
+                       tokens[i].c_str());
+          any_error = true;
+          parsed = false;
+          break;
+        }
+      }
+      if (!parsed) continue;
+      Status registered =
+          EnsureGraph(service, request.graph, options.scale_divisor);
+      if (!registered.ok()) {
+        std::fprintf(out, "reject: %s\n", registered.ToString().c_str());
+        any_error = true;
+        continue;
+      }
+      Result<JobTicket> ticket = service.SubmitMutation(request);
+      if (!ticket.ok()) {
+        std::fprintf(out, "reject: %s\n",
+                     ticket.status().ToString().c_str());
+        any_error = true;
+        continue;
+      }
+      if (options.echo) {
+        std::fprintf(out, "queued tenant=%s app=mutate graph=%s (depth=%zu)\n",
+                     request.tenant.c_str(), request.graph.c_str(),
+                     service.queued());
       }
       outstanding.push_back(std::move(ticket).value());
       continue;

@@ -87,11 +87,15 @@ void ExpectBitIdentical(const RRGuidance& want, const RRGuidance& got,
                         const std::string& label) {
   ASSERT_EQ(want.num_vertices(), got.num_vertices()) << label;
   ASSERT_EQ(want.depth(), got.depth()) << label;
+  ASSERT_TRUE(want.has_levels()) << label;
+  ASSERT_TRUE(got.has_levels()) << label;
   for (VertexId v = 0; v < want.num_vertices(); ++v) {
     ASSERT_EQ(want.last_iter(v), got.last_iter(v))
         << label << " last_iter mismatch at v=" << v;
     ASSERT_EQ(want.visited(v), got.visited(v))
         << label << " visited mismatch at v=" << v;
+    ASSERT_EQ(want.level(v), got.level(v))
+        << label << " level mismatch at v=" << v;
   }
 }
 

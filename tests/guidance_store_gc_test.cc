@@ -48,10 +48,11 @@ bool FileExists(const std::string& path) {
 
 /// A store over a clean directory plus `count` saved entries for one
 /// chain graph, keyed by distinct single roots. The chain's sweep depths
-/// all fit in a byte, so Save negotiates the packed codec and every entry
-/// file is 56 + 2 * |V| bytes (here |V| = 20 → 96).
+/// all fit in a byte and generated guidance carries its levels plane, so
+/// Save negotiates the packed-with-levels codec and every entry file is
+/// 56 + 3 * |V| bytes (here |V| = 20 → 116).
 struct GcFixture {
-  static constexpr uint64_t kEntryBytes = 56 + 2 * 20;
+  static constexpr uint64_t kEntryBytes = 56 + 3 * 20;
 
   explicit GcFixture(const std::string& name, size_t count)
       : graph(Graph::FromEdges(GenerateChain(20))), store(StoreDir(name)) {
@@ -338,15 +339,16 @@ TEST(GuidanceStoreGcTest, TenantBudgetsEvictOnlyThatTenant) {
 
 TEST(GuidanceStoreGcTest, TenantByteBudgetAndRuntimeSetters) {
   // SetTenantBudget after construction (the JobService reconfiguration
-  // path) and byte-denominated budgets: 20-vertex entries are 96 bytes
-  // (packed codec), so a 200-byte budget keeps exactly the two newest.
+  // path) and byte-denominated budgets: 20-vertex entries are 116 bytes
+  // (packed-with-levels codec), so a 250-byte budget keeps exactly the
+  // two newest.
   Graph g = Graph::FromEdges(GenerateChain(20));
   GuidanceStore store(StoreDir("slfe_gc_tenant_bytes"),
                       GuidanceStoreGcOptions{});
   ASSERT_TRUE(store.RemoveAll().ok());
   store.AssignGraphTenant(g.fingerprint(), "gamma");
   EXPECT_EQ(store.GraphTenant(g.fingerprint()), "gamma");
-  store.SetTenantBudget("gamma", GuidanceTenantBudget{200, 0});
+  store.SetTenantBudget("gamma", GuidanceTenantBudget{250, 0});
 
   std::vector<GuidanceKey> keys;
   for (VertexId r = 0; r < 4; ++r) {

@@ -260,24 +260,28 @@ TEST(GuidanceStoreTest, EmptyGuidanceRoundTrips) {
   EXPECT_EQ(loaded.value().depth(), 0u);
 }
 
-TEST(GuidanceStoreTest, ShallowGuidancePacksToOneBytePerVertex) {
-  // Every last_iter in the chain-of-20 fixture fits a byte, so Save must
-  // negotiate kPackedU8: 56-byte header + 2 bytes/vertex on disk.
+TEST(GuidanceStoreTest, ShallowGuidancePacksToThreeBytesPerVertex) {
+  // Every last_iter in the chain-of-20 fixture fits a byte and the
+  // guidance carries its levels plane, so Save must negotiate
+  // kPackedU8Levels: 56-byte header + 3 bytes/vertex on disk.
   StoreFixture fx("slfe_gs_packed");
+  ASSERT_TRUE(fx.guidance.has_levels());
   ASSERT_TRUE(fx.store.Save(fx.key, fx.guidance).ok());
   std::vector<unsigned char> bytes = ReadFile(fx.store.EntryPath(fx.key));
-  EXPECT_EQ(bytes.size(), 56u + 2u * fx.guidance.num_vertices());
+  EXPECT_EQ(bytes.size(), 56u + 3u * fx.guidance.num_vertices());
 
   Result<RRGuidance> loaded = fx.store.Load(fx.key);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().has_levels());
   for (VertexId v = 0; v < fx.guidance.num_vertices(); ++v) {
     ASSERT_EQ(loaded.value().last_iter(v), fx.guidance.last_iter(v));
+    ASSERT_EQ(loaded.value().level(v), fx.guidance.level(v)) << "v=" << v;
   }
 }
 
 TEST(GuidanceStoreTest, DeepGuidanceFallsBackToRawCodec) {
-  // A 300-vertex chain drives last_iter past 255, so the packed codec
-  // cannot represent it and Save must fall back to raw u32 (5 B/vertex)
+  // A 300-vertex chain drives last_iter past the packed range, so Save
+  // must fall back to raw u32 with a raw levels plane (9 B/vertex)
   // without losing a single level.
   StoreFixture fx("slfe_gs_deep");
   Graph deep = Graph::FromEdges(GenerateChain(300));
@@ -287,12 +291,62 @@ TEST(GuidanceStoreTest, DeepGuidanceFallsBackToRawCodec) {
   ASSERT_GT(guidance.depth(), 255u) << "fixture must exceed the u8 range";
   ASSERT_TRUE(fx.store.Save(key, guidance).ok());
   std::vector<unsigned char> bytes = ReadFile(fx.store.EntryPath(key));
-  EXPECT_EQ(bytes.size(), 56u + 5u * guidance.num_vertices());
+  EXPECT_EQ(bytes.size(), 56u + 9u * guidance.num_vertices());
 
   Result<RRGuidance> loaded = fx.store.Load(key);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().has_levels());
   for (VertexId v = 0; v < guidance.num_vertices(); ++v) {
     ASSERT_EQ(loaded.value().last_iter(v), guidance.last_iter(v)) << v;
+    ASSERT_EQ(loaded.value().level(v), guidance.level(v)) << v;
+  }
+}
+
+TEST(GuidanceStoreTest, LevelslessGuidanceKeepsTheHistoricalCodec) {
+  // Guidance without a levels plane (reassembled from a pre-levels file)
+  // must save with the original two-plane codec — old readers stay
+  // compatible, and the round-trip keeps has_levels() == false so a
+  // repair attempt on it falls back instead of inventing levels.
+  StoreFixture fx("slfe_gs_nolevels");
+  std::vector<VertexGuidance> records(fx.guidance.raw());
+  RRGuidance levelless =
+      RRGuidance::FromParts(std::move(records), fx.guidance.depth());
+  ASSERT_FALSE(levelless.has_levels());
+  ASSERT_TRUE(fx.store.Save(fx.key, levelless).ok());
+  std::vector<unsigned char> bytes = ReadFile(fx.store.EntryPath(fx.key));
+  EXPECT_EQ(bytes.size(), 56u + 2u * levelless.num_vertices());
+
+  Result<RRGuidance> loaded = fx.store.Load(fx.key);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded.value().has_levels());
+  for (VertexId v = 0; v < levelless.num_vertices(); ++v) {
+    ASSERT_EQ(loaded.value().last_iter(v), levelless.last_iter(v)) << v;
+    ASSERT_EQ(loaded.value().visited(v), levelless.visited(v)) << v;
+  }
+}
+
+TEST(GuidanceStoreTest, UnreachableLevelsSurviveThePackedSentinel) {
+  // The packed levels plane encodes kUnreachableLevel as 0xFF; a graph
+  // with unreached vertices must round-trip the sentinel, not turn
+  // unreachable into level 255.
+  StoreFixture fx("slfe_gs_sentinel");
+  EdgeList e(10);
+  for (VertexId v = 0; v < 4; ++v) e.Add(v, v + 1);
+  e.set_num_vertices(10);  // 5..9 unreachable from 0
+  Graph g = Graph::FromEdges(e);
+  GuidanceKey key = GuidanceCache::MakeKey(g.fingerprint(), {0});
+  RRGuidance guidance = RRGuidance::GenerateSerial(g, {0});
+  ASSERT_TRUE(fx.store.Save(key, guidance).ok());
+  Result<RRGuidance> loaded = fx.store.Load(key);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().has_levels());
+  for (VertexId v = 5; v < 10; ++v) {
+    EXPECT_EQ(loaded.value().level(v), RRGuidance::kUnreachableLevel)
+        << "v=" << v;
+    EXPECT_FALSE(loaded.value().visited(v));
+  }
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(loaded.value().level(v), guidance.level(v)) << "v=" << v;
   }
 }
 

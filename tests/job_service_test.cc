@@ -649,5 +649,292 @@ TEST(JobServiceTest, QueueFullRejectsInsteadOfBlocking) {
   EXPECT_EQ(stats.completed, accepted);
 }
 
+// ------------------------------------------------------- graph mutations
+
+TEST(JobServiceMutationTest, MutationJobsRunThroughTheQueueAndCount) {
+  JobService service;
+  ASSERT_TRUE(
+      service.RegisterGraph("c", Graph::FromEdges(GenerateChain(40))).ok());
+
+  // An effective mutation: sever the chain at (19,20).
+  MutationRequest mutation;
+  mutation.tenant = "t";
+  mutation.graph = "c";
+  mutation.delta.erase.emplace_back(19, 20);
+  auto ticket = service.SubmitMutation(mutation);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  const JobResult& result = ticket.value()->Wait();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.app, "mutate");
+  EXPECT_EQ(result.summary, 2u);  // version now served
+  EXPECT_EQ(result.updates, 1u);  // one edge deleted
+
+  // Queries submitted after the mutation see the new topology: bfs from 0
+  // on the severed chain tops out at level 19 instead of 39.
+  JobRequest query;
+  query.tenant = "t";
+  query.app = "bfs";
+  query.graph = "c";
+  auto query_ticket = service.Submit(query);
+  ASSERT_TRUE(query_ticket.ok());
+  EXPECT_EQ(query_ticket.value()->Wait().summary, 19u);
+
+  // A no-op mutation (the pair is already gone) completes ok but is not
+  // an effective mutation: no version bump, no mutations count.
+  auto noop_ticket = service.SubmitMutation(mutation);
+  ASSERT_TRUE(noop_ticket.ok());
+  const JobResult& noop = noop_ticket.value()->Wait();
+  EXPECT_TRUE(noop.status.ok());
+  EXPECT_EQ(noop.summary, 2u);  // version unchanged
+  EXPECT_EQ(noop.updates, 0u);
+
+  // An invalid delta is accepted at submit and fails at execution.
+  MutationRequest bad;
+  bad.tenant = "t";
+  bad.graph = "c";
+  bad.delta.erase.emplace_back(0, 4000);
+  auto bad_ticket = service.SubmitMutation(bad);
+  ASSERT_TRUE(bad_ticket.ok());
+  EXPECT_EQ(bad_ticket.value()->Wait().status.code(),
+            StatusCode::kInvalidArgument);
+
+  MutationRequest unknown;
+  unknown.graph = "nope";
+  EXPECT_EQ(service.SubmitMutation(unknown).status().code(),
+            StatusCode::kNotFound);
+
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.mutations, 1u);  // only the effective one
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.tenants.at("t").mutations, 1u);
+  EXPECT_EQ(stats.tenants.at("t").jobs_failed, 1u);
+  // Mutations are jobs: 2 ok mutations + 1 query (the failed one counts
+  // in jobs_failed only).
+  EXPECT_EQ(stats.tenants.at("t").jobs_completed, 3u);
+  EXPECT_EQ(service.session().GraphVersions("c").back().version, 2u);
+}
+
+TEST(JobServiceMutationTest, QueriesExecuteOnTheirSubmitTimeVersion) {
+  // One worker; a slow job occupies it while a mutation AND a query are
+  // queued behind it. The query resolved its graph at submit time —
+  // before the mutation executed — so it MUST run on version 1 even
+  // though version 2 is published by the time the worker reaches it.
+  JobServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 64;
+  JobService service(options);
+  ASSERT_TRUE(service.RegisterGraph("busy", Rmat(1000, 8000, 91)).ok());
+  ASSERT_TRUE(
+      service.RegisterGraph("c", Graph::FromEdges(GenerateChain(40))).ok());
+
+  JobRequest blocker;
+  blocker.tenant = "z";
+  blocker.app = "pr";
+  blocker.graph = "busy";
+  blocker.max_iters = 50;
+  auto blocker_ticket = service.Submit(blocker);
+  ASSERT_TRUE(blocker_ticket.ok());
+
+  MutationRequest mutation;
+  mutation.tenant = "m";
+  mutation.graph = "c";
+  mutation.delta.erase.emplace_back(19, 20);
+  auto mutation_ticket = service.SubmitMutation(mutation);
+  ASSERT_TRUE(mutation_ticket.ok());
+
+  JobRequest pinned;
+  pinned.tenant = "q";
+  pinned.app = "bfs";
+  pinned.graph = "c";
+  auto pinned_ticket = service.Submit(pinned);  // resolves version 1 NOW
+  ASSERT_TRUE(pinned_ticket.ok());
+
+  // Lane rotation pops z, m, q: the mutation completes before the pinned
+  // query runs.
+  ASSERT_TRUE(blocker_ticket.value()->Wait().status.ok());
+  const JobResult& mutated = mutation_ticket.value()->Wait();
+  ASSERT_TRUE(mutated.status.ok());
+  EXPECT_EQ(mutated.summary, 2u);
+  const JobResult& pinned_result = pinned_ticket.value()->Wait();
+  ASSERT_TRUE(pinned_result.status.ok());
+  EXPECT_EQ(pinned_result.summary, 39u)
+      << "job submitted against version 1 must run on version 1";
+
+  // A query submitted after the mutation drained sees version 2.
+  auto fresh_ticket = service.Submit(pinned);
+  ASSERT_TRUE(fresh_ticket.ok());
+  EXPECT_EQ(fresh_ticket.value()->Wait().summary, 19u);
+}
+
+TEST(JobServiceMutationTest, PostMutationMissesAreServedByRepair) {
+  JobServiceOptions options;
+  options.workers = 1;
+  JobService service(options);
+  ASSERT_TRUE(
+      service.RegisterGraph("c", Graph::FromEdges(GenerateChain(40))).ok());
+
+  JobRequest query;
+  query.tenant = "r";
+  query.app = "bfs";
+  query.graph = "c";
+  auto first = service.Submit(query);
+  ASSERT_TRUE(first.ok());
+  const JobResult& generated = first.value()->Wait();
+  ASSERT_TRUE(generated.status.ok());
+  EXPECT_TRUE(generated.guidance_acquired);
+  EXPECT_FALSE(generated.guidance_repaired);
+
+  MutationRequest mutation;
+  mutation.tenant = "r";
+  mutation.graph = "c";
+  mutation.delta.erase.emplace_back(38, 39);
+  auto mutated = service.SubmitMutation(mutation);
+  ASSERT_TRUE(mutated.ok());
+  ASSERT_TRUE(mutated.value()->Wait().status.ok());
+
+  auto second = service.Submit(query);
+  ASSERT_TRUE(second.ok());
+  const JobResult& repaired = second.value()->Wait();
+  ASSERT_TRUE(repaired.status.ok());
+  EXPECT_TRUE(repaired.guidance_acquired);
+  EXPECT_TRUE(repaired.guidance_repaired)
+      << "the version-2 miss should patch version 1's guidance";
+  EXPECT_EQ(repaired.summary, 38u);
+
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.provider.repairs, 1u);
+  EXPECT_EQ(stats.provider.repair_fallbacks, 0u);
+  EXPECT_EQ(stats.provider.generations, 1u);
+  const TenantStats& tenant = stats.tenants.at("r");
+  EXPECT_EQ(tenant.mutations, 1u);
+  EXPECT_EQ(tenant.guidance_repaired, 1u);
+  EXPECT_EQ(tenant.guidance_misses, 2u);  // both queries missed the cache
+  EXPECT_EQ(tenant.guidance_hits, 0u);
+}
+
+TEST(JobServiceMutationTest, MutationNeverEvictsTheOldVersionsStoreEntry) {
+  // The satellite-4 guarantee: repairing version N+1 must not clobber or
+  // invalidate version N's persisted guidance — both fingerprints' store
+  // entries coexist (in-flight jobs and the repair lineage still read the
+  // old one; GC ages it out later).
+  JobServiceOptions options;
+  options.workers = 1;
+  options.provider.store_dir = StoreDir("slfe_service_versions");
+  JobService service(options);
+  ASSERT_TRUE(
+      service.RegisterGraph("c", Graph::FromEdges(GenerateChain(40))).ok());
+
+  JobRequest query;
+  query.tenant = "t";
+  query.app = "bfs";
+  query.graph = "c";
+  ASSERT_TRUE(service.Submit(query).value()->Wait().status.ok());
+
+  MutationRequest mutation;
+  mutation.graph = "c";
+  mutation.delta.insert.push_back(Edge{0, 20, 1.0f});
+  ASSERT_TRUE(service.SubmitMutation(mutation).value()->Wait().status.ok());
+
+  const JobResult& after = service.Submit(query).value()->Wait();
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_TRUE(after.guidance_repaired);
+
+  // Both versions' guidance entries are on disk: nothing was invalidated
+  // by the mutation, and the default GC policy keeps both.
+  GuidanceStoreSweepStats sweep = service.SweepNow();
+  EXPECT_EQ(sweep.remaining_entries, 2u)
+      << "version 1's entry must survive the mutation and the repair";
+}
+
+TEST(JobServiceMutationTest, ConcurrentMutateAndQueryTrafficStaysConsistent) {
+  // Query tenants hammer a graph while a mutation tenant rewires it: no
+  // job may fail (version pinning shields in-flight queries), and the
+  // per-tenant counters must sum to the service totals.
+  JobServiceOptions options;
+  options.workers = 4;
+  options.queue_capacity = 256;
+  JobService service(options);
+  ASSERT_TRUE(service.RegisterGraph("g", Rmat(300, 2400, 95)).ok());
+
+  constexpr int kQueriesPerTenant = 25;
+  constexpr int kMutations = 12;
+  std::vector<JobTicket> tickets;
+  std::mutex tickets_mu;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> traffic;
+  for (const char* tenant : {"qa", "qb"}) {
+    traffic.emplace_back([&, tenant] {
+      for (int i = 0; i < kQueriesPerTenant; ++i) {
+        JobRequest request;
+        request.tenant = tenant;
+        request.app = i % 2 == 0 ? "bfs" : "cc";
+        request.graph = "g";
+        request.root = static_cast<VertexId>(i % 200);
+        auto ticket = service.Submit(request);
+        if (!ticket.ok()) {
+          ++failures;
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(tickets_mu);
+        tickets.push_back(std::move(ticket).value());
+      }
+    });
+  }
+  traffic.emplace_back([&] {
+    for (int i = 0; i < kMutations; ++i) {
+      MutationRequest request;
+      request.tenant = "mut";
+      request.graph = "g";
+      // Alternate inserting an edge and deleting it one step later so
+      // versions keep changing.
+      if (i % 2 == 0) {
+        request.delta.insert.push_back(
+            Edge{static_cast<VertexId>(i), static_cast<VertexId>(250 + i),
+                 1.0f});
+      } else {
+        request.delta.erase.emplace_back(static_cast<VertexId>(i - 1),
+                                         static_cast<VertexId>(249 + i));
+      }
+      auto ticket = service.SubmitMutation(request);
+      if (!ticket.ok()) {
+        ++failures;
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(tickets_mu);
+      tickets.push_back(std::move(ticket).value());
+    }
+  });
+  for (std::thread& thread : traffic) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  uint64_t effective_mutations = 0;
+  for (const JobTicket& ticket : tickets) {
+    const JobResult& result = ticket->Wait();
+    EXPECT_TRUE(result.status.ok())
+        << result.app << " on " << result.graph << ": "
+        << result.status.ToString();
+    if (result.app == "mutate" && result.updates > 0) ++effective_mutations;
+  }
+
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, tickets.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.mutations, effective_mutations);
+  EXPECT_GT(stats.mutations, 0u);
+  uint64_t tenant_jobs = 0, tenant_mutations = 0, tenant_repaired = 0;
+  for (const auto& [name, tenant] : stats.tenants) {
+    EXPECT_EQ(tenant.jobs_submitted, tenant.jobs_completed) << name;
+    tenant_jobs += tenant.jobs_completed;
+    tenant_mutations += tenant.mutations;
+    tenant_repaired += tenant.guidance_repaired;
+  }
+  EXPECT_EQ(tenant_jobs, stats.completed);
+  EXPECT_EQ(tenant_mutations, stats.mutations);
+  EXPECT_EQ(tenant_repaired, stats.provider.repairs);
+  // The version chain all those mutations built is fully recorded.
+  EXPECT_EQ(service.session().GraphVersions("g").back().version,
+            1 + service.session().graphs_mutated());
+}
+
 }  // namespace
 }  // namespace slfe::service
