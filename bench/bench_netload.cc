@@ -1,0 +1,498 @@
+// bench_netload — drives the TCP front end with N concurrent connections
+// each pipelining M jobs, measuring submit-to-complete latency through the
+// full network path (parse -> queue -> worker -> streamed completion), then
+// bursts 2x the queue capacity to verify the overload contract: every
+// submission is either served or explicitly rejected — never lost, never
+// duplicated, never hung. Emits BENCH_netload.json for the CI artifact.
+//
+//   bench_netload                          # self-hosted in-process server
+//   bench_netload --conns=16 --jobs=50 --queue-cap=8 --workers=4
+//   bench_netload --connect=127.0.0.1:4700 --graph=PK [--auth=T:SECRET]
+//   bench_netload --rate=200               # pace each connection (jobs/s)
+//
+// Latency correlation relies on a protocol invariant: acknowledgements
+// (`queued req=K` / `reject:`) are emitted in dispatch order, which is the
+// order the lines were written — so the k-th ack matches the k-th submit
+// and carries the req tag that the streamed `job ... req=K` completion
+// (arriving in completion order) is matched against.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "slfe/graph/generators.h"
+#include "slfe/net/net_server.h"
+#include "slfe/service/job_service.h"
+
+namespace slfe {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct NetloadOptions {
+  int conns = 16;
+  int jobs = 50;         // steady-phase jobs per connection
+  size_t workers = 4;    // self-hosted service shape
+  size_t queue_cap = 64; // self-hosted bounded queue (the overload target)
+  /// Steady-phase pipeline window: at most this many of a connection's
+  /// submissions in flight, so the load self-clocks to service capacity
+  /// (conns x window must stay <= queue_cap for a zero-reject steady run).
+  int window = 2;
+  double rate = 0;        // extra pacing, jobs/s per connection; 0 = none
+  std::string connect;    // "HOST:PORT" = external daemon; "" = self-hosted
+  std::string graph;      // default: bench graph (self-hosted) / PK (external)
+  std::string auth;       // "TENANT:SECRET" handshake for external daemons
+  int overload_jobs = 0;  // per-conn overload burst; 0 = derived from cap
+};
+
+/// A blocking line-protocol client (same shape as the test harness's; a
+/// bench binary stays dependency-free and self-contained).
+class Client {
+ public:
+  Client(const std::string& host, uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    timeval tv{};
+    tv.tv_sec = 120;  // a stuck server fails the bench, not hangs it
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return connected_; }
+
+  bool Send(const std::string& text) {
+    size_t off = 0;
+    while (off < text.size()) {
+      ssize_t n = ::send(fd_, text.data() + off, text.size() - off, 0);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// One line without its '\n'; "" on EOF or timeout.
+  std::string ReadLine() {
+    while (!eof_) {
+      size_t pos = buf_.find('\n');
+      if (pos != std::string::npos) {
+        std::string line = buf_.substr(0, pos);
+        buf_.erase(0, pos + 1);
+        return line;
+      }
+      char tmp[4096];
+      ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+      if (n <= 0) {
+        eof_ = true;
+        break;
+      }
+      buf_.append(tmp, static_cast<size_t>(n));
+    }
+    return "";
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  bool eof_ = false;
+  std::string buf_;
+};
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+uint64_t TrailingReq(const std::string& line) {
+  size_t pos = line.rfind(" req=");
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + pos + 5, nullptr, 10);
+}
+
+/// What one connection observed during a phase.
+struct ConnResult {
+  bool transport_ok = false;  // connected, authed, got its `done`, clean quit
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;      // job lines with status != ok
+  uint64_t duplicated = 0;  // req tag seen twice
+  std::vector<double> latencies_ms;
+};
+
+/// One connection's phase: pipeline `jobs` submits (optionally paced),
+/// then `wait` + `quit`, reading the interleaved ack/result stream and
+/// correlating completions back to send timestamps via req tags.
+ConnResult RunConnection(const NetloadOptions& opt, const std::string& host,
+                         uint16_t port, int conn_index, int jobs) {
+  ConnResult r;
+  Client client(host, port);
+  if (!client.connected()) return r;
+
+  std::string tenant = "c" + std::to_string(conn_index);
+  if (!opt.auth.empty()) {
+    size_t colon = opt.auth.find(':');
+    tenant = opt.auth.substr(0, colon);
+    client.Send("auth " + tenant + " " + opt.auth.substr(colon + 1) + "\n");
+    if (!StartsWith(client.ReadLine(), "ok tenant=")) return r;
+  }
+  const std::string graph =
+      !opt.graph.empty() ? opt.graph : (opt.connect.empty() ? "netbench" : "PK");
+
+  // Send timestamps in submission order; ack order maps them to req tags.
+  std::vector<Clock::time_point> sent;
+  sent.reserve(static_cast<size_t>(jobs));
+  std::map<uint64_t, Clock::time_point> by_req;
+  std::set<uint64_t> seen;
+  uint64_t acked = 0;
+  bool done = false;
+
+  auto consume = [&](const std::string& line) {
+    if (StartsWith(line, "queued req=")) {
+      uint64_t req = std::strtoull(line.c_str() + 11, nullptr, 10);
+      by_req[req] = sent[acked++];
+      ++r.accepted;
+    } else if (StartsWith(line, "reject:")) {
+      ++acked;  // the k-th submit was turned away
+      ++r.rejected;
+    } else if (StartsWith(line, "job ")) {
+      uint64_t req = TrailingReq(line);
+      if (!seen.insert(req).second) ++r.duplicated;
+      auto it = by_req.find(req);
+      if (it != by_req.end()) {
+        r.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - it->second)
+                .count());
+      }
+      if (line.find(" status=ok ") == std::string::npos) ++r.failed;
+      ++r.completed;
+    } else if (StartsWith(line, "done req=")) {
+      done = true;
+    }
+  };
+
+  const auto pace = opt.rate > 0
+                        ? std::chrono::duration<double>(1.0 / opt.rate)
+                        : std::chrono::duration<double>(0);
+  const uint64_t window =
+      opt.window > 0 ? static_cast<uint64_t>(opt.window) : ~uint64_t{0};
+  for (int j = 0; j < jobs; ++j) {
+    // Window gate: read completions (blocking) until a slot frees. The
+    // submit itself still pipelines — the next one doesn't wait for this
+    // one, only for the window.
+    while (r.submitted - r.completed - r.rejected >= window) {
+      std::string line = client.ReadLine();
+      if (line.empty()) return r;
+      consume(line);
+    }
+    sent.push_back(Clock::now());
+    ++r.submitted;
+    if (!client.Send("submit " + tenant + " sssp " + graph + " " +
+                     std::to_string(j % 50) + "\n")) {
+      return r;
+    }
+    if (pace.count() > 0) std::this_thread::sleep_for(pace);
+  }
+  client.Send("wait\nquit\n");
+  while (!done) {
+    std::string line = client.ReadLine();
+    if (line.empty()) return r;  // dropped before the barrier drained
+    consume(line);
+  }
+  // `quit` drains and closes; anything between `done` and EOF is ours too.
+  for (std::string line = client.ReadLine(); !line.empty();
+       line = client.ReadLine()) {
+    consume(line);
+  }
+  r.transport_ok = true;
+  return r;
+}
+
+struct PhaseResult {
+  uint64_t conns_ok = 0;
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t duplicated = 0;
+  double wall_s = 0;
+  std::vector<double> latencies_ms;
+
+  uint64_t lost() const { return accepted - completed; }
+};
+
+PhaseResult RunPhase(const NetloadOptions& opt, const std::string& host,
+                     uint16_t port, int jobs_per_conn) {
+  PhaseResult phase;
+  std::vector<ConnResult> results(static_cast<size_t>(opt.conns));
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  auto t0 = Clock::now();
+  for (int i = 0; i < opt.conns; ++i) {
+    threads.emplace_back([&, i] {
+      results[static_cast<size_t>(i)] =
+          RunConnection(opt, host, port, i, jobs_per_conn);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  phase.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const ConnResult& r : results) {
+    phase.conns_ok += r.transport_ok ? 1 : 0;
+    phase.submitted += r.submitted;
+    phase.accepted += r.accepted;
+    phase.rejected += r.rejected;
+    phase.completed += r.completed;
+    phase.failed += r.failed;
+    phase.duplicated += r.duplicated;
+    phase.latencies_ms.insert(phase.latencies_ms.end(), r.latencies_ms.begin(),
+                              r.latencies_ms.end());
+  }
+  return phase;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double sum = 0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+void WritePhase(bench::JsonWriter& json, const char* key,
+                const PhaseResult& phase) {
+  json.BeginObject(key);
+  json.Field("submitted", phase.submitted);
+  json.Field("accepted", phase.accepted);
+  json.Field("rejected", phase.rejected);
+  json.Field("completed", phase.completed);
+  json.Field("failed", phase.failed);
+  json.Field("lost", phase.lost());
+  json.Field("duplicated", phase.duplicated);
+  json.Field("p50_ms", Percentile(phase.latencies_ms, 0.50));
+  json.Field("p99_ms", Percentile(phase.latencies_ms, 0.99));
+  json.Field("mean_ms", Mean(phase.latencies_ms));
+  json.Field("wall_s", phase.wall_s);
+  json.Field("throughput_jobs_s",
+             phase.wall_s > 0
+                 ? static_cast<double>(phase.completed) / phase.wall_s
+                 : 0.0);
+  json.EndObject();
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Run(const NetloadOptions& opt) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  // Self-hosted mode: the whole serving stack in-process, so the bench is
+  // runnable (and its baseline reproducible) with no daemon choreography.
+  std::unique_ptr<service::JobService> svc;
+  std::unique_ptr<net::NetServer> server;
+  std::thread serve_thread;
+  if (opt.connect.empty()) {
+    service::JobServiceOptions sopt;
+    sopt.workers = opt.workers;
+    sopt.queue_capacity = opt.queue_cap;
+    sopt.job_nodes = 2;
+    svc = std::make_unique<service::JobService>(sopt);
+    RmatOptions ropt;
+    ropt.num_vertices = 12000 / bench::ScaleDivisor();
+    ropt.num_edges = 48000 / bench::ScaleDivisor();
+    ropt.weighted = true;
+    ropt.seed = 99;
+    EdgeList edges = GenerateRmat(ropt);
+    edges.Deduplicate();
+    Status reg = svc->RegisterGraph("netbench", Graph::FromEdges(edges));
+    if (!reg.ok()) {
+      std::fprintf(stderr, "bench_netload: register: %s\n",
+                   reg.ToString().c_str());
+      return 1;
+    }
+    net::NetServerOptions nopt;
+    server = std::make_unique<net::NetServer>(*svc, nopt);
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "bench_netload: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    port = server->port();
+    serve_thread = std::thread([&server] { server->Serve(); });
+  } else {
+    size_t colon = opt.connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bench_netload: --connect wants HOST:PORT\n");
+      return 1;
+    }
+    host = opt.connect.substr(0, colon);
+    port = static_cast<uint16_t>(
+        std::strtoul(opt.connect.c_str() + colon + 1, nullptr, 10));
+  }
+
+  bench::PrintHeader("netload: pipelined jobs over the TCP front end");
+  std::printf("conns=%d jobs/conn=%d rate=%s target=%s:%u\n", opt.conns,
+              opt.jobs, opt.rate > 0 ? "paced" : "burst", host.c_str(),
+              static_cast<unsigned>(port));
+
+  PhaseResult steady = RunPhase(opt, host, port, opt.jobs);
+  std::printf(
+      "steady:   submitted=%llu completed=%llu rejected=%llu lost=%llu "
+      "dup=%llu failed=%llu p50=%.2fms p99=%.2fms\n",
+      static_cast<unsigned long long>(steady.submitted),
+      static_cast<unsigned long long>(steady.completed),
+      static_cast<unsigned long long>(steady.rejected),
+      static_cast<unsigned long long>(steady.lost()),
+      static_cast<unsigned long long>(steady.duplicated),
+      static_cast<unsigned long long>(steady.failed),
+      Percentile(steady.latencies_ms, 0.50),
+      Percentile(steady.latencies_ms, 0.99));
+
+  // Overload: burst 2x the queue capacity in total, no window, no pacing —
+  // the queue must fill and start rejecting. The contract is accounting,
+  // not latency: completed + rejected must cover every submission.
+  int overload_jobs =
+      opt.overload_jobs > 0
+          ? opt.overload_jobs
+          : std::max(1, (static_cast<int>(opt.queue_cap) * 2 + opt.conns - 1) /
+                            opt.conns);
+  NetloadOptions burst = opt;
+  burst.rate = 0;
+  burst.window = 0;  // unbounded: this phase exists to overflow the queue
+  PhaseResult overload = RunPhase(burst, host, port, overload_jobs);
+  std::printf(
+      "overload: submitted=%llu completed=%llu rejected=%llu lost=%llu "
+      "dup=%llu failed=%llu\n",
+      static_cast<unsigned long long>(overload.submitted),
+      static_cast<unsigned long long>(overload.completed),
+      static_cast<unsigned long long>(overload.rejected),
+      static_cast<unsigned long long>(overload.lost()),
+      static_cast<unsigned long long>(overload.duplicated),
+      static_cast<unsigned long long>(overload.failed));
+
+  if (server != nullptr) {
+    server->Stop();
+    serve_thread.join();
+    svc->Shutdown();
+  }
+
+  const bool ok =
+      steady.conns_ok == static_cast<uint64_t>(opt.conns) &&
+      steady.lost() == 0 && steady.duplicated == 0 && steady.failed == 0 &&
+      steady.rejected == 0 &&  // modest load: nothing should be turned away
+      overload.conns_ok == static_cast<uint64_t>(opt.conns) &&
+      overload.lost() == 0 && overload.duplicated == 0 &&
+      overload.failed == 0 &&
+      overload.completed + overload.rejected == overload.submitted;
+
+  std::FILE* out = std::fopen("BENCH_netload.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_netload: cannot write BENCH_netload.json\n");
+    return 1;
+  }
+  bench::JsonWriter json(out);
+  json.BeginObject();
+  json.Field("bench", "netload");
+  json.Field("mode", opt.connect.empty() ? "self-hosted" : "external");
+  json.Field("conns", static_cast<uint64_t>(opt.conns));
+  json.Field("jobs_per_conn", static_cast<uint64_t>(opt.jobs));
+  json.Field("overload_jobs_per_conn", static_cast<uint64_t>(overload_jobs));
+  json.Field("window", static_cast<uint64_t>(opt.window));
+  json.Field("queue_capacity", static_cast<uint64_t>(opt.queue_cap));
+  json.Field("workers", static_cast<uint64_t>(opt.workers));
+  json.Field("scale_divisor", static_cast<uint64_t>(bench::ScaleDivisor()));
+  WritePhase(json, "steady", steady);
+  WritePhase(json, "overload", overload);
+  json.Field("ok", ok);
+  json.EndObject();
+  std::fputc('\n', out);
+  std::fclose(out);
+
+  std::printf("-> BENCH_netload.json (%s)\n", ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace slfe
+
+int main(int argc, char** argv) {
+  slfe::NetloadOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (slfe::ParseFlag(argv[i], "--conns", &value)) {
+      opt.conns = std::atoi(value.c_str());
+    } else if (slfe::ParseFlag(argv[i], "--jobs", &value)) {
+      opt.jobs = std::atoi(value.c_str());
+    } else if (slfe::ParseFlag(argv[i], "--workers", &value)) {
+      opt.workers = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (slfe::ParseFlag(argv[i], "--queue-cap", &value)) {
+      opt.queue_cap = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (slfe::ParseFlag(argv[i], "--window", &value)) {
+      opt.window = std::atoi(value.c_str());
+    } else if (slfe::ParseFlag(argv[i], "--rate", &value)) {
+      opt.rate = std::atof(value.c_str());
+    } else if (slfe::ParseFlag(argv[i], "--connect", &value)) {
+      opt.connect = value;
+    } else if (slfe::ParseFlag(argv[i], "--graph", &value)) {
+      opt.graph = value;
+    } else if (slfe::ParseFlag(argv[i], "--auth", &value)) {
+      if (value.find(':') == std::string::npos) {
+        std::fprintf(stderr, "--auth wants TENANT:SECRET\n");
+        return 2;
+      }
+      opt.auth = value;
+    } else if (slfe::ParseFlag(argv[i], "--overload-jobs", &value)) {
+      opt.overload_jobs = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_netload [--conns=N] [--jobs=M] [--window=W]\n"
+                   "  [--rate=R] [--workers=N] [--queue-cap=N]\n"
+                   "  [--overload-jobs=M]\n"
+                   "  [--connect=HOST:PORT [--graph=G] [--auth=T:SECRET]]\n");
+      return 2;
+    }
+  }
+  if (opt.conns < 1 || opt.jobs < 1) {
+    std::fprintf(stderr, "bench_netload: --conns and --jobs must be >= 1\n");
+    return 2;
+  }
+  return slfe::Run(opt);
+}

@@ -15,6 +15,7 @@
 // Exit code: 0 when every job ran clean, non-zero otherwise — so a hung or
 // misbehaving batch fails loudly under `timeout` in CI.
 
+#include <csignal>
 #include <unistd.h>
 
 #include <cstdio>
@@ -26,8 +27,10 @@
 
 #include "slfe/api/app_registry.h"
 #include "slfe/graph/generators.h"
+#include "slfe/net/net_server.h"
 #include "slfe/service/job_service.h"
 #include "slfe/service/line_driver.h"
+#include "slfe/service/line_protocol.h"
 
 namespace {
 
@@ -48,6 +51,14 @@ struct ServerOptions {
   size_t mini_chunk = 0;
   std::map<std::string, slfe::GuidanceTenantBudget> tenant_budgets;
   bool smoke = false;
+  // TCP front end (net/net_server.h). listen=true switches the daemon from
+  // the stdin line driver to the epoll loop.
+  bool listen = false;
+  uint16_t listen_port = 0;  // 0 = ephemeral, announced on stdout
+  std::string bind_address = "127.0.0.1";
+  std::map<std::string, std::string> auth_tokens;
+  size_t max_connections = 256;
+  bool allow_shutdown = false;
 };
 
 void PrintUsage() {
@@ -91,6 +102,21 @@ void PrintUsage() {
       "  --gen-threads=N      guidance generation workers\n"
       "  --mini-chunk=N       work-stealing mini-chunk size for the "
       "partitioned sweep\n"
+      "  --listen[=PORT]      serve the job protocol over TCP instead of "
+      "stdin (0 or no\n"
+      "                       value = ephemeral port, announced on stdout "
+      "as\n"
+      "                       'listening on ADDR:PORT')\n"
+      "  --bind=ADDR          TCP bind address (default 127.0.0.1)\n"
+      "  --auth-token=T:SECRET\n"
+      "                       require connections to open with 'auth T "
+      "SECRET' and bind\n"
+      "                       them to tenant T (repeatable; none = auth "
+      "optional)\n"
+      "  --max-connections=N  concurrent TCP connections admitted "
+      "(default 256)\n"
+      "  --allow-shutdown     let a TCP client's 'shutdown' stop the "
+      "daemon\n"
       "  --smoke              self-contained multi-tenant amortization "
       "check (CI)\n"
       "  --list-apps          print the application registry and exit\n");
@@ -225,6 +251,12 @@ int SmokeRun() {
   return ok ? 0 : 1;
 }
 
+slfe::net::NetServer* g_net_server = nullptr;
+
+void HandleStopSignal(int) {
+  if (g_net_server != nullptr) g_net_server->Stop();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,6 +297,31 @@ int main(int argc, char** argv) {
                      value.c_str());
         return 2;
       }
+    } else if (ParseFlag(argv[i], "--listen", &value)) {
+      opt.listen = true;
+      unsigned long port = std::strtoul(value.c_str(), nullptr, 10);
+      if (port > 65535) {
+        std::fprintf(stderr, "bad --listen port: %s\n", value.c_str());
+        return 2;
+      }
+      opt.listen_port = static_cast<uint16_t>(port);
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      opt.listen = true;  // ephemeral port
+    } else if (ParseFlag(argv[i], "--bind", &value)) {
+      opt.bind_address = value;
+    } else if (ParseFlag(argv[i], "--auth-token", &value)) {
+      size_t colon = value.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == value.size()) {
+        std::fprintf(stderr, "bad --auth-token (want TENANT:SECRET): %s\n",
+                     value.c_str());
+        return 2;
+      }
+      opt.auth_tokens[value.substr(0, colon)] = value.substr(colon + 1);
+    } else if (ParseFlag(argv[i], "--max-connections", &value)) {
+      opt.max_connections = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (std::strcmp(argv[i], "--allow-shutdown") == 0) {
+      opt.allow_shutdown = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       opt.smoke = true;
     } else if (std::strcmp(argv[i], "--list-apps") == 0) {
@@ -291,6 +348,46 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "store budgets / maintenance cadence require --store-dir\n");
     return 2;
+  }
+
+  if (opt.listen) {
+    if (!opt.jobs_file.empty()) {
+      std::fprintf(stderr, "--jobs and --listen are mutually exclusive\n");
+      return 2;
+    }
+    if (opt.max_connections == 0) {
+      std::fprintf(stderr, "--max-connections must be positive\n");
+      return 2;
+    }
+    slfe::service::JobService service(ServiceOptions(opt));
+    slfe::net::NetServerOptions nopt;
+    nopt.bind_address = opt.bind_address;
+    nopt.port = opt.listen_port;
+    nopt.auth_tokens = opt.auth_tokens;
+    nopt.max_connections = opt.max_connections;
+    nopt.allow_shutdown = opt.allow_shutdown;
+    nopt.session.scale_divisor = opt.scale_divisor;
+    slfe::net::NetServer server(service, nopt);
+    slfe::Status s = server.Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    // SIGINT/SIGTERM stop the loop gracefully (drain, then exit); Stop()
+    // is async-signal-safe (atomic store + eventfd write).
+    g_net_server = &server;
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    // Announced on stdout so scripts using an ephemeral port (--listen=0)
+    // can read the bound address back; flushed before the loop blocks.
+    std::printf("listening on %s:%u\n", nopt.bind_address.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    int rc = server.Serve();
+    g_net_server = nullptr;
+    service.Shutdown();
+    std::fputs(slfe::service::FormatStats(service.Stats()).c_str(), stdout);
+    return rc;
   }
 
   std::FILE* in = stdin;

@@ -323,6 +323,30 @@ void JobService::RecordSweep(const GuidanceStoreSweepStats& sweep) {
   stats_.sweep_pinned_spared += sweep.pinned_spared;
 }
 
+void JobService::RecordConnectionAccepted() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.net.accepted;
+}
+
+void JobService::RecordConnectionClosed(bool dropped) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (dropped) {
+    ++stats_.net.dropped;
+  } else {
+    ++stats_.net.closed;
+  }
+}
+
+void JobService::RecordAuthFailure() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.net.auth_failures;
+}
+
+void JobService::RecordResultStreamed() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.net.results_streamed;
+}
+
 GuidanceStoreSweepStats JobService::SweepNow() {
   GuidanceStore* store = provider().store();
   if (store == nullptr) return {};

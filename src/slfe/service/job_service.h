@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -104,22 +105,44 @@ class JobHandle {
     return done_;
   }
 
+  /// Registers the completion callback (one per handle — the streaming
+  /// front end's contract). Invoked exactly once with the final result:
+  /// immediately on the calling thread when the job has already finished,
+  /// otherwise on the worker thread that completes it — so callbacks must
+  /// be cheap and thread-safe (the TCP front end just posts to its event
+  /// loop). Wait() stays usable alongside.
+  void OnComplete(std::function<void(const JobResult&)> callback) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!done_) {
+        callback_ = std::move(callback);
+        return;
+      }
+    }
+    callback(result_);  // result_ is immutable once done_
+  }
+
  private:
   friend class JobService;
 
   void Complete(JobResult result) {
+    std::function<void(const JobResult&)> callback;
     {
       std::lock_guard<std::mutex> lock(mu_);
       result_ = std::move(result);
       done_ = true;
+      callback = std::move(callback_);
+      callback_ = nullptr;
     }
     cv_.notify_all();
+    if (callback) callback(result_);
   }
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   bool done_ = false;
   JobResult result_;
+  std::function<void(const JobResult&)> callback_;
 };
 
 using JobTicket = std::shared_ptr<JobHandle>;
@@ -147,6 +170,18 @@ struct TenantStats {
   uint64_t mutations = 0;
 };
 
+/// Network front-end accounting. The epoll listener (net/net_server.h)
+/// reports into the service so one `stats` command shows connection
+/// health next to job health — a daemon serving sockets is judged by both.
+struct NetFrontEndStats {
+  uint64_t accepted = 0;       ///< connections admitted past accept()
+  uint64_t closed = 0;         ///< peer-initiated or clean `quit` closes
+  uint64_t dropped = 0;        ///< server-initiated for cause (auth failure,
+                               ///< buffer flood, connection cap)
+  uint64_t auth_failures = 0;  ///< handshakes with a bad tenant/token
+  uint64_t results_streamed = 0;  ///< completion lines pushed to peers
+};
+
 /// A consistent snapshot of the service's counters plus the shared
 /// provider/cache counters (one lock acquisition for the service part, so
 /// tenant rows always sum to the totals).
@@ -165,6 +200,9 @@ struct JobServiceStats {
   /// arena_dir shows mapped == graph count, parsed == 0.
   uint64_t graphs_parsed = 0;
   uint64_t graphs_mapped = 0;
+  /// Connection-level accounting (all zero when only stdin drives the
+  /// service).
+  NetFrontEndStats net;
   std::map<std::string, TenantStats> tenants;
   GuidanceProviderStats provider;
   GuidanceCacheStats cache;
@@ -271,6 +309,15 @@ class JobService {
   Result<JobTicket> SubmitMutation(const MutationRequest& request);
 
   JobServiceStats Stats() const;
+
+  /// Net front-end reporting hooks (see NetFrontEndStats). Kept on the
+  /// service — not the listener — so `stats` renders one coherent
+  /// snapshot and the accounting survives listener restarts.
+  void RecordConnectionAccepted();
+  /// `dropped` = server-initiated for cause; false = peer close / quit.
+  void RecordConnectionClosed(bool dropped);
+  void RecordAuthFailure();
+  void RecordResultStreamed();
 
   /// The session every job executes through (and with it the shared
   /// provider all jobs acquire guidance from).

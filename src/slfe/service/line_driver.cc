@@ -1,128 +1,13 @@
 #include "slfe/service/line_driver.h"
 
-#include <cctype>
-#include <cstdlib>
-#include <cstring>
 #include <string>
-#include <vector>
 
-#include "slfe/api/app_registry.h"
-#include "slfe/graph/generators.h"
+#include "slfe/service/command_session.h"
+#include "slfe/service/line_protocol.h"
 
 namespace slfe::service {
 
 namespace {
-
-std::vector<std::string> Tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
-      ++i;
-    }
-    size_t start = i;
-    while (i < line.size() &&
-           !std::isspace(static_cast<unsigned char>(line[i]))) {
-      ++i;
-    }
-    if (i > start) tokens.push_back(line.substr(start, i - start));
-  }
-  return tokens;
-}
-
-/// Registers `name` as a dataset alias on first use, so a job file can
-/// reference the paper suite without a registration preamble. With an
-/// arena_dir configured, a previously saved `<name>.s<scale>.sga` arena
-/// is mapped instead of regenerating + re-partitioning the dataset (the
-/// scale divisor is part of the file name, so a restart with a different
-/// --scale can never serve stale topology), and a fresh generation is
-/// written back for the next start. Arena failures — missing file,
-/// corruption, a newer codec — degrade to the generate path: warm restart
-/// is an optimization, never a correctness dependency.
-Status EnsureGraph(JobService& service, const std::string& name,
-                   uint32_t scale_divisor) {
-  if (service.HasGraph(name)) return Status::OK();
-  std::string arena_path =
-      service.ArenaPathFor(name + ".s" + std::to_string(scale_divisor));
-  if (!arena_path.empty() &&
-      service.RegisterGraphFromArena(name, arena_path).ok()) {
-    return Status::OK();
-  }
-  Result<DatasetSpec> spec = FindDataset(name);
-  if (!spec.ok()) return spec.status();
-  EdgeList edges = MakeDataset(spec.value(), scale_divisor);
-  SLFE_RETURN_IF_ERROR(service.RegisterGraph(name, Graph::FromEdges(edges)));
-  if (!arena_path.empty()) {
-    // Best-effort write-back; a full disk costs the next start its warm
-    // path, not this run its registration.
-    (void)service.SaveGraphArena(name, arena_path);
-  }
-  return Status::OK();
-}
-
-void PrintResult(std::FILE* out, const JobResult& r) {
-  const char* served = "none";
-  if (r.guidance_acquired) {
-    served = r.guidance_cache_hit   ? "cache"
-             : r.guidance_coalesced ? "coalesced"
-             : r.guidance_repaired  ? "repaired"
-                                    : "generate";
-  }
-  std::fprintf(out,
-               "job %llu tenant=%s app=%s engine=%s graph=%s status=%s "
-               "supersteps=%llu skipped=%llu runtime=%.4fs guidance=%.4fs "
-               "served=%s summary=%llu\n",
-               static_cast<unsigned long long>(r.job_id), r.tenant.c_str(),
-               r.app.c_str(), r.engine.c_str(), r.graph.c_str(),
-               r.status.ok() ? "ok" : r.status.ToString().c_str(),
-               static_cast<unsigned long long>(r.supersteps),
-               static_cast<unsigned long long>(r.skipped), r.runtime_seconds,
-               r.guidance_seconds, served,
-               static_cast<unsigned long long>(r.summary));
-}
-
-void PrintStats(std::FILE* out, const JobServiceStats& stats) {
-  std::fprintf(out,
-               "service: submitted=%llu completed=%llu failed=%llu "
-               "rejected=%llu mutations=%llu sweeps=%llu gc_removed=%llu "
-               "pinned_spared=%llu graphs_parsed=%llu graphs_mapped=%llu\n",
-               static_cast<unsigned long long>(stats.submitted),
-               static_cast<unsigned long long>(stats.completed),
-               static_cast<unsigned long long>(stats.failed),
-               static_cast<unsigned long long>(stats.rejected),
-               static_cast<unsigned long long>(stats.mutations),
-               static_cast<unsigned long long>(stats.maintenance_sweeps),
-               static_cast<unsigned long long>(stats.sweep_removed),
-               static_cast<unsigned long long>(stats.sweep_pinned_spared),
-               static_cast<unsigned long long>(stats.graphs_parsed),
-               static_cast<unsigned long long>(stats.graphs_mapped));
-  std::fprintf(out,
-               "guidance: generations=%llu coalesced=%llu repairs=%llu "
-               "repair_fallbacks=%llu cache_hits=%llu store_hits=%llu\n",
-               static_cast<unsigned long long>(stats.provider.generations),
-               static_cast<unsigned long long>(stats.provider.coalesced),
-               static_cast<unsigned long long>(stats.provider.repairs),
-               static_cast<unsigned long long>(stats.provider.repair_fallbacks),
-               static_cast<unsigned long long>(stats.cache.hits),
-               static_cast<unsigned long long>(stats.cache.store_hits));
-  for (const auto& [tenant, t] : stats.tenants) {
-    std::fprintf(out,
-                 "tenant %s: jobs=%llu/%llu failed=%llu rejected=%llu "
-                 "mutations=%llu guidance hits=%llu misses=%llu "
-                 "repaired=%llu bytes=%llu acquire=%.4fs\n",
-                 tenant.c_str(),
-                 static_cast<unsigned long long>(t.jobs_completed),
-                 static_cast<unsigned long long>(t.jobs_submitted),
-                 static_cast<unsigned long long>(t.jobs_failed),
-                 static_cast<unsigned long long>(t.jobs_rejected),
-                 static_cast<unsigned long long>(t.mutations),
-                 static_cast<unsigned long long>(t.guidance_hits),
-                 static_cast<unsigned long long>(t.guidance_misses),
-                 static_cast<unsigned long long>(t.guidance_repaired),
-                 static_cast<unsigned long long>(t.guidance_bytes),
-                 t.guidance_seconds);
-  }
-}
 
 /// Reads one whole newline-terminated line of any length (false at EOF
 /// with nothing read). A fixed fgets buffer would split a long line into
@@ -141,166 +26,42 @@ bool ReadLine(std::FILE* in, std::string* line) {
 
 int RunLineDriver(JobService& service, std::FILE* in, std::FILE* out,
                   const LineDriverOptions& options) {
-  std::vector<JobTicket> outstanding;
-  bool any_error = false;
-
-  auto drain = [&] {
-    for (const JobTicket& ticket : outstanding) {
-      const JobResult& result = ticket->Wait();
-      if (!result.status.ok()) any_error = true;
-      PrintResult(out, result);
-    }
-    outstanding.clear();
-  };
+  // The stdin transport: blocking-wait semantics over the shared command
+  // dispatcher (the TCP front end runs the SAME CommandSession in
+  // streaming mode — net/net_server.cc).
+  CommandSession::Options sopt;
+  sopt.scale_divisor = options.scale_divisor;
+  sopt.echo = options.echo;
+  sopt.streaming = false;
+  // Whoever writes to the daemon's stdin already owns its lifetime, so
+  // `shutdown` needs no gate here; it behaves like `quit`.
+  sopt.allow_shutdown = true;
+  CommandSession session(service, sopt, [out](std::string line) {
+    std::fputs(line.c_str(), out);
+  });
 
   std::string line;
-  while (ReadLine(in, &line)) {
-    std::vector<std::string> tokens = Tokenize(line);
-    if (tokens.empty() || tokens[0][0] == '#') continue;
-    const std::string& command = tokens[0];
-
-    if (command == "quit") break;
-
-    if (command == "wait") {
-      drain();
-      continue;
+  bool done = false;
+  while (!done && ReadLine(in, &line)) {
+    switch (session.HandleLine(line)) {
+      case CommandSession::Disposition::kContinue:
+        break;
+      case CommandSession::Disposition::kWaitBarrier:
+        session.DrainOutstanding();
+        break;
+      case CommandSession::Disposition::kQuit:
+      case CommandSession::Disposition::kShutdown:
+        // On a non-interactive stream, stopping the input IS stopping the
+        // daemon; both drain below.
+        done = true;
+        break;
     }
-    if (command == "stats") {
-      PrintStats(out, service.Stats());
-      continue;
-    }
-    if (command == "sweep") {
-      GuidanceStoreSweepStats sweep = service.SweepNow();
-      std::fprintf(out,
-                   "sweep: scanned=%llu ttl=%llu tenant=%llu budget=%llu "
-                   "pinned_spared=%llu remaining=%llu\n",
-                   static_cast<unsigned long long>(sweep.scanned),
-                   static_cast<unsigned long long>(sweep.ttl_removed),
-                   static_cast<unsigned long long>(sweep.tenant_removed),
-                   static_cast<unsigned long long>(sweep.budget_removed),
-                   static_cast<unsigned long long>(sweep.pinned_spared),
-                   static_cast<unsigned long long>(sweep.remaining_entries));
-      continue;
-    }
-    if (command == "submit" && tokens.size() >= 4) {
-      JobRequest request;
-      request.tenant = tokens[1];
-      request.app = tokens[2];
-      request.graph = tokens[3];
-      for (size_t i = 4; i < tokens.size(); ++i) {
-        const std::string& t = tokens[i];
-        if (api::ParseEngine(t).ok()) {
-          // Any engine the registry knows (dist|shm|gas|ooc); whether the
-          // app runs on it is the registry's call, enforced by Submit.
-          request.engine = t;
-        } else if (t == "norr") {
-          request.enable_rr = false;
-        } else if (!t.empty() &&
-                   t.find_first_not_of("0123456789") == std::string::npos) {
-          request.root = static_cast<VertexId>(std::strtoul(t.c_str(),
-                                                            nullptr, 10));
-        } else {
-          std::fprintf(out, "reject: bad submit token '%s'\n", t.c_str());
-          any_error = true;
-          request.app.clear();  // poison so the submit below is skipped
-          break;
-        }
-      }
-      if (request.app.empty()) continue;
-      Status registered =
-          EnsureGraph(service, request.graph, options.scale_divisor);
-      if (!registered.ok()) {
-        std::fprintf(out, "reject: %s\n", registered.ToString().c_str());
-        any_error = true;
-        continue;
-      }
-      Result<JobTicket> ticket = service.Submit(request);
-      if (!ticket.ok()) {
-        std::fprintf(out, "reject: %s\n",
-                     ticket.status().ToString().c_str());
-        any_error = true;
-        continue;
-      }
-      if (options.echo) {
-        std::fprintf(out, "queued tenant=%s app=%s graph=%s (depth=%zu)\n",
-                     request.tenant.c_str(), request.app.c_str(),
-                     request.graph.c_str(), service.queued());
-      }
-      outstanding.push_back(std::move(ticket).value());
-      continue;
-    }
-
-    if (command == "mutate" && tokens.size() >= 3) {
-      // mutate <tenant> <graph> [ins <src> <dst> <w>]... [del <src> <dst>]...
-      MutationRequest request;
-      request.tenant = tokens[1];
-      request.graph = tokens[2];
-      bool parsed = true;
-      auto number = [](const std::string& t) {
-        return !t.empty() &&
-               t.find_first_not_of("0123456789.") == std::string::npos;
-      };
-      size_t i = 3;
-      while (i < tokens.size()) {
-        if (tokens[i] == "ins" && i + 3 < tokens.size() &&
-            number(tokens[i + 1]) && number(tokens[i + 2]) &&
-            number(tokens[i + 3])) {
-          Edge e;
-          e.src = static_cast<VertexId>(
-              std::strtoul(tokens[i + 1].c_str(), nullptr, 10));
-          e.dst = static_cast<VertexId>(
-              std::strtoul(tokens[i + 2].c_str(), nullptr, 10));
-          e.weight = std::strtof(tokens[i + 3].c_str(), nullptr);
-          request.delta.insert.push_back(e);
-          i += 4;
-        } else if (tokens[i] == "del" && i + 2 < tokens.size() &&
-                   number(tokens[i + 1]) && number(tokens[i + 2])) {
-          request.delta.erase.emplace_back(
-              static_cast<VertexId>(
-                  std::strtoul(tokens[i + 1].c_str(), nullptr, 10)),
-              static_cast<VertexId>(
-                  std::strtoul(tokens[i + 2].c_str(), nullptr, 10)));
-          i += 3;
-        } else {
-          std::fprintf(out, "reject: bad mutate token '%s'\n",
-                       tokens[i].c_str());
-          any_error = true;
-          parsed = false;
-          break;
-        }
-      }
-      if (!parsed) continue;
-      Status registered =
-          EnsureGraph(service, request.graph, options.scale_divisor);
-      if (!registered.ok()) {
-        std::fprintf(out, "reject: %s\n", registered.ToString().c_str());
-        any_error = true;
-        continue;
-      }
-      Result<JobTicket> ticket = service.SubmitMutation(request);
-      if (!ticket.ok()) {
-        std::fprintf(out, "reject: %s\n",
-                     ticket.status().ToString().c_str());
-        any_error = true;
-        continue;
-      }
-      if (options.echo) {
-        std::fprintf(out, "queued tenant=%s app=mutate graph=%s (depth=%zu)\n",
-                     request.tenant.c_str(), request.graph.c_str(),
-                     service.queued());
-      }
-      outstanding.push_back(std::move(ticket).value());
-      continue;
-    }
-
-    std::fprintf(out, "reject: unrecognized line: %s", line.c_str());
-    any_error = true;
   }
 
-  drain();
+  session.DrainOutstanding();
   service.Shutdown();
-  PrintStats(out, service.Stats());
-  return any_error ? 1 : 0;
+  std::fputs(FormatStats(service.Stats()).c_str(), out);
+  return session.any_error() ? 1 : 0;
 }
 
 }  // namespace slfe::service

@@ -21,11 +21,16 @@ struct LineDriverOptions {
 /// until EOF or `quit`, writing acknowledgements and results to `out`:
 ///
 ///   submit <tenant> <app> <graph> [root] [dist|shm|gas|ooc] [norr]
+///   mutate <tenant> <graph> [ins <src> <dst> <w>]... [del <src> <dst>]...
 ///   wait          # block until all submitted jobs finish, print results
 ///   sweep         # run a maintenance sweep now, print what it did
 ///   stats         # print the service + per-tenant counters
-///   quit          # wait, then exit the loop
+///   quit          # wait, then exit the loop (`shutdown` is equivalent)
 ///   # comment     # ignored, as are blank lines
+///
+/// Parsing, dispatch, and reply formatting live in line_protocol.h /
+/// command_session.h, shared with the TCP front end (net/net_server.h);
+/// this function only supplies the FILE* transport with blocking waits.
 ///
 /// `<graph>` is a registered graph name; unknown names are resolved as
 /// dataset aliases (PK/OK/LJ/...) and registered on first use. Returns 0,
