@@ -58,6 +58,9 @@ struct NetloadOptions {
   std::string graph;      // default: bench graph (self-hosted) / PK (external)
   std::string auth;       // "TENANT:SECRET" handshake for external daemons
   int overload_jobs = 0;  // per-conn overload burst; 0 = derived from cap
+  /// Self-hosted only: run the service with job-span tracing off, the
+  /// A/B lever for measuring the tracing overhead on p50.
+  bool tracing = true;
 };
 
 /// A blocking line-protocol client (same shape as the test harness's; a
@@ -154,7 +157,8 @@ ConnResult RunConnection(const NetloadOptions& opt, const std::string& host,
   Client client(host, port);
   if (!client.connected()) return r;
 
-  std::string tenant = "c" + std::to_string(conn_index);
+  std::string tenant = "c";
+  tenant += std::to_string(conn_index);
   if (!opt.auth.empty()) {
     size_t colon = opt.auth.find(':');
     tenant = opt.auth.substr(0, colon);
@@ -276,6 +280,48 @@ PhaseResult RunPhase(const NetloadOptions& opt, const std::string& host,
   return phase;
 }
 
+/// The server's own view of job latency, scraped from `metrics json` over
+/// the same TCP path the jobs took. Parsed with plain string search — the
+/// renderer emits one flat object per histogram, and a bench binary stays
+/// dependency-free.
+struct ServerHistogram {
+  bool ok = false;
+  uint64_t count = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+double ExtractNumber(const std::string& json, size_t from, const char* field) {
+  std::string needle = std::string("\"") + field + "\":";
+  size_t pos = json.find(needle, from);
+  if (pos == std::string::npos) return -1.0;
+  return std::atof(json.c_str() + pos + needle.size());
+}
+
+ServerHistogram ScrapeJobLatency(const std::string& host, uint16_t port) {
+  ServerHistogram h;
+  Client client(host, port);
+  if (!client.connected()) return h;
+  if (!client.Send("metrics json\nquit\n")) return h;
+  std::string line = client.ReadLine();
+  size_t obj = line.find("\"slfe_job_latency_seconds\":{");
+  if (obj == std::string::npos) return h;
+  h.count = static_cast<uint64_t>(ExtractNumber(line, obj, "count"));
+  h.p50_ms = ExtractNumber(line, obj, "p50") * 1e3;
+  h.p99_ms = ExtractNumber(line, obj, "p99") * 1e3;
+  h.ok = true;
+  return h;
+}
+
+/// Client-observed and server-observed percentiles measure different
+/// paths (the client adds loopback + parse + streaming, the histogram
+/// quantizes to sqrt(2) buckets) — "agreement" means within a factor of
+/// two plus a small absolute slack, which still catches a histogram that
+/// is off by an order of magnitude or recording the wrong thing.
+bool AgreesMs(double a, double b) {
+  return a <= b * 2.0 + 5.0 && b <= a * 2.0 + 5.0;
+}
+
 double Percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0;
   std::sort(v.begin(), v.end());
@@ -334,6 +380,7 @@ int Run(const NetloadOptions& opt) {
     sopt.workers = opt.workers;
     sopt.queue_capacity = opt.queue_cap;
     sopt.job_nodes = 2;
+    sopt.tracing = opt.tracing;
     svc = std::make_unique<service::JobService>(sopt);
     RmatOptions ropt;
     ropt.num_vertices = 12000 / bench::ScaleDivisor();
@@ -386,6 +433,26 @@ int Run(const NetloadOptions& opt) {
       Percentile(steady.latencies_ms, 0.50),
       Percentile(steady.latencies_ms, 0.99));
 
+  // Cross-check the server's histogram against our own wall clocks before
+  // the overload phase pollutes it. Self-hosted only: an external daemon
+  // may carry history from other clients.
+  ServerHistogram scraped;
+  bool metrics_ok = true;
+  if (opt.connect.empty()) {
+    scraped = ScrapeJobLatency(host, port);
+    double bench_p50 = Percentile(steady.latencies_ms, 0.50);
+    double bench_p99 = Percentile(steady.latencies_ms, 0.99);
+    metrics_ok = scraped.ok && scraped.count == steady.completed &&
+                 AgreesMs(scraped.p50_ms, bench_p50) &&
+                 AgreesMs(scraped.p99_ms, bench_p99);
+    std::printf(
+        "metrics:  server count=%llu p50=%.2fms p99=%.2fms vs bench "
+        "p50=%.2fms p99=%.2fms -> %s\n",
+        static_cast<unsigned long long>(scraped.count), scraped.p50_ms,
+        scraped.p99_ms, bench_p50, bench_p99,
+        metrics_ok ? "agree" : "DISAGREE");
+  }
+
   // Overload: burst 2x the queue capacity in total, no window, no pacing —
   // the queue must fill and start rejecting. The contract is accounting,
   // not latency: completed + rejected must cover every submission.
@@ -421,7 +488,8 @@ int Run(const NetloadOptions& opt) {
       overload.conns_ok == static_cast<uint64_t>(opt.conns) &&
       overload.lost() == 0 && overload.duplicated == 0 &&
       overload.failed == 0 &&
-      overload.completed + overload.rejected == overload.submitted;
+      overload.completed + overload.rejected == overload.submitted &&
+      metrics_ok;
 
   std::FILE* out = std::fopen("BENCH_netload.json", "w");
   if (out == nullptr) {
@@ -441,6 +509,14 @@ int Run(const NetloadOptions& opt) {
   json.Field("scale_divisor", static_cast<uint64_t>(bench::ScaleDivisor()));
   WritePhase(json, "steady", steady);
   WritePhase(json, "overload", overload);
+  if (opt.connect.empty()) {
+    json.BeginObject("server_metrics");
+    json.Field("count", scraped.count);
+    json.Field("p50_ms", scraped.p50_ms);
+    json.Field("p99_ms", scraped.p99_ms);
+    json.Field("agrees_with_bench", metrics_ok);
+    json.EndObject();
+  }
   json.Field("ok", ok);
   json.EndObject();
   std::fputc('\n', out);
@@ -481,11 +557,13 @@ int main(int argc, char** argv) {
       opt.auth = value;
     } else if (slfe::ParseFlag(argv[i], "--overload-jobs", &value)) {
       opt.overload_jobs = std::atoi(value.c_str());
+    } else if (std::strcmp(argv[i], "--no-tracing") == 0) {
+      opt.tracing = false;
     } else {
       std::fprintf(stderr,
                    "usage: bench_netload [--conns=N] [--jobs=M] [--window=W]\n"
                    "  [--rate=R] [--workers=N] [--queue-cap=N]\n"
-                   "  [--overload-jobs=M]\n"
+                   "  [--overload-jobs=M] [--no-tracing]\n"
                    "  [--connect=HOST:PORT [--graph=G] [--auth=T:SECRET]]\n");
       return 2;
     }

@@ -18,6 +18,7 @@
 #include <csignal>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +50,11 @@ struct ServerOptions {
   double maintenance_interval = 0;
   uint32_t gen_threads = 0;
   size_t mini_chunk = 0;
+  // Observability (obs/): slow-job capture threshold, periodic Prometheus
+  // export, and the flight-recorder ring size. 0 slow-job-ms = off.
+  double slow_job_ms = 0;
+  std::string metrics_dump;
+  size_t trace_ring = 64;
   std::map<std::string, slfe::GuidanceTenantBudget> tenant_budgets;
   bool smoke = false;
   // TCP front end (net/net_server.h). listen=true switches the daemon from
@@ -100,6 +106,16 @@ void PrintUsage() {
       "                       sweep the store every SECS from the "
       "maintenance loop\n"
       "  --gen-threads=N      guidance generation workers\n"
+      "  --slow-job-ms=N      capture + WARN jobs slower than N ms "
+      "end-to-end\n"
+      "  --metrics-dump=PATH  write the Prometheus text exposition to PATH "
+      "every\n"
+      "                       maintenance sweep (requires "
+      "--maintenance-interval)\n"
+      "  --trace-ring=N       flight-recorder capacity: last N completed "
+      "job traces\n"
+      "                       (default 64; 'trace recent' reads this "
+      "ring)\n"
       "  --mini-chunk=N       work-stealing mini-chunk size for the "
       "partitioned sweep\n"
       "  --listen[=PORT]      serve the job protocol over TCP instead of "
@@ -161,6 +177,9 @@ slfe::service::JobServiceOptions ServiceOptions(const ServerOptions& opt) {
   sopt.tenant_budgets = opt.tenant_budgets;
   sopt.maintenance_interval_seconds = opt.maintenance_interval;
   sopt.arena_dir = opt.arena_dir;
+  sopt.slow_job_ms = opt.slow_job_ms;
+  sopt.trace_ring_capacity = opt.trace_ring;
+  sopt.metrics_dump_path = opt.metrics_dump;
   return sopt;
 }
 
@@ -257,6 +276,18 @@ void HandleStopSignal(int) {
   if (g_net_server != nullptr) g_net_server->Stop();
 }
 
+/// SIGUSR1 = "dump telemetry now". The handler only raises a flag; the
+/// event loop's on_loop_tick does the rendering on its own thread, because
+/// the registry and flight recorder take locks that a handler must not.
+std::atomic<bool> g_dump_requested{false};
+
+void HandleDumpSignal(int) {
+  g_dump_requested.store(true);
+  // Wake the event loop: the signal rarely lands on the loop thread, so
+  // without this the dump would wait for the next connection event.
+  if (g_net_server != nullptr) g_net_server->Wake();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -291,6 +322,12 @@ int main(int argc, char** argv) {
       opt.gen_threads = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(argv[i], "--mini-chunk", &value)) {
       opt.mini_chunk = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "--slow-job-ms", &value)) {
+      opt.slow_job_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--metrics-dump", &value)) {
+      opt.metrics_dump = value;
+    } else if (ParseFlag(argv[i], "--trace-ring", &value)) {
+      opt.trace_ring = static_cast<size_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(argv[i], "--tenant-budget", &value)) {
       if (!ParseTenantBudget(value, &opt)) {
         std::fprintf(stderr, "bad --tenant-budget (want T:BYTES:ENTRIES): %s\n",
@@ -342,11 +379,24 @@ int main(int argc, char** argv) {
   }
   if (opt.smoke) return SmokeRun();
   if ((!opt.tenant_budgets.empty() || opt.store_max_entries > 0 ||
-       opt.store_max_bytes > 0 || opt.store_ttl > 0 ||
-       opt.maintenance_interval > 0) &&
+       opt.store_max_bytes > 0 || opt.store_ttl > 0) &&
       opt.store_dir.empty()) {
+    std::fprintf(stderr, "store budgets require --store-dir\n");
+    return 2;
+  }
+  if (opt.maintenance_interval > 0 && opt.store_dir.empty() &&
+      opt.metrics_dump.empty()) {
+    // The maintenance timer only has work when there is a store to sweep
+    // or a metrics file to refresh.
     std::fprintf(stderr,
-                 "store budgets / maintenance cadence require --store-dir\n");
+                 "--maintenance-interval requires --store-dir or "
+                 "--metrics-dump\n");
+    return 2;
+  }
+  if (!opt.metrics_dump.empty() && opt.maintenance_interval <= 0) {
+    std::fprintf(stderr,
+                 "--metrics-dump requires --maintenance-interval (it is "
+                 "written from the maintenance timer)\n");
     return 2;
   }
 
@@ -367,6 +417,12 @@ int main(int argc, char** argv) {
     nopt.max_connections = opt.max_connections;
     nopt.allow_shutdown = opt.allow_shutdown;
     nopt.session.scale_divisor = opt.scale_divisor;
+    nopt.on_loop_tick = [&service] {
+      if (!g_dump_requested.exchange(false)) return;
+      std::fprintf(stderr, "%s%s\n", service.RenderMetricsText().c_str(),
+                   service.RenderTraceJson("recent").c_str());
+      std::fflush(stderr);
+    };
     slfe::net::NetServer server(service, nopt);
     slfe::Status s = server.Start();
     if (!s.ok()) {
@@ -378,6 +434,16 @@ int main(int argc, char** argv) {
     g_net_server = &server;
     std::signal(SIGINT, HandleStopSignal);
     std::signal(SIGTERM, HandleStopSignal);
+    // SIGUSR1 dumps metrics + recent traces to stderr. The handler wakes
+    // the event loop through the eventfd (Wake()), so the dump happens on
+    // the next tick even when the daemon is idle. Listen mode only — the
+    // stdin driver's blocking fgets must keep restarting across signals.
+    struct sigaction dump_action;
+    std::memset(&dump_action, 0, sizeof(dump_action));
+    dump_action.sa_handler = HandleDumpSignal;
+    sigemptyset(&dump_action.sa_mask);
+    dump_action.sa_flags = 0;
+    ::sigaction(SIGUSR1, &dump_action, nullptr);
     // Announced on stdout so scripts using an ephemeral port (--listen=0)
     // can read the bound address back; flushed before the loop blocks.
     std::printf("listening on %s:%u\n", nopt.bind_address.c_str(),

@@ -319,7 +319,8 @@ AppOutcome Session::Run(const AppRequest& request) {
 }
 
 AppOutcome Session::RunOn(const AppRequest& request,
-                          std::shared_ptr<const Graph> graph) {
+                          std::shared_ptr<const Graph> graph,
+                          obs::JobTrace* trace) {
   AppOutcome outcome;
   if (graph == nullptr) {
     outcome.status = Status::InvalidArgument("RunOn: null graph");
@@ -354,12 +355,13 @@ AppOutcome Session::RunOn(const AppRequest& request,
         std::to_string(graph->num_vertices()) + ")");
     return outcome;
   }
-  return RunWith(request, *app, engine.value(), std::move(graph));
+  return RunWith(request, *app, engine.value(), std::move(graph), trace);
 }
 
 AppOutcome Session::RunWith(const AppRequest& request, const AppDescriptor& app,
                             Engine engine,
-                            std::shared_ptr<const Graph> graph) {
+                            std::shared_ptr<const Graph> graph,
+                            obs::JobTrace* trace) {
   AppOutcome outcome;
   if (engine == Engine::kOoc) {
     // Lazily create the scratch root only when an engine with on-disk
@@ -382,10 +384,23 @@ AppOutcome Session::RunWith(const AppRequest& request, const AppDescriptor& app,
   config.epsilon = request.epsilon;
   config.root = request.root;
   config.guidance_provider = provider_;
+  config.trace = trace;
 
   RunContext context{*graph, request, std::move(config),
                      options_.scratch_dir, options_.ooc_shards};
-  return app.runners.at(engine)(context);
+  if (trace == nullptr) return app.runners.at(engine)(context);
+
+  // Report the runner's wall time minus whatever guidance_acquire spans it
+  // recorded as engine_execute, so a trace's spans tile the job's timeline
+  // instead of double-counting the acquisition.
+  double runner_start = trace->Now();
+  AppOutcome run_outcome = app.runners.at(engine)(context);
+  double wall = trace->Now() - runner_start;
+  double guidance = trace->SpanSecondsWithPrefix("guidance_acquire");
+  double engine_seconds = wall - guidance;
+  if (engine_seconds < 0.0) engine_seconds = 0.0;
+  trace->AddSpan("engine_execute", runner_start + guidance, engine_seconds);
+  return run_outcome;
 }
 
 }  // namespace slfe::api

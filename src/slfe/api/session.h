@@ -13,6 +13,7 @@
 #include "slfe/graph/arena.h"
 #include "slfe/graph/delta.h"
 #include "slfe/graph/graph.h"
+#include "slfe/obs/trace.h"
 
 namespace slfe::api {
 
@@ -185,8 +186,11 @@ class Session {
   /// submitted against version N runs on version N even if the name now
   /// serves N+1. Validates app/engine/root against `graph`; the caller
   /// vouches for graph-requirement traits (it validated at resolve time).
+  /// A non-null `trace` collects guidance_acquire/engine_execute spans for
+  /// this run (near-zero cost when null) and must outlive the call.
   AppOutcome RunOn(const AppRequest& request,
-                   std::shared_ptr<const Graph> graph);
+                   std::shared_ptr<const Graph> graph,
+                   obs::JobTrace* trace = nullptr);
 
   GuidanceProvider& provider() { return *provider_; }
   const SessionOptions& options() const { return options_; }
@@ -233,7 +237,8 @@ class Session {
   /// Shared execution tail of Run/RunOn: scratch-dir setup for on-disk
   /// engines, AppConfig assembly, dispatch to the registry runner.
   AppOutcome RunWith(const AppRequest& request, const AppDescriptor& app,
-                     Engine engine, std::shared_ptr<const Graph> graph);
+                     Engine engine, std::shared_ptr<const Graph> graph,
+                     obs::JobTrace* trace = nullptr);
 
   SessionOptions options_;
   std::unique_ptr<GuidanceProvider> owned_provider_;

@@ -7,6 +7,7 @@
 #include "slfe/core/rr_guidance.h"
 #include "slfe/engine/dist_engine.h"
 #include "slfe/graph/types.h"
+#include "slfe/obs/trace.h"
 #include "slfe/sim/comm.h"
 
 namespace slfe {
@@ -34,6 +35,9 @@ struct AppConfig {
   /// Provider to acquire guidance from; nullptr = the process-wide
   /// GuidanceProvider::Global(), which all apps share by default.
   GuidanceProvider* guidance_provider = nullptr;
+  /// Optional per-job span trace (guidance_acquire.* spans are recorded
+  /// against it). Null = tracing disabled; must outlive the run.
+  obs::JobTrace* trace = nullptr;
 };
 
 /// Common result bundle: engine statistics plus preprocessing cost.
@@ -75,7 +79,18 @@ inline GuidanceAcquisition AcquireGuidance(const Graph& graph,
   request.policy = policy;
   request.root = config.root;
   request.use_cache = config.use_guidance_cache;
-  return provider.Acquire(graph, request);
+  if (config.trace == nullptr) return provider.Acquire(graph, request);
+  double start = config.trace->Now();
+  GuidanceAcquisition acquisition = provider.Acquire(graph, request);
+  const char* outcome = !acquisition          ? "none"
+                        : acquisition.store_hit ? "store"
+                        : acquisition.cache_hit ? "cache"
+                        : acquisition.coalesced ? "coalesced"
+                        : acquisition.repaired  ? "repair"
+                                                : "generate";
+  config.trace->AddSpanSince(std::string("guidance_acquire.") + outcome,
+                             start);
+  return acquisition;
 }
 
 /// Copies the acquisition's accounting into the run info.

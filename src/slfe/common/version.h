@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+
+namespace slfe {
+
+// Populated by CMake (configure_file of common/version.cc.in).
+const char* BuildVersion();  // project version, e.g. "0.9.0"
+const char* BuildCommit();   // short git hash, or "unknown" outside a checkout
+
+// "slfe-<version>+<commit>", as shown in the stats header line.
+std::string BuildVersionString();
+
+}  // namespace slfe

@@ -34,7 +34,8 @@ GuidanceKey GuidanceCache::MakeKey(uint64_t graph_fingerprint,
 }
 
 std::shared_ptr<const RRGuidance> GuidanceCache::Lookup(
-    const GuidanceKey& key) {
+    const GuidanceKey& key, bool* from_store) {
+  if (from_store != nullptr) *from_store = false;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -46,6 +47,7 @@ std::shared_ptr<const RRGuidance> GuidanceCache::Lookup(
     Result<RRGuidance> loaded = store_->Load(key);
     if (loaded.ok()) {
       ++stats_.store_hits;
+      if (from_store != nullptr) *from_store = true;
       auto guidance = std::make_shared<const RRGuidance>(
           std::move(loaded).value());
       InsertLocked(key, guidance, /*spill=*/false);

@@ -89,8 +89,11 @@ class GuidanceCache {
   /// Returns the cached guidance and bumps it to most-recently-used, or
   /// nullptr on a miss. A memory miss with a store attached first tries a
   /// disk load (counted as store_hits and promoted into the LRU); only a
-  /// miss on both levels counts as a miss and returns nullptr.
-  std::shared_ptr<const RRGuidance> Lookup(const GuidanceKey& key);
+  /// miss on both levels counts as a miss and returns nullptr. When
+  /// `from_store` is non-null it is set iff the hit was served by the disk
+  /// load path (trace spans label those acquisitions "store").
+  std::shared_ptr<const RRGuidance> Lookup(const GuidanceKey& key,
+                                           bool* from_store = nullptr);
 
   /// Memory-only, side-effect-free probe: no store load, no LRU bump, no
   /// stats. The provider's singleflight uses this to re-check for a result

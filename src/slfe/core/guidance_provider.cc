@@ -16,6 +16,17 @@ GuidanceProvider::GuidanceProvider(GuidanceProviderOptions options)
                                              options_.store_gc);
     cache_.AttachStore(store_);
   }
+  if (options_.metrics != nullptr) {
+    generation_hist_ = options_.metrics->GetHistogram(
+        "slfe_guidance_generation_seconds",
+        "Wall seconds per full RR-guidance sweep");
+    repair_hist_ = options_.metrics->GetHistogram(
+        "slfe_guidance_repair_seconds",
+        "Wall seconds per successful incremental guidance repair");
+    store_load_hist_ = options_.metrics->GetHistogram(
+        "slfe_guidance_store_load_seconds",
+        "Wall seconds per guidance load from the persistent store");
+  }
 }
 
 GuidanceProvider& GuidanceProvider::Global() {
@@ -91,9 +102,15 @@ GuidanceAcquisition GuidanceProvider::AcquireInternal(
   }
   GuidanceKey key = GuidanceCache::MakeKey(graph.fingerprint(), roots);
   if (use_cache) {
-    result.guidance = cache_.Lookup(key);
+    bool from_store = false;
+    double lookup_start = timer.Seconds();
+    result.guidance = cache_.Lookup(key, &from_store);
     if (result.guidance != nullptr) {
       result.cache_hit = true;
+      result.store_hit = from_store;
+      if (from_store && store_load_hist_ != nullptr) {
+        store_load_hist_->Observe(timer.Seconds() - lookup_start);
+      }
       result.acquire_seconds = timer.Seconds();
       return result;
     }
@@ -261,10 +278,12 @@ std::shared_ptr<const RRGuidance> GuidanceProvider::TryRepair(
     return fall_back();  // pre-levels store entry: not repairable
   }
 
+  Timer repair_timer;
   Result<RRGuidance> repaired = RRGuidance::Repair(
       graph, *lineage.delta, *old_guidance, old_roots, roots,
       options_.repair.max_affected_fraction);
   if (!repaired.ok()) return fall_back();  // e.g. the cascade blew its bound
+  if (repair_hist_ != nullptr) repair_hist_->Observe(repair_timer.Seconds());
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.repairs;
@@ -279,10 +298,14 @@ std::shared_ptr<const RRGuidance> GuidanceProvider::GenerateNow(
   // coalesces them — so this lock only queues sweeps for DIFFERENT keys,
   // which would otherwise fight over the workers.)
   std::lock_guard<std::mutex> lock(pool_mu_);
+  Timer generation_timer;
   auto guidance =
       std::make_shared<const RRGuidance>(RRGuidance::GenerateWithStrategy(
           graph, roots, options_.generation_strategy, GenerationPool(),
           options_.generation_mini_chunk));
+  if (generation_hist_ != nullptr) {
+    generation_hist_->Observe(generation_timer.Seconds());
+  }
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.generations;

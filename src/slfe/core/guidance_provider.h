@@ -13,6 +13,7 @@
 
 #include "slfe/common/thread_pool.h"
 #include "slfe/core/guidance_cache.h"
+#include "slfe/obs/metrics.h"
 #include "slfe/core/guidance_store.h"
 #include "slfe/core/rr_guidance.h"
 #include "slfe/graph/graph.h"
@@ -63,6 +64,9 @@ struct GuidanceAcquisition {
   /// guidance (RRGuidance::Repair) instead of sweeping from scratch.
   /// Only ever set on the leader; followers report coalesced as usual.
   bool repaired = false;
+  /// True when cache_hit was served by the persistent store's disk-load
+  /// path rather than the in-memory LRU (trace outcome "store").
+  bool store_hit = false;
   double acquire_seconds = 0;
 
   const RRGuidance* get() const { return guidance.get(); }
@@ -118,6 +122,9 @@ struct GuidanceProviderOptions {
   size_t negative_cache_capacity = 64;
   /// Incremental-repair policy for mutated graphs.
   GuidanceRepairOptions repair;
+  /// Optional registry for generation/repair/store-load duration
+  /// histograms. Must outlive the provider; null = no instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Provider-level counters (the cache and store keep their own).
@@ -306,6 +313,11 @@ class GuidanceProvider {
 
   mutable std::mutex stats_mu_;
   GuidanceProviderStats stats_;
+
+  /// Duration histograms (owned by options_.metrics; null when absent).
+  obs::Histogram* generation_hist_ = nullptr;
+  obs::Histogram* repair_hist_ = nullptr;
+  obs::Histogram* store_load_hist_ = nullptr;
 };
 
 }  // namespace slfe

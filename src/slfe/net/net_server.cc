@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 #include <vector>
@@ -55,6 +56,13 @@ struct NetServer::Connection {
   bool drop_on_close = false;  ///< count the close as server-initiated
   bool in_pump = false;        ///< re-entrance guard for PumpConnection
   uint32_t epoll_mask = 0;
+  /// Observability: lifetime start, first-request-to-first-byte timing,
+  /// and the largest pending-output backlog this peer ever accumulated.
+  std::chrono::steady_clock::time_point accepted_at;
+  std::chrono::steady_clock::time_point first_request_at;
+  bool has_first_request = false;
+  bool first_byte_recorded = false;
+  size_t outbuf_high_water = 0;
 };
 
 /// One finished job on its way from a worker thread to the event loop.
@@ -76,7 +84,17 @@ struct NetServerCompletionHub {
 };
 
 NetServer::NetServer(service::JobService& service, NetServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : service_(service), options_(std::move(options)) {
+  lifetime_hist_ = service_.metrics().GetHistogram(
+      "slfe_net_connection_lifetime_seconds",
+      "Accept-to-close seconds per TCP connection", 1e-3);
+  outbuf_hwm_hist_ = service_.metrics().GetHistogram(
+      "slfe_net_outbuf_high_water_bytes",
+      "Largest pending-output backlog per TCP connection", 64.0);
+  ttfb_hist_ = service_.metrics().GetHistogram(
+      "slfe_net_request_to_first_byte_seconds",
+      "First request byte to first response byte per TCP connection");
+}
 
 NetServer::~NetServer() {
   if (hub_ != nullptr) {
@@ -151,6 +169,7 @@ Status NetServer::Start() {
 int NetServer::Serve() {
   std::vector<epoll_event> events(64);
   while (true) {
+    if (options_.on_loop_tick) options_.on_loop_tick();
     if (stop_requested_.load() && !shutting_down_) BeginShutdown();
     if (shutting_down_ && connections_.empty()) break;
 
@@ -191,12 +210,17 @@ int NetServer::Serve() {
 
 void NetServer::Stop() {
   stop_requested_.store(true);
-  if (hub_ != nullptr) {
-    std::lock_guard<std::mutex> lock(hub_->mu);
-    if (!hub_->closed && hub_->wake_fd >= 0) {
-      uint64_t one = 1;
-      (void)!::write(hub_->wake_fd, &one, sizeof(one));
-    }
+  Wake();
+}
+
+void NetServer::Wake() {
+  // Only the lock-free eventfd write: a signal handler may call this (the
+  // kernel delivers process-directed signals to an arbitrary thread, so
+  // the loop's epoll_wait usually does NOT get the EINTR — it must be
+  // woken explicitly for the next tick to run promptly).
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof(one));
   }
 }
 
@@ -221,6 +245,7 @@ void NetServer::HandleAccept() {
     auto conn = std::make_unique<Connection>();
     conn->id = next_conn_id_++;
     conn->fd = fd;
+    conn->accepted_at = std::chrono::steady_clock::now();
     conn->epoll_mask = EPOLLIN;
     epoll_event ev{};
     ev.events = conn->epoll_mask;
@@ -239,6 +264,10 @@ void NetServer::HandleReadable(Connection& conn) {
   while (true) {
     ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
+      if (!conn.has_first_request) {
+        conn.has_first_request = true;
+        conn.first_request_at = std::chrono::steady_clock::now();
+      }
       conn.inbuf.append(buf, static_cast<size_t>(n));
       // Flood guard: a peer must not grow the daemon's heap without bound
       // by writing faster than its barrier allows us to dispatch.
@@ -418,6 +447,14 @@ void NetServer::DrainCompletions() {
     --conn.outstanding;
     Output(conn, service::FormatResult(done.result, done.req));
     service_.RecordResultStreamed();
+    if (done.result.trace != nullptr) {
+      // Completion-to-streamed latency: worker marked the trace complete,
+      // the loop just handed the line to the socket path.
+      double completed = done.result.trace->completed_at();
+      if (completed >= 0.0) {
+        done.result.trace->AddSpanSince("result_stream", completed);
+      }
+    }
     PumpConnection(done.conn_id);  // may release a barrier / finish a close
   }
 }
@@ -425,7 +462,9 @@ void NetServer::DrainCompletions() {
 void NetServer::Output(Connection& conn, std::string line) {
   if (conn.fd < 0 || conn.force_close) return;
   conn.outbuf.append(line);
-  if (conn.outbuf.size() - conn.out_off > options_.max_outbuf_bytes) {
+  size_t pending = conn.outbuf.size() - conn.out_off;
+  if (pending > conn.outbuf_high_water) conn.outbuf_high_water = pending;
+  if (pending > options_.max_outbuf_bytes) {
     // A peer that stopped reading: drop it rather than buffer without
     // bound. Deferred to the end of the current pump — Output is called
     // from inside the session's dispatch, which must not free itself.
@@ -440,6 +479,13 @@ bool NetServer::FlushWrites(Connection& conn) {
     ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.out_off,
                        conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
     if (n > 0) {
+      if (!conn.first_byte_recorded && conn.has_first_request) {
+        conn.first_byte_recorded = true;
+        ttfb_hist_->Observe(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                conn.first_request_at)
+                                .count());
+      }
       conn.out_off += static_cast<size_t>(n);
       continue;
     }
@@ -478,6 +524,11 @@ void NetServer::CloseConnection(uint64_t id, bool dropped) {
     ::close(conn.fd);
     conn.fd = -1;
   }
+  lifetime_hist_->Observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              conn.accepted_at)
+                              .count());
+  outbuf_hwm_hist_->Observe(static_cast<double>(conn.outbuf_high_water));
   service_.RecordConnectionClosed(dropped);
   connections_.erase(it);
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -45,6 +46,12 @@ struct NetServerOptions {
   /// Dispatcher knobs shared with the stdin driver (scale divisor, echo).
   /// streaming/bound_tenant/allow_shutdown are overwritten per connection.
   service::CommandSession::Options session;
+  /// Invoked on the loop thread at the top of every Serve() iteration.
+  /// Paired with Wake() this is how the daemon services SIGUSR1 telemetry
+  /// dumps without a second thread: the handler raises a flag and wakes
+  /// the loop, the next tick renders the dump. Must be cheap and must not
+  /// call back into the server.
+  std::function<void()> on_loop_tick;
 };
 
 /// The TCP front end: one epoll event loop accepting many concurrent
@@ -85,6 +92,13 @@ class NetServer {
   /// Thread-safe: wakes the loop and stops it after draining outstanding
   /// jobs on live connections.
   void Stop();
+
+  /// Async-signal-safe: wakes the loop without stopping it, so the next
+  /// iteration's on_loop_tick runs promptly. A signal handler that raises
+  /// a flag for the tick must call this — process-directed signals are
+  /// delivered to an arbitrary thread, so epoll_wait usually keeps
+  /// sleeping through them.
+  void Wake();
 
  private:
   struct Connection;
@@ -127,6 +141,11 @@ class NetServer {
   uint64_t next_conn_id_ = 2;  // 0/1 are the listen/wake epoll ids
   std::map<uint64_t, std::unique_ptr<Connection>> connections_;
   std::shared_ptr<NetServerCompletionHub> hub_;
+
+  /// Connection-level histograms in the service's registry.
+  obs::Histogram* lifetime_hist_ = nullptr;
+  obs::Histogram* outbuf_hwm_hist_ = nullptr;
+  obs::Histogram* ttfb_hist_ = nullptr;
 };
 
 }  // namespace slfe::net

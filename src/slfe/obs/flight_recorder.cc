@@ -1,0 +1,69 @@
+#include "slfe/obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace slfe {
+namespace obs {
+
+FlightRecorder::FlightRecorder(size_t capacity, size_t slow_capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  recent_.slots.resize(capacity_);
+  slow_.slots.resize(std::max<size_t>(1, slow_capacity));
+}
+
+void FlightRecorder::Ring::Push(std::shared_ptr<JobTrace> trace) {
+  slots[next] = std::move(trace);
+  next = (next + 1) % slots.size();
+  ++total;
+}
+
+std::vector<std::shared_ptr<JobTrace>> FlightRecorder::Ring::InOrder() const {
+  std::vector<std::shared_ptr<JobTrace>> out;
+  out.reserve(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const auto& slot = slots[(next + i) % slots.size()];
+    if (slot) out.push_back(slot);
+  }
+  return out;
+}
+
+void FlightRecorder::Record(std::shared_ptr<JobTrace> trace, bool slow) {
+  if (!trace) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slow) slow_.Push(trace);
+  recent_.Push(std::move(trace));
+}
+
+std::vector<std::shared_ptr<JobTrace>> FlightRecorder::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recent_.InOrder();
+}
+
+std::vector<std::shared_ptr<JobTrace>> FlightRecorder::Slow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_.InOrder();
+}
+
+std::shared_ptr<JobTrace> FlightRecorder::Find(uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slot : recent_.slots) {
+    if (slot && slot->job_id == job_id) return slot;
+  }
+  for (const auto& slot : slow_.slots) {
+    if (slot && slot->job_id == job_id) return slot;
+  }
+  return nullptr;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recent_.total;
+}
+
+uint64_t FlightRecorder::slow_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_.total;
+}
+
+}  // namespace obs
+}  // namespace slfe

@@ -1,0 +1,271 @@
+#include "slfe/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace slfe {
+namespace obs {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char stack_buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  va_end(args);
+  if (n < 0) return;
+  if (static_cast<size_t>(n) < sizeof(stack_buf)) {
+    out->append(stack_buf, static_cast<size_t>(n));
+    return;
+  }
+  std::vector<char> heap_buf(static_cast<size_t>(n) + 1);
+  va_start(args, fmt);
+  std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args);
+  va_end(args);
+  out->append(heap_buf.data(), static_cast<size_t>(n));
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Appendf(out, "\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatLabels(const MetricLabels& labels) {
+  if (labels.empty()) return std::string();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += kv.first;
+    out += "=\"";
+    out += kv.second;
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+Histogram::Histogram(double first_bound) {
+  if (!(first_bound > 0.0)) first_bound = 1e-6;
+  const double sqrt2 = std::sqrt(2.0);
+  double bound = first_bound;
+  for (size_t i = 0; i < kFiniteBounds; ++i) {
+    bounds_[i] = bound;
+    bound *= sqrt2;
+  }
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  // Binary search over the precomputed bounds table: the recording path and
+  // the rendering path agree exactly on boundary values, no float-log slop.
+  const double* begin = bounds_.data();
+  const double* end = begin + kFiniteBounds;
+  const double* it = std::lower_bound(begin, end, value);  // first bound >= value
+  return static_cast<size_t>(it - begin);  // == kFiniteBounds -> +Inf bucket
+}
+
+void Histogram::Observe(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::Quantile(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // 1-based rank of the sample the quantile falls on.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] >= rank) {
+      double lower = (i == 0) ? 0.0 : bounds_[i - 1];
+      double upper = (i < kFiniteBounds) ? bounds_[i] : bounds_[kFiniteBounds - 1];
+      if (upper <= lower) return upper;
+      double frac = static_cast<double>(rank - cum) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * frac;
+    }
+    cum += counts[i];
+  }
+  return bounds_[kFiniteBounds - 1];
+}
+
+MetricsRegistry::Instance* MetricsRegistry::GetInstance(
+    const std::string& name, const std::string& help, Kind kind,
+    const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = families_[name];
+  if (family.instances.empty()) {
+    family.help = help;
+    family.kind = kind;
+  }
+  return &family.instances[FormatLabels(labels)];
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const MetricLabels& labels) {
+  Instance* inst = GetInstance(name, help, Kind::kCounter, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!inst->counter) {
+    inst->labels = labels;
+    inst->counter = std::make_unique<Counter>();
+  }
+  return inst->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const MetricLabels& labels) {
+  Instance* inst = GetInstance(name, help, Kind::kGauge, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!inst->gauge) {
+    inst->labels = labels;
+    inst->gauge = std::make_unique<Gauge>();
+  }
+  return inst->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         double first_bound,
+                                         const MetricLabels& labels) {
+  Instance* inst = GetInstance(name, help, Kind::kHistogram, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!inst->histogram) {
+    inst->labels = labels;
+    inst->histogram = std::make_unique<Histogram>(first_bound);
+  }
+  return inst->histogram.get();
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& fam : families_) {
+    const std::string& name = fam.first;
+    const Family& family = fam.second;
+    const char* type = family.kind == Kind::kCounter   ? "counter"
+                       : family.kind == Kind::kGauge   ? "gauge"
+                                                       : "histogram";
+    Appendf(&out, "# HELP %s %s\n", name.c_str(), family.help.c_str());
+    Appendf(&out, "# TYPE %s %s\n", name.c_str(), type);
+    for (const auto& entry : family.instances) {
+      const std::string& label_str = entry.first;
+      const Instance& inst = entry.second;
+      if (inst.counter) {
+        Appendf(&out, "%s%s %llu\n", name.c_str(), label_str.c_str(),
+                static_cast<unsigned long long>(inst.counter->Value()));
+      } else if (inst.gauge) {
+        Appendf(&out, "%s%s %.9g\n", name.c_str(), label_str.c_str(),
+                inst.gauge->Value());
+      } else if (inst.histogram) {
+        const Histogram& h = *inst.histogram;
+        // Cumulative le-buckets; merge the le label into existing labels.
+        std::string prefix = label_str.empty()
+                                 ? "{"
+                                 : label_str.substr(0, label_str.size() - 1) + ",";
+        uint64_t cum = 0;
+        for (size_t i = 0; i < Histogram::kFiniteBounds; ++i) {
+          cum += h.BucketCount(i);
+          Appendf(&out, "%s_bucket%sle=\"%.9g\"} %llu\n", name.c_str(),
+                  prefix.c_str(), h.Bound(i),
+                  static_cast<unsigned long long>(cum));
+        }
+        cum += h.BucketCount(Histogram::kNumBuckets - 1);
+        Appendf(&out, "%s_bucket%sle=\"+Inf\"} %llu\n", name.c_str(),
+                prefix.c_str(), static_cast<unsigned long long>(cum));
+        Appendf(&out, "%s_sum%s %.9g\n", name.c_str(), label_str.c_str(),
+                h.Sum());
+        Appendf(&out, "%s_count%s %llu\n", name.c_str(), label_str.c_str(),
+                static_cast<unsigned long long>(h.Count()));
+      }
+    }
+  }
+  out.append("# EOF\n");
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& fam : families_) {
+    for (const auto& entry : fam.second.instances) {
+      if (!entry.second.counter) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('"');
+      AppendJsonEscaped(&out, fam.first + entry.first);
+      Appendf(&out, "\":%llu",
+              static_cast<unsigned long long>(entry.second.counter->Value()));
+    }
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& fam : families_) {
+    for (const auto& entry : fam.second.instances) {
+      if (!entry.second.gauge) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('"');
+      AppendJsonEscaped(&out, fam.first + entry.first);
+      Appendf(&out, "\":%.9g", entry.second.gauge->Value());
+    }
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& fam : families_) {
+    for (const auto& entry : fam.second.instances) {
+      if (!entry.second.histogram) continue;
+      const Histogram& h = *entry.second.histogram;
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('"');
+      AppendJsonEscaped(&out, fam.first + entry.first);
+      Appendf(&out,
+              "\":{\"count\":%llu,\"sum\":%.9g,\"p50\":%.9g,\"p90\":%.9g,"
+              "\"p99\":%.9g}",
+              static_cast<unsigned long long>(h.Count()), h.Sum(),
+              h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99));
+    }
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace slfe

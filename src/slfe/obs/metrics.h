@@ -1,0 +1,125 @@
+#pragma once
+
+// In-process metrics registry for the serving daemon: named counters,
+// gauges, and log-bucketed latency histograms with Prometheus-text and
+// JSON renderers. Recording is lock-free (atomic adds); registration and
+// rendering take a registry mutex.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slfe {
+namespace obs {
+
+// Sorted label set; rendered as {k1="v1",k2="v2"}.
+using MetricLabels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  // Collectors that mirror externally-maintained totals overwrite the value.
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-layout log histogram: 63 finite upper bounds growing by powers of
+// sqrt(2) from `first_bound`, plus a +Inf overflow bucket. Bucket i holds
+// values v with bound[i-1] < v <= bound[i] (le-semantics), so quantiles
+// reconstructed from bucket counts are exact to within a factor of sqrt(2)
+// and no samples are stored.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+  static constexpr size_t kFiniteBounds = kNumBuckets - 1;
+
+  explicit Histogram(double first_bound = 1e-6);
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  // Upper bound of bucket i; Bound(kFiniteBounds-1) is the largest finite
+  // bound, the last bucket is +Inf.
+  double Bound(size_t i) const { return bounds_[i]; }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Index of the bucket Observe(value) records into.
+  size_t BucketIndex(double value) const;
+  // Rank-based quantile (q in [0,1]) with linear interpolation inside the
+  // selected bucket. Returns 0 when empty; values in the +Inf bucket report
+  // the largest finite bound.
+  double Quantile(double q) const;
+
+ private:
+  std::array<double, kFiniteBounds> bounds_;
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Named metric families with optional labels. Get* registers on first use
+// and returns a stable pointer; the same (name, labels) pair always maps to
+// the same instance. A name must keep one type for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const MetricLabels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          double first_bound = 1e-6,
+                          const MetricLabels& labels = {});
+
+  // Prometheus text exposition: # HELP / # TYPE per family, cumulative
+  // _bucket{le=...} series per histogram, terminated by "# EOF\n" so TCP
+  // scrapers have an unambiguous end marker.
+  std::string RenderPrometheusText() const;
+  // Single-line JSON document with computed p50/p90/p99 per histogram.
+  std::string RenderJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Instance {
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    Kind kind = Kind::kCounter;
+    // Keyed by serialized labels for deterministic rendering order.
+    std::map<std::string, Instance> instances;
+  };
+
+  Instance* GetInstance(const std::string& name, const std::string& help,
+                        Kind kind, const MetricLabels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+// Serialize labels as {k1="v1",k2="v2"}, or "" when empty.
+std::string FormatLabels(const MetricLabels& labels);
+
+}  // namespace obs
+}  // namespace slfe

@@ -1,0 +1,144 @@
+#include "slfe/obs/trace.h"
+
+#include <cstdio>
+
+namespace slfe {
+namespace obs {
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+JobTrace::JobTrace() : epoch_(std::chrono::steady_clock::now()) {}
+
+double JobTrace::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void JobTrace::AddSpan(const std::string& name, double start_seconds,
+                       double duration_seconds) {
+  if (duration_seconds < 0.0) duration_seconds = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(TraceSpan{name, start_seconds, duration_seconds});
+}
+
+void JobTrace::AddSpanSince(const std::string& name, double start_seconds) {
+  AddSpan(name, start_seconds, Now() - start_seconds);
+}
+
+void JobTrace::MarkCompleted(bool ok) {
+  double at = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (completed_at_ < 0.0) {
+    completed_at_ = at;
+    ok_ = ok;
+  }
+}
+
+bool JobTrace::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_at_ >= 0.0;
+}
+
+bool JobTrace::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ok_;
+}
+
+double JobTrace::completed_at() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_at_;
+}
+
+std::vector<TraceSpan> JobTrace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+double JobTrace::SpanSecondsWithPrefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const auto& span : spans_) {
+    if (span.name.compare(0, prefix.size(), prefix) == 0) {
+      total += span.duration_seconds;
+    }
+  }
+  return total;
+}
+
+std::string JobTrace::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"job\":";
+  out += std::to_string(job_id);
+  out += ",\"tenant\":\"";
+  AppendJsonEscaped(&out, tenant);
+  out += "\",\"app\":\"";
+  AppendJsonEscaped(&out, app);
+  out += "\",\"engine\":\"";
+  AppendJsonEscaped(&out, engine);
+  out += "\",\"graph\":\"";
+  AppendJsonEscaped(&out, graph);
+  out += "\",\"status\":\"";
+  out += completed_at_ < 0.0 ? "running" : (ok_ ? "ok" : "error");
+  out += "\",\"end_to_end_ms\":";
+  AppendDouble(&out, (completed_at_ < 0.0 ? 0.0 : completed_at_) * 1e3);
+  out += ",\"spans\":[";
+  bool first = true;
+  for (const auto& span : spans_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, span.name);
+    out += "\",\"start_ms\":";
+    AppendDouble(&out, span.start_seconds * 1e3);
+    out += ",\"ms\":";
+    AppendDouble(&out, span.duration_seconds * 1e3);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string JobTrace::SpanSummary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& span : spans_) {
+    if (!out.empty()) out.push_back(' ');
+    out += span.name;
+    out.push_back('=');
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fms", span.duration_seconds * 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace slfe

@@ -1,0 +1,69 @@
+#pragma once
+
+// Per-job span tracing. A JobTrace is allocated at submit time (only when
+// tracing is enabled), carried by shared_ptr through the worker, session,
+// and net layers, and lands in the flight recorder at completion. Span
+// timestamps are offsets in seconds from the trace's epoch (construction,
+// i.e. job submit), so spans from different threads share one timeline.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slfe {
+namespace obs {
+
+struct TraceSpan {
+  std::string name;
+  double start_seconds = 0.0;  // offset from trace epoch
+  double duration_seconds = 0.0;
+};
+
+class JobTrace {
+ public:
+  JobTrace();
+
+  // Metadata is written once at submit, before the trace is shared.
+  uint64_t job_id = 0;
+  std::string tenant;
+  std::string app;
+  std::string engine;
+  std::string graph;
+
+  // Seconds elapsed since the trace epoch.
+  double Now() const;
+
+  void AddSpan(const std::string& name, double start_seconds,
+               double duration_seconds);
+  // Convenience: span from `start_seconds` (a prior Now() reading) to now.
+  void AddSpanSince(const std::string& name, double start_seconds);
+
+  // Called once when the job finishes executing; result_stream spans are
+  // appended after this point by the net layer.
+  void MarkCompleted(bool ok);
+  bool completed() const;
+  bool ok() const;
+  // Offset of MarkCompleted, or -1 if still running.
+  double completed_at() const;
+
+  std::vector<TraceSpan> Snapshot() const;
+  // Total duration of spans whose name starts with `prefix`.
+  double SpanSecondsWithPrefix(const std::string& prefix) const;
+  // Single-line JSON object: metadata, status, end_to_end_ms, spans array.
+  std::string ToJson() const;
+  // Compact `name=ms name=ms ...` breakdown for log lines.
+  std::string SpanSummary() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  double completed_at_ = -1.0;
+  bool ok_ = false;
+};
+
+}  // namespace obs
+}  // namespace slfe

@@ -63,6 +63,15 @@ CommandSession::Disposition CommandSession::HandleLine(
     case ParsedCommand::Kind::kSweep:
       sink_(FormatSweep(service_.SweepNow()));
       return Disposition::kContinue;
+    case ParsedCommand::Kind::kMetrics:
+      // The Prometheus text already ends in "# EOF\n"; the one-line JSON
+      // needs its terminator added here.
+      sink_(cmd.metrics_json ? service_.RenderMetricsJson() + "\n"
+                             : service_.RenderMetricsText());
+      return Disposition::kContinue;
+    case ParsedCommand::Kind::kTrace:
+      sink_(service_.RenderTraceJson(cmd.trace_arg) + "\n");
+      return Disposition::kContinue;
     case ParsedCommand::Kind::kShutdown:
       if (!options_.allow_shutdown) {
         Reject("shutdown not permitted");

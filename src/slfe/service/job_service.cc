@@ -1,7 +1,15 @@
 #include "slfe/service/job_service.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
+
+#include "slfe/common/logging.h"
+#include "slfe/common/version.h"
 
 namespace slfe::service {
 
@@ -35,15 +43,25 @@ JobServiceOptions Normalize(JobServiceOptions o) {
 /// shared provider configuration, and STRICT requirement checking — a
 /// multi-tenant daemon rejects meaningless jobs at Submit instead of
 /// burning a worker on them.
-api::SessionOptions SessionOptionsFor(const JobServiceOptions& o) {
+api::SessionOptions SessionOptionsFor(const JobServiceOptions& o,
+                                      obs::MetricsRegistry* metrics) {
   api::SessionOptions s;
   s.num_nodes = o.job_nodes;
   s.threads_per_node = o.job_threads;
   s.auto_symmetrize = o.auto_symmetrize;
   s.strict_weights = true;
   s.provider = o.provider;
+  // The provider the session constructs records its generation/repair/
+  // store-load durations into the service's registry.
+  s.provider.metrics = metrics;
   s.arena_dir = o.arena_dir;
   return s;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 void FillFromOutcome(const api::AppOutcome& outcome, JobResult* result) {
@@ -76,14 +94,27 @@ api::AppRequest JobService::ToAppRequest(const JobRequest& request) {
 
 JobService::JobService(JobServiceOptions options)
     : options_(Normalize(std::move(options))),
-      session_(std::make_unique<api::Session>(SessionOptionsFor(options_))),
-      queue_(options_.queue_capacity) {
+      recorder_(std::max<size_t>(1, options_.trace_ring_capacity),
+                std::max<size_t>(8, options_.trace_ring_capacity / 2)),
+      session_(std::make_unique<api::Session>(
+          SessionOptionsFor(options_, &metrics_))),
+      queue_(options_.queue_capacity),
+      started_at_(std::chrono::steady_clock::now()) {
+  queue_wait_hist_ = metrics_.GetHistogram(
+      "slfe_job_queue_wait_seconds",
+      "Seconds a job spent queued before a worker popped it");
+  job_latency_hist_ = metrics_.GetHistogram(
+      "slfe_job_latency_seconds",
+      "Submit-to-complete seconds per job (all tenants)");
+  slow_jobs_counter_ = metrics_.GetCounter(
+      "slfe_slow_jobs_total",
+      "Completed jobs slower than the --slow-job-ms threshold");
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   if (options_.maintenance_interval_seconds > 0 &&
-      provider().store() != nullptr) {
+      (provider().store() != nullptr || !options_.metrics_dump_path.empty())) {
     maintenance_ = std::thread([this] { MaintenanceLoop(); });
   }
 }
@@ -141,7 +172,7 @@ Result<JobTicket> JobService::Submit(const JobRequest& request) {
   job.request = request;
   job.graph = std::move(resolved).value();
   job.ticket = std::make_shared<JobHandle>();
-  job.id = next_job_id_.fetch_add(1);
+  PrepareQueuedJob(&job);
 
   GuidanceStore* store = provider().store();
   if (store != nullptr && request.enable_rr) {
@@ -203,7 +234,7 @@ Result<JobTicket> JobService::SubmitMutation(const MutationRequest& request) {
   job.request.enable_rr = false;  // no guidance acquisition, no pinning
   job.mutation = std::make_shared<const GraphDelta>(request.delta);
   job.ticket = std::make_shared<JobHandle>();
-  job.id = next_job_id_.fetch_add(1);
+  PrepareQueuedJob(&job);
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -222,11 +253,61 @@ Result<JobTicket> JobService::SubmitMutation(const MutationRequest& request) {
   return ticket;
 }
 
+void JobService::PrepareQueuedJob(QueuedJob* job) {
+  job->id = next_job_id_.fetch_add(1);
+  job->submitted_at = std::chrono::steady_clock::now();
+  if (!options_.tracing) return;
+  job->trace = std::make_shared<obs::JobTrace>();
+  job->trace->job_id = job->id;
+  job->trace->tenant = job->request.tenant;
+  job->trace->app = job->request.app;
+  job->trace->engine = job->request.engine;
+  job->trace->graph = job->request.graph;
+}
+
+void JobService::ObserveCompletion(const QueuedJob& job, JobResult* result) {
+  double e2e = SecondsSince(job.submitted_at);
+  job_latency_hist_->Observe(e2e);
+  metrics_
+      .GetHistogram("slfe_tenant_job_latency_seconds",
+                    "Submit-to-complete seconds per job, by tenant", 1e-6,
+                    {{"tenant", job.request.tenant}})
+      ->Observe(e2e);
+  bool slow =
+      options_.slow_job_ms > 0 && e2e * 1e3 > options_.slow_job_ms;
+  if (job.trace != nullptr) {
+    job.trace->MarkCompleted(result->status.ok());
+    result->trace = job.trace;
+    recorder_.Record(job.trace, slow);
+  }
+  if (!slow) return;
+  slow_jobs_counter_->Inc();
+  // Rate limit to one WARN per second: under overload every job crosses
+  // the threshold, and a log storm would make the slowness worse.
+  int64_t now_ms = static_cast<int64_t>(SecondsSince(started_at_) * 1e3);
+  int64_t last = last_slow_warn_ms_.load(std::memory_order_relaxed);
+  if (now_ms - last < 1000 ||
+      !last_slow_warn_ms_.compare_exchange_strong(last, now_ms)) {
+    return;
+  }
+  SLFE_LOG(Warning) << "slow job id=" << job.id << " tenant="
+                    << job.request.tenant << " app=" << job.request.app
+                    << " graph=" << job.request.graph << " e2e_ms="
+                    << e2e * 1e3 << " spans: "
+                    << (job.trace != nullptr ? job.trace->SpanSummary()
+                                             : "(tracing disabled)");
+}
+
 void JobService::WorkerLoop() {
   QueuedJob job;
   while (queue_.Pop(&job)) {
+    queue_wait_hist_->Observe(SecondsSince(job.submitted_at));
+    if (job.trace != nullptr) {
+      job.trace->AddSpan("queue_wait", 0.0, job.trace->Now());
+    }
     JobResult result = Execute(job);
     result.sequence = completion_seq_.fetch_add(1) + 1;
+    ObserveCompletion(job, &result);
 
     GuidanceStore* store = provider().store();
     if (store != nullptr && job.request.enable_rr) {
@@ -273,8 +354,12 @@ JobResult JobService::Execute(const QueuedJob& job) {
   result.engine = job.request.engine;
   result.graph = job.request.graph;
   if (job.mutation != nullptr) {
+    double mutate_start = job.trace != nullptr ? job.trace->Now() : 0.0;
     Result<api::GraphMutationResult> mutated =
         session_->MutateGraph(job.request.graph, *job.mutation);
+    if (job.trace != nullptr) {
+      job.trace->AddSpanSince("engine_execute", mutate_start);
+    }
     if (!mutated.ok()) {
       result.status = mutated.status();
       return result;
@@ -298,7 +383,8 @@ JobResult JobService::Execute(const QueuedJob& job) {
   // pinned to the graph resolved at SUBMIT time — a job submitted against
   // version N computes on version N even if a mutation published N+1
   // while the job sat in the queue.
-  FillFromOutcome(session_->RunOn(ToAppRequest(job.request), job.graph),
+  FillFromOutcome(session_->RunOn(ToAppRequest(job.request), job.graph,
+                                  job.trace.get()),
                   &result);
   return result;
 }
@@ -311,7 +397,28 @@ void JobService::MaintenanceLoop() {
     maintenance_cv_.wait_for(lock, interval,
                              [&] { return stopping_.load(); });
     if (stopping_.load()) break;
-    RecordSweep(provider().store()->Sweep());
+    if (provider().store() != nullptr) {
+      RecordSweep(provider().store()->Sweep());
+    }
+    if (!options_.metrics_dump_path.empty()) WriteMetricsDump();
+  }
+}
+
+void JobService::WriteMetricsDump() {
+  const std::string& path = options_.metrics_dump_path;
+  std::string tmp = path + ".tmp";
+  std::string text = RenderMetricsText();
+  FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    SLFE_LOG(Warning) << "metrics dump: cannot open " << tmp;
+    return;
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0 ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SLFE_LOG(Warning) << "metrics dump: write failed for " << path;
+    std::remove(tmp.c_str());
   }
 }
 
@@ -366,7 +473,94 @@ JobServiceStats JobService::Stats() const {
   snapshot.cache = provider.cache_stats();
   snapshot.graphs_parsed = session_->graphs_parsed();
   snapshot.graphs_mapped = session_->graphs_mapped();
+  snapshot.uptime_seconds = SecondsSince(started_at_);
+  snapshot.pid = static_cast<int>(::getpid());
+  snapshot.version = BuildVersionString();
   return snapshot;
+}
+
+void JobService::CollectMetrics() {
+  JobServiceStats s = Stats();
+  auto set = [&](const char* name, const char* help, uint64_t value) {
+    metrics_.GetCounter(name, help)->Set(value);
+  };
+  set("slfe_jobs_submitted_total", "Jobs accepted into the queue",
+      s.submitted);
+  set("slfe_jobs_completed_total", "Jobs finished successfully", s.completed);
+  set("slfe_jobs_failed_total", "Jobs finished with an error status",
+      s.failed);
+  set("slfe_jobs_rejected_total",
+      "Submissions bounced (validation or backpressure)", s.rejected);
+  set("slfe_graph_mutations_total", "Effective graph mutations executed",
+      s.mutations);
+  set("slfe_guidance_generations_total", "Full RR-guidance sweeps executed",
+      s.provider.generations);
+  set("slfe_guidance_coalesced_total",
+      "Acquisitions that piggybacked on an in-flight sweep",
+      s.provider.coalesced);
+  set("slfe_guidance_repairs_total",
+      "Misses served by incremental guidance repair", s.provider.repairs);
+  set("slfe_guidance_repair_fallbacks_total",
+      "Repair attempts that fell back to a full sweep",
+      s.provider.repair_fallbacks);
+  set("slfe_guidance_cache_hits_total", "In-memory guidance cache hits",
+      s.cache.hits);
+  set("slfe_guidance_store_hits_total",
+      "Guidance cache misses served by the persistent store",
+      s.cache.store_hits);
+  set("slfe_net_connections_accepted_total",
+      "TCP connections admitted past accept()", s.net.accepted);
+  set("slfe_net_connections_dropped_total",
+      "TCP connections dropped by the server for cause", s.net.dropped);
+  set("slfe_net_auth_failures_total", "TCP handshakes with bad credentials",
+      s.net.auth_failures);
+  set("slfe_net_results_streamed_total",
+      "Completion lines pushed to TCP peers", s.net.results_streamed);
+  set("slfe_trace_recorded_total",
+      "Completed job traces pushed into the flight recorder",
+      recorder_.recorded());
+  metrics_.GetGauge("slfe_uptime_seconds", "Seconds since service start")
+      ->Set(s.uptime_seconds);
+  metrics_.GetGauge("slfe_queue_depth", "Jobs currently queued")
+      ->Set(static_cast<double>(queue_.size()));
+}
+
+std::string JobService::RenderMetricsText() {
+  CollectMetrics();
+  return metrics_.RenderPrometheusText();
+}
+
+std::string JobService::RenderMetricsJson() {
+  CollectMetrics();
+  return metrics_.RenderJson();
+}
+
+std::string JobService::RenderTraceJson(const std::string& selector) const {
+  auto render_list = [](std::vector<std::shared_ptr<obs::JobTrace>> traces) {
+    std::string out = "{\"traces\":[";
+    bool first = true;
+    for (const auto& trace : traces) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += trace->ToJson();
+    }
+    out += "]}";
+    return out;
+  };
+  if (selector.empty() || selector == "recent") {
+    return render_list(recorder_.Recent());
+  }
+  if (selector == "slow") return render_list(recorder_.Slow());
+  char* end = nullptr;
+  uint64_t id = std::strtoull(selector.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || selector.empty()) {
+    return "{\"error\":\"expected recent, slow, or a job id\"}";
+  }
+  std::shared_ptr<obs::JobTrace> trace = recorder_.Find(id);
+  if (trace == nullptr) {
+    return "{\"error\":\"no trace for job " + selector + "\"}";
+  }
+  return trace->ToJson();
 }
 
 void JobService::Shutdown() {
@@ -394,6 +588,10 @@ void JobService::Shutdown() {
   if (options_.final_sweep_on_shutdown && provider().store() != nullptr) {
     RecordSweep(provider().store()->Sweep());
   }
+
+  // 4. Leave a final metrics snapshot behind, so a scraper reading the
+  //    dump file sees the service's terminal state, not a stale interval.
+  if (!options_.metrics_dump_path.empty()) WriteMetricsDump();
 }
 
 }  // namespace slfe::service

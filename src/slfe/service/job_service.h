@@ -2,6 +2,7 @@
 #define SLFE_SERVICE_JOB_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -18,6 +19,9 @@
 #include "slfe/core/guidance_store.h"
 #include "slfe/graph/graph.h"
 #include "slfe/graph/types.h"
+#include "slfe/obs/flight_recorder.h"
+#include "slfe/obs/metrics.h"
+#include "slfe/obs/trace.h"
 #include "slfe/service/job_queue.h"
 
 namespace slfe::service {
@@ -88,6 +92,10 @@ struct JobResult {
   /// Service-wide completion order (1 = first job finished). Exposes the
   /// fair scheduler's interleaving to callers and tests.
   uint64_t sequence = 0;
+  /// The job's span trace (null when tracing is disabled). Completed by
+  /// the worker before the handle fires; the TCP front end appends its
+  /// result_stream span afterwards.
+  std::shared_ptr<obs::JobTrace> trace;
 };
 
 /// Completion handle for one submitted job. Wait() blocks until a worker
@@ -186,6 +194,11 @@ struct NetFrontEndStats {
 /// provider/cache counters (one lock acquisition for the service part, so
 /// tenant rows always sum to the totals).
 struct JobServiceStats {
+  /// Daemon identity header: seconds since the service was constructed,
+  /// the serving process, and the build (slfe/common/version.h).
+  double uptime_seconds = 0;
+  int pid = 0;
+  std::string version;
   uint64_t submitted = 0;
   uint64_t rejected = 0;  ///< queue-full / validation rejections
   uint64_t completed = 0;
@@ -238,6 +251,21 @@ struct JobServiceOptions {
   /// Directory of `*.sga` graph arenas (passed through to the session).
   /// Empty = warm-restart registration disabled.
   std::string arena_dir;
+  /// Allocate a JobTrace per submitted job (queue_wait / guidance_acquire
+  /// / engine_execute / result_stream spans) and feed the flight recorder.
+  /// Disabled, jobs carry a null trace pointer end to end — the only cost
+  /// is that null check.
+  bool tracing = true;
+  /// Jobs slower than this (submit to complete) are captured in the slow
+  /// ring and emit one rate-limited WARN line. 0 disables both.
+  double slow_job_ms = 0;
+  /// Completed traces retained by the flight recorder's recent ring (the
+  /// slow ring keeps half as many, minimum 8).
+  size_t trace_ring_capacity = 64;
+  /// Non-empty = the maintenance timer also writes the Prometheus text
+  /// exposition here every interval (atomic temp + rename), so external
+  /// collectors can scrape a file instead of holding a connection.
+  std::string metrics_dump_path;
 };
 
 /// The long-lived multi-tenant daemon core: accepts job requests into a
@@ -328,6 +356,21 @@ class JobService {
   /// No-op zero stats when the provider has no store.
   GuidanceStoreSweepStats SweepNow();
 
+  /// The service-owned metrics registry (histograms recorded live by the
+  /// workers, provider, and net listener; counters mirrored from Stats()
+  /// at render time) and trace flight recorder.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::FlightRecorder& flight_recorder() { return recorder_; }
+
+  /// Prometheus text exposition (ends with "# EOF\n") / one-line JSON —
+  /// the payloads behind the `metrics` line-protocol command.
+  std::string RenderMetricsText();
+  std::string RenderMetricsJson();
+  /// JSON for the `trace` command: "" or "recent" = the recent ring,
+  /// "slow" = the slow ring, a job id = that job's trace (or an error
+  /// object if the ring has evicted it). Always a single line.
+  std::string RenderTraceJson(const std::string& selector) const;
+
   /// Graceful shutdown: reject new submissions, drain every already
   /// accepted job, stop the maintenance loop, run the final sweep.
   /// Idempotent; blocks until the workers have exited.
@@ -350,6 +393,11 @@ class JobService {
     std::shared_ptr<const GraphDelta> mutation;
     JobTicket ticket;
     uint64_t id = 0;
+    /// Span trace (null when tracing is off); epoch == submit time.
+    std::shared_ptr<obs::JobTrace> trace;
+    /// Submit timestamp for the latency histograms, independent of the
+    /// trace so they record even with tracing disabled.
+    std::chrono::steady_clock::time_point submitted_at;
   };
 
   void WorkerLoop();
@@ -357,10 +405,30 @@ class JobService {
   JobResult Execute(const QueuedJob& job);
   void RecordSweep(const GuidanceStoreSweepStats& sweep);
   static api::AppRequest ToAppRequest(const JobRequest& request);
+  /// Stamps submit-time metadata (id, timestamps, trace) onto a queued job.
+  void PrepareQueuedJob(QueuedJob* job);
+  /// Completion-side observability: latency histograms, flight-recorder
+  /// push, rate-limited slow-job WARN.
+  void ObserveCompletion(const QueuedJob& job, JobResult* result);
+  /// Mirrors Stats() counters into the registry before rendering.
+  void CollectMetrics();
+  void WriteMetricsDump();
 
   JobServiceOptions options_;
+  /// Declared before session_: the session's provider keeps histogram
+  /// pointers into this registry for its whole lifetime.
+  obs::MetricsRegistry metrics_;
+  obs::FlightRecorder recorder_;
   std::unique_ptr<api::Session> session_;
   JobQueue<QueuedJob> queue_;
+
+  std::chrono::steady_clock::time_point started_at_;
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* job_latency_hist_ = nullptr;
+  obs::Counter* slow_jobs_counter_ = nullptr;
+  /// Milliseconds (since started_at_) of the last slow-job WARN actually
+  /// emitted — the 1/sec rate limiter.
+  std::atomic<int64_t> last_slow_warn_ms_{-1000000};
 
   mutable std::mutex stats_mu_;
   JobServiceStats stats_;

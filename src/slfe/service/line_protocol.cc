@@ -192,6 +192,17 @@ ParsedCommand ParseCommandLine(const std::string& line) {
     cmd.kind = ParsedCommand::Kind::kShutdown;
     return cmd;
   }
+  if (command == "metrics" &&
+      (tokens.size() == 1 || (tokens.size() == 2 && tokens[1] == "json"))) {
+    cmd.kind = ParsedCommand::Kind::kMetrics;
+    cmd.metrics_json = tokens.size() == 2;
+    return cmd;
+  }
+  if (command == "trace" && (tokens.size() == 1 || tokens.size() == 2)) {
+    cmd.kind = ParsedCommand::Kind::kTrace;
+    if (tokens.size() == 2) cmd.trace_arg = tokens[1];
+    return cmd;
+  }
   if (command == "auth" && (tokens.size() == 2 || tokens.size() == 3)) {
     cmd.kind = ParsedCommand::Kind::kAuth;
     cmd.auth_tenant = tokens[1];
@@ -243,6 +254,9 @@ std::string FormatResult(const JobResult& r, uint64_t req) {
 
 std::string FormatStats(const JobServiceStats& stats) {
   std::string out;
+  Appendf(&out, "daemon: uptime=%.1fs pid=%d version=%s\n",
+          stats.uptime_seconds, stats.pid,
+          stats.version.empty() ? "unknown" : stats.version.c_str());
   Appendf(&out,
           "service: submitted=%llu completed=%llu failed=%llu "
           "rejected=%llu mutations=%llu sweeps=%llu gc_removed=%llu "

@@ -24,6 +24,8 @@ struct ParsedCommand {
     kMutate,    ///< payload in `mutate`
     kAuth,      ///< connection handshake: payload in auth_tenant/auth_token
     kShutdown,  ///< stop the whole daemon (gated by an option at dispatch)
+    kMetrics,   ///< metrics exposition; `metrics_json` selects the format
+    kTrace,     ///< flight-recorder dump; selector in `trace_arg`
     kError,     ///< malformed; `error` holds the full reject line
   };
   Kind kind = Kind::kEmpty;
@@ -31,6 +33,11 @@ struct ParsedCommand {
   MutationRequest mutate;
   std::string auth_tenant;
   std::string auth_token;
+  /// For kMetrics: true = the JSON renderer (`metrics json`), false = the
+  /// Prometheus text exposition (bare `metrics`).
+  bool metrics_json = false;
+  /// For kTrace: "" (= recent), "recent", "slow", or a job id.
+  std::string trace_arg;
   /// For kError: a complete, '\n'-terminated "reject: ..." line. Always
   /// terminated even when the offending input line was not — an
   /// unterminated reject would glue onto the next output line.
@@ -50,6 +57,8 @@ Result<VertexId> ParseVertexId(const std::string& token);
 ///   submit <tenant> <app> <graph> [root] [engine] [norr]
 ///   mutate <tenant> <graph> [ins <src> <dst> <w>]... [del <src> <dst>]...
 ///   auth <tenant> [token]
+///   metrics [json]
+///   trace [recent|slow|<job-id>]
 ///   wait | sweep | stats | quit | shutdown | # comment
 ParsedCommand ParseCommandLine(const std::string& line);
 

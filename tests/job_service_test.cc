@@ -936,5 +936,87 @@ TEST(JobServiceMutationTest, ConcurrentMutateAndQueryTrafficStaysConsistent) {
             1 + service.session().graphs_mutated());
 }
 
+// -------------------------------------------------------- Observability
+
+TEST(JobServiceObservabilityTest, TraceSpansTileTheEndToEndLatency) {
+  JobServiceOptions options;
+  options.workers = 2;
+  JobService service(options);
+  ASSERT_TRUE(service.RegisterGraph("g", Rmat(300, 2500, 11)).ok());
+
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    JobRequest request;
+    request.tenant = "acme";
+    request.app = "sssp";
+    request.graph = "g";
+    request.root = 0;
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(ticket).value());
+  }
+  for (const auto& ticket : tickets) {
+    const JobResult& result = ticket->Wait();
+    ASSERT_TRUE(result.status.ok());
+    ASSERT_NE(result.trace, nullptr);
+    const obs::JobTrace& trace = *result.trace;
+    EXPECT_TRUE(trace.completed());
+    EXPECT_TRUE(trace.ok());
+    double e2e = trace.completed_at();
+    ASSERT_GT(e2e, 0.0);
+    double queue = trace.SpanSecondsWithPrefix("queue_wait");
+    double guidance = trace.SpanSecondsWithPrefix("guidance_acquire");
+    double engine = trace.SpanSecondsWithPrefix("engine_execute");
+    EXPECT_GT(queue, 0.0);
+    EXPECT_GT(engine, 0.0);
+    // The instrumented phases tile submit -> completion: their sum must
+    // account for (almost) all of the end-to-end latency. The slack
+    // covers the un-instrumented glue between pop, run, and completion.
+    double sum = queue + guidance + engine;
+    EXPECT_LE(sum, e2e * 1.01 + 0.002);
+    EXPECT_GE(sum, e2e - 0.050);
+  }
+
+  // Every completed job landed in the flight recorder, and the latency
+  // histogram's count agrees with the service's completed counter.
+  EXPECT_EQ(service.flight_recorder().Recent().size(), tickets.size());
+  std::string metrics = service.RenderMetricsText();
+  EXPECT_NE(metrics.find("slfe_job_latency_seconds_count 6"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("slfe_tenant_job_latency_seconds_count"
+                         "{tenant=\"acme\"} 6"),
+            std::string::npos);
+  std::string traces = service.RenderTraceJson("recent");
+  EXPECT_NE(traces.find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(traces.find("\"engine_execute\""), std::string::npos);
+  // Lookup by id returns the single trace; bogus selectors error cleanly.
+  std::string by_id = service.RenderTraceJson(
+      std::to_string(tickets.front()->Wait().trace->job_id));
+  EXPECT_NE(by_id.find("\"spans\""), std::string::npos);
+  EXPECT_NE(service.RenderTraceJson("bogus").find("\"error\""),
+            std::string::npos);
+}
+
+TEST(JobServiceObservabilityTest, TracingDisabledStillFeedsHistograms) {
+  JobServiceOptions options;
+  options.tracing = false;
+  JobService service(options);
+  ASSERT_TRUE(service.RegisterGraph("g", Rmat(200, 1500, 12)).ok());
+  JobRequest request;
+  request.app = "sssp";
+  request.graph = "g";
+  request.root = 0;
+  auto ticket = service.Submit(request);
+  ASSERT_TRUE(ticket.ok());
+  const JobResult& result = ticket.value()->Wait();
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.trace, nullptr);
+  EXPECT_TRUE(service.flight_recorder().Recent().empty());
+  // Histograms key off submit timestamps, not traces: still recording.
+  std::string metrics = service.RenderMetricsText();
+  EXPECT_NE(metrics.find("slfe_job_latency_seconds_count 1"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace slfe::service

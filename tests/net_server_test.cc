@@ -369,10 +369,11 @@ TEST_F(NetServerTest, AdmissionControlTurnsAwayExcessConnections) {
   ASSERT_TRUE(c1.connected());
   ASSERT_TRUE(c2.connected());
   // Prove both are admitted (a round trip each) before the third knocks.
+  // The stats block leads with the daemon identity line.
   c1.Send("stats\n");
-  EXPECT_TRUE(StartsWith(c1.ReadLine(), "service:"));
+  EXPECT_TRUE(StartsWith(c1.ReadLine(), "daemon:"));
   c2.Send("stats\n");
-  EXPECT_TRUE(StartsWith(c2.ReadLine(), "service:"));
+  EXPECT_TRUE(StartsWith(c2.ReadLine(), "daemon:"));
 
   TestClient c3(port);
   ASSERT_TRUE(c3.connected());

@@ -1,0 +1,277 @@
+// Tests for the observability layer: log-bucketed histograms (bucket
+// boundary exactness, quantile reconstruction against exact samples,
+// concurrent recording), the flight-recorder rings, and the Prometheus /
+// JSON renderer formats the scrape tooling depends on.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "slfe/obs/flight_recorder.h"
+#include "slfe/obs/metrics.h"
+#include "slfe/obs/trace.h"
+
+namespace slfe::obs {
+namespace {
+
+TEST(Histogram, BucketBoundariesAreExact) {
+  Histogram h(1e-6);
+  // le-semantics: a value exactly on Bound(i) belongs to bucket i; the
+  // next representable double above it belongs to bucket i+1. The binary
+  // search over the precomputed bounds table makes this exact — a
+  // float-log implementation would be off by one near boundaries.
+  for (size_t i = 0; i < Histogram::kFiniteBounds; ++i) {
+    double bound = h.Bound(i);
+    EXPECT_EQ(h.BucketIndex(bound), i) << "bound " << bound;
+    double above = std::nextafter(bound, 1e300);
+    EXPECT_EQ(h.BucketIndex(above), i + 1) << "just above bound " << bound;
+  }
+  EXPECT_EQ(h.BucketIndex(0.0), 0u);
+  EXPECT_EQ(h.BucketIndex(1e300), Histogram::kNumBuckets - 1);
+
+  h.Observe(h.Bound(10));
+  EXPECT_EQ(h.BucketCount(10), 1u);
+  EXPECT_EQ(h.BucketCount(11), 0u);
+  h.Observe(std::nextafter(h.Bound(10), 1e300));
+  EXPECT_EQ(h.BucketCount(11), 1u);
+}
+
+TEST(Histogram, BoundsGrowBySqrt2) {
+  Histogram h(1e-3);
+  EXPECT_DOUBLE_EQ(h.Bound(0), 1e-3);
+  for (size_t i = 1; i < Histogram::kFiniteBounds; ++i) {
+    EXPECT_NEAR(h.Bound(i) / h.Bound(i - 1), std::sqrt(2.0), 1e-12);
+  }
+}
+
+TEST(Histogram, QuantilesMatchExactSamplesWithinBucketFactor) {
+  // A bucketed quantile can never be exact, but it is guaranteed to land
+  // in the same bucket as the true rank sample — so the two agree within
+  // one bucket's width, a factor of sqrt(2).
+  std::mt19937 rng(20180807);
+  std::uniform_real_distribution<double> log_u(std::log(1e-5), std::log(10.0));
+  Histogram h(1e-6);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    double v = std::exp(log_u(rng));
+    samples.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double slack = std::sqrt(2.0) * (1.0 + 1e-9);
+  for (double q : {0.50, 0.90, 0.99}) {
+    auto rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    double exact = samples[rank - 1];
+    double approx = h.Quantile(q);
+    EXPECT_LE(approx, exact * slack) << "q=" << q;
+    EXPECT_GE(approx, exact / slack) << "q=" << q;
+  }
+  EXPECT_LE(h.Quantile(0.50), h.Quantile(0.99));
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  Histogram h(1e-6);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Integer-valued observations so the CAS-loop sum is exact.
+        h.Observe(static_cast<double>(i % 7 + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  double expected_sum = 0;
+  for (int i = 0; i < kPerThread; ++i) expected_sum += i % 7 + 1;
+  EXPECT_DOUBLE_EQ(h.Sum(), expected_sum * kThreads);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    bucket_total += h.BucketCount(i);
+  }
+  EXPECT_EQ(bucket_total, h.Count());
+}
+
+TEST(Histogram, NegativeClampsAndNanIsDropped) {
+  Histogram h;
+  h.Observe(-5.0);  // clamps to 0 -> bucket 0
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  h.Observe(std::nan(""));
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0 + (h.Bound(0) - 0.0) * 1.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(MetricsRegistry, ReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("jobs_total", "jobs");
+  Counter* b = reg.GetCounter("jobs_total", "jobs");
+  EXPECT_EQ(a, b);
+  Counter* labeled =
+      reg.GetCounter("jobs_total", "jobs", {{"tenant", "acme"}});
+  EXPECT_NE(a, labeled);
+  EXPECT_EQ(labeled,
+            reg.GetCounter("jobs_total", "jobs", {{"tenant", "acme"}}));
+  Histogram* h = reg.GetHistogram("latency_seconds", "lat");
+  EXPECT_EQ(h, reg.GetHistogram("latency_seconds", "lat"));
+}
+
+TEST(MetricsRegistry, PrometheusTextFormatIsPinned) {
+  MetricsRegistry reg;
+  reg.GetCounter("slfe_jobs_total", "Completed jobs.")->Inc(5);
+  reg.GetCounter("slfe_tenant_jobs_total", "Per-tenant jobs.",
+                 {{"tenant", "acme"}})
+      ->Inc(2);
+  reg.GetGauge("slfe_queue_depth", "Queue depth.")->Set(3);
+  Histogram* h = reg.GetHistogram("slfe_latency_seconds", "Job latency.");
+  h->Observe(0.5);
+  h->Observe(2.0);
+
+  std::string text = reg.RenderPrometheusText();
+  EXPECT_NE(text.find("# HELP slfe_jobs_total Completed jobs.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE slfe_jobs_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("slfe_jobs_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("slfe_tenant_jobs_total{tenant=\"acme\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE slfe_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("slfe_queue_depth 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE slfe_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("slfe_latency_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("slfe_latency_seconds_sum 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("slfe_latency_seconds_count 2\n"), std::string::npos);
+  // The scrape end marker TCP clients read until.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  // Cumulative bucket counts: every le line's count is monotone and the
+  // largest finite bound's cumulative count equals the total.
+  uint64_t last = 0;
+  size_t pos = 0;
+  while ((pos = text.find("slfe_latency_seconds_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    size_t value_at = text.find("} ", pos);
+    ASSERT_NE(value_at, std::string::npos);
+    uint64_t cum = std::strtoull(text.c_str() + value_at + 2, nullptr, 10);
+    EXPECT_GE(cum, last);
+    last = cum;
+    ++pos;
+  }
+  EXPECT_EQ(last, 2u);
+}
+
+TEST(MetricsRegistry, JsonFormatIsPinned) {
+  MetricsRegistry reg;
+  reg.GetCounter("slfe_jobs_total", "jobs")->Inc(7);
+  Histogram* h = reg.GetHistogram("slfe_latency_seconds", "lat");
+  for (int i = 0; i < 100; ++i) h->Observe(0.01);
+
+  std::string json = reg.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must stay single-line";
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"slfe_jobs_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"slfe_latency_seconds\":{\"count\":100,"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+std::shared_ptr<JobTrace> MakeTrace(uint64_t id, bool ok = true) {
+  auto trace = std::make_shared<JobTrace>();
+  trace->job_id = id;
+  trace->tenant = "t1";
+  trace->app = "sssp";
+  trace->graph = "PK";
+  trace->AddSpan("queue_wait", 0.0, 0.001);
+  trace->MarkCompleted(ok);
+  return trace;
+}
+
+TEST(FlightRecorder, RingWrapsOldestOut) {
+  FlightRecorder recorder(/*capacity=*/4, /*slow_capacity=*/2);
+  for (uint64_t id = 1; id <= 10; ++id) {
+    recorder.Record(MakeTrace(id), /*slow=*/false);
+  }
+  std::vector<std::shared_ptr<JobTrace>> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  // Oldest-to-newest: 7, 8, 9, 10.
+  for (size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i]->job_id, 7 + i);
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.Find(10)->job_id, 10u);
+  EXPECT_EQ(recorder.Find(3), nullptr);  // evicted
+}
+
+TEST(FlightRecorder, SlowRingPinsAgainstFastBursts) {
+  FlightRecorder recorder(/*capacity=*/4, /*slow_capacity=*/2);
+  recorder.Record(MakeTrace(1), /*slow=*/true);
+  // A burst of fast jobs large enough to evict id=1 from the recent ring.
+  for (uint64_t id = 2; id <= 20; ++id) {
+    recorder.Record(MakeTrace(id), /*slow=*/false);
+  }
+  ASSERT_EQ(recorder.Slow().size(), 1u);
+  EXPECT_EQ(recorder.Slow()[0]->job_id, 1u);
+  // Still findable through the slow ring.
+  ASSERT_NE(recorder.Find(1), nullptr);
+  EXPECT_EQ(recorder.slow_recorded(), 1u);
+}
+
+TEST(JobTrace, SpansAndJson) {
+  JobTrace trace;
+  trace.job_id = 42;
+  trace.tenant = "acme";
+  trace.app = "sssp";
+  trace.engine = "dist";
+  trace.graph = "PK";
+  trace.AddSpan("queue_wait", 0.0, 0.010);
+  trace.AddSpan("guidance_acquire.cache", 0.010, 0.002);
+  trace.AddSpan("engine_execute", 0.012, 0.100);
+  EXPECT_NEAR(trace.SpanSecondsWithPrefix("guidance_acquire"), 0.002, 1e-12);
+  EXPECT_FALSE(trace.completed());
+  trace.MarkCompleted(true);
+  EXPECT_TRUE(trace.completed());
+  EXPECT_TRUE(trace.ok());
+  EXPECT_GE(trace.completed_at(), 0.0);
+
+  std::string json = trace.ToJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"job\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"engine_execute\""), std::string::npos);
+
+  std::string summary = trace.SpanSummary();
+  EXPECT_NE(summary.find("queue_wait="), std::string::npos);
+  EXPECT_NE(summary.find("guidance_acquire.cache="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slfe::obs
