@@ -22,6 +22,12 @@ std::shared_ptr<GuidanceStore> GuidanceCache::store() const {
   return store_;
 }
 
+void GuidanceCache::SetStoreAdmission(
+    std::function<bool(uint64_t graph_fingerprint)> gate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  admission_ = std::move(gate);
+}
+
 GuidanceKey GuidanceCache::MakeKey(uint64_t graph_fingerprint,
                                    const std::vector<VertexId>& roots) {
   GuidanceKey key;
@@ -41,7 +47,23 @@ std::shared_ptr<const RRGuidance> GuidanceCache::Lookup(
   if (it != index_.end()) {
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
-    return it->second->guidance;
+    Entry& entry = *it->second;
+    if (!entry.spilled && store_ != nullptr &&
+        (admission_ == nullptr || admission_(key.graph_fingerprint))) {
+      // Promotion: the admission gate declined this entry at insert time
+      // but the graph is hot now (a repeat hit proves reuse) — persist it
+      // so the reuse survives eviction and restart.
+      Status s = store_->Save(key, *entry.guidance);
+      if (s.ok()) {
+        entry.spilled = true;
+        ++stats_.admission_promotions;
+      } else {
+        ++stats_.store_errors;
+        SLFE_LOG(Warning) << "guidance store promotion failed: "
+                          << s.ToString();
+      }
+    }
+    return entry.guidance;
   }
   if (store_ != nullptr) {
     Result<RRGuidance> loaded = store_->Load(key);
@@ -81,12 +103,23 @@ void GuidanceCache::Insert(const GuidanceKey& key,
 void GuidanceCache::InsertLocked(const GuidanceKey& key,
                                  std::shared_ptr<const RRGuidance> guidance,
                                  bool spill) {
+  // Entries that came FROM the store (spill=false) are durable already;
+  // entries with no store attached have nowhere to go. Both are
+  // spilled=true — only a gate-declined write-through leaves false.
+  bool spilled = true;
   if (spill && store_ != nullptr) {
-    Status s = store_->Save(key, *guidance);
-    if (!s.ok()) {
-      // Persistence is an optimization: a failed spill costs a future
-      // resweep, never correctness.
-      SLFE_LOG(Warning) << "guidance store save failed: " << s.ToString();
+    if (admission_ != nullptr && !admission_(key.graph_fingerprint)) {
+      // Too cold to be worth disk churn: keep it memory-only. A later
+      // hit re-checks the gate and promotes (see Lookup).
+      ++stats_.admission_skips;
+      spilled = false;
+    } else {
+      Status s = store_->Save(key, *guidance);
+      if (!s.ok()) {
+        // Persistence is an optimization: a failed spill costs a future
+        // resweep, never correctness.
+        SLFE_LOG(Warning) << "guidance store save failed: " << s.ToString();
+      }
     }
   }
   auto it = index_.find(key);
@@ -94,10 +127,11 @@ void GuidanceCache::InsertLocked(const GuidanceKey& key,
     // Concurrent generators can race to insert the same key; keep the
     // newest result and bump it.
     it->second->guidance = std::move(guidance);
+    it->second->spilled = spilled;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{key, std::move(guidance)});
+  lru_.push_front(Entry{key, std::move(guidance), spilled});
   index_[key] = lru_.begin();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);

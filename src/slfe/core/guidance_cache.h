@@ -2,6 +2,7 @@
 #define SLFE_CORE_GUIDANCE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -54,6 +55,12 @@ struct GuidanceCacheStats {
   /// Store entries rejected during load (corruption/truncation). The
   /// lookup proceeds as a miss and the next Insert overwrites the bad file.
   uint64_t store_errors = 0;
+  /// Write-throughs skipped by the hotness admission gate (the graph was
+  /// too cold to be worth a .rrg file). The entry stays in memory.
+  uint64_t admission_skips = 0;
+  /// Previously-skipped entries persisted later, when a memory hit found
+  /// the graph had crossed the admission threshold.
+  uint64_t admission_promotions = 0;
 };
 
 /// A thread-safe LRU cache of generated RR guidance, realizing the
@@ -81,6 +88,16 @@ class GuidanceCache {
   /// the returned handle stays valid across a concurrent re-attach.
   void AttachStore(std::shared_ptr<GuidanceStore> store);
   std::shared_ptr<GuidanceStore> store() const;
+
+  /// Hotness admission gate for the write-through path. When set, an
+  /// Insert only spills to the attached store if
+  /// `admission(graph_fingerprint)` returns true; cold entries stay
+  /// memory-only (counted as admission_skips) and are *promoted* — saved
+  /// after the fact — by the first memory hit that finds the gate now
+  /// open (counted as admission_promotions), so a graph that turns hot
+  /// after its first job still ends up durable. nullptr (the default)
+  /// restores unconditional write-through.
+  void SetStoreAdmission(std::function<bool(uint64_t graph_fingerprint)> gate);
 
   /// Digest helper for building keys from a concrete root vector.
   static GuidanceKey MakeKey(uint64_t graph_fingerprint,
@@ -126,6 +143,11 @@ class GuidanceCache {
   struct Entry {
     GuidanceKey key;
     std::shared_ptr<const RRGuidance> guidance;
+    /// True once the entry is (or was loaded) on disk — or there is no
+    /// store to spill to. False marks a promotion candidate: the
+    /// admission gate declined the write-through and a later hot hit
+    /// should persist it.
+    bool spilled = true;
   };
 
   using LruList = std::list<Entry>;
@@ -141,6 +163,7 @@ class GuidanceCache {
   std::unordered_map<GuidanceKey, LruList::iterator, GuidanceKeyHash> index_;
   GuidanceCacheStats stats_;
   std::shared_ptr<GuidanceStore> store_;
+  std::function<bool(uint64_t)> admission_;
 };
 
 }  // namespace slfe

@@ -15,6 +15,9 @@ GuidanceProvider::GuidanceProvider(GuidanceProviderOptions options)
     store_ = std::make_shared<GuidanceStore>(options_.store_dir,
                                              options_.store_gc);
     cache_.AttachStore(store_);
+    if (options_.store_admission != nullptr) {
+      cache_.SetStoreAdmission(options_.store_admission);
+    }
   }
   if (options_.metrics != nullptr) {
     generation_hist_ = options_.metrics->GetHistogram(

@@ -122,6 +122,13 @@ struct GuidanceProviderOptions {
   size_t negative_cache_capacity = 64;
   /// Incremental-repair policy for mutated graphs.
   GuidanceRepairOptions repair;
+  /// Hotness gate for store admission (ignored when store_dir is empty).
+  /// When set, a generated entry only write-throughs to disk if
+  /// `store_admission(graph_fingerprint)` returns true; cold one-shot
+  /// graphs keep their guidance in memory but skip the .rrg write, and a
+  /// later in-memory hit promotes the entry once the gate opens (see
+  /// GuidanceCache::SetStoreAdmission). nullptr = admit everything.
+  std::function<bool(uint64_t graph_fingerprint)> store_admission;
   /// Optional registry for generation/repair/store-load duration
   /// histograms. Must outlive the provider; null = no instrumentation.
   obs::MetricsRegistry* metrics = nullptr;

@@ -139,6 +139,10 @@ GuidanceStoreSweepStats GuidanceStore::SweepLocked() {
     bool pinned = false;
     // Phase-2 attribution ("" = no tenant, global budgets only).
     std::string tenant;
+    // Estimated reuse from the hotness oracle (0 when no oracle, or for
+    // names the fingerprint cannot be recovered from — those evict as
+    // coldest, which is right: nothing can be observing them).
+    uint64_t hotness = 0;
   };
   std::vector<EntryInfo> entries;
   {
@@ -160,6 +164,10 @@ GuidanceStoreSweepStats GuidanceStore::SweepLocked() {
         info.pinned = pins_.find(fingerprint) != pins_.end();
         auto tenant_it = graph_tenant_.find(fingerprint);
         if (tenant_it != graph_tenant_.end()) info.tenant = tenant_it->second;
+        // One oracle call per entry per sweep; several entries of one
+        // graph repeat the call, but sweeps are rare and the sketch read
+        // is wait-free, so memoization would buy noise.
+        if (gc_.hotness != nullptr) info.hotness = gc_.hotness(fingerprint);
       }
       entries.push_back(std::move(info));
     }
@@ -177,6 +185,19 @@ GuidanceStoreSweepStats GuidanceStore::SweepLocked() {
   auto lru_order = [](const EntryInfo* a, const EntryInfo* b) {
     if (a->mtime_ns != b->mtime_ns) return a->mtime_ns < b->mtime_ns;
     return a->name < b->name;
+  };
+  // Budget-phase victim order: coldest-first when the hotness oracle is
+  // wired (estimated reuse beats raw recency — a stale-but-hot graph's
+  // guidance outlives a fresh one-shot's), pure mtime-LRU otherwise.
+  // The LRU order breaks hotness ties either way, so ordering stays
+  // total and deterministic.
+  const bool use_hotness = gc_.hotness != nullptr;
+  auto evict_order = [use_hotness, &lru_order](const EntryInfo* a,
+                                               const EntryInfo* b) {
+    if (use_hotness && a->hotness != b->hotness) {
+      return a->hotness < b->hotness;
+    }
+    return lru_order(a, b);
   };
 
   // Phase 1: TTL. Age is measured against the wall clock because mtimes
@@ -232,7 +253,7 @@ GuidanceStoreSweepStats GuidanceStore::SweepLocked() {
         slice.push_back(&live[i]);
         t_bytes += live[i].bytes;
       }
-      std::sort(slice.begin(), slice.end(), lru_order);
+      std::sort(slice.begin(), slice.end(), evict_order);
       uint64_t t_entries = slice.size();
       for (const EntryInfo* victim : slice) {
         bool over = (budget.max_entries > 0 && t_entries > budget.max_entries) ||
@@ -268,7 +289,7 @@ GuidanceStoreSweepStats GuidanceStore::SweepLocked() {
     for (size_t i = 0; i < live.size(); ++i) {
       if (!removed[i]) order.push_back(&live[i]);
     }
-    std::sort(order.begin(), order.end(), lru_order);
+    std::sort(order.begin(), order.end(), evict_order);
     for (const EntryInfo* victim : order) {
       bool over = (gc_.max_entries > 0 && live_count > gc_.max_entries) ||
                   (gc_.max_bytes > 0 && live_bytes > gc_.max_bytes);

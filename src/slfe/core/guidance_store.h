@@ -2,6 +2,7 @@
 #define SLFE_CORE_GUIDANCE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -90,6 +91,15 @@ struct GuidanceStoreGcOptions {
   /// phases (LRU-by-mtime within the tenant's entries). Keyed by tenant
   /// id; SetTenantBudget adds/replaces entries at runtime.
   std::map<std::string, GuidanceTenantBudget> tenant_budgets;
+  /// Hotness oracle for the budget phases' eviction ORDER. When set, a
+  /// sweep evicts coldest-first — ascending hotness(graph_fingerprint),
+  /// with the (mtime, name) LRU order breaking hotness ties — so a
+  /// stale-but-hot graph outlives a fresh-but-cold one. The JobService
+  /// wires this to its request-stream sketch (HotnessTracker estimates).
+  /// TTL expiry (phase 1) stays purely age-based, pinning is unchanged,
+  /// and nullptr preserves the historic pure-mtime LRU. Not a limit:
+  /// setting only this never causes a sweep to remove anything.
+  std::function<uint64_t(uint64_t graph_fingerprint)> hotness;
   /// Run a sweep from the constructor (only meaningful when some limit
   /// above is set). Disable for tests that stage files before sweeping.
   bool sweep_on_construction = true;

@@ -72,6 +72,9 @@ CommandSession::Disposition CommandSession::HandleLine(
     case ParsedCommand::Kind::kTrace:
       sink_(service_.RenderTraceJson(cmd.trace_arg) + "\n");
       return Disposition::kContinue;
+    case ParsedCommand::Kind::kHot:
+      sink_(service_.RenderHot(cmd.hot_k));
+      return Disposition::kContinue;
     case ParsedCommand::Kind::kShutdown:
       if (!options_.allow_shutdown) {
         Reject("shutdown not permitted");

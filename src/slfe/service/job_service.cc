@@ -44,7 +44,8 @@ JobServiceOptions Normalize(JobServiceOptions o) {
 /// multi-tenant daemon rejects meaningless jobs at Submit instead of
 /// burning a worker on them.
 api::SessionOptions SessionOptionsFor(const JobServiceOptions& o,
-                                      obs::MetricsRegistry* metrics) {
+                                      obs::MetricsRegistry* metrics,
+                                      HotnessTracker* tracker) {
   api::SessionOptions s;
   s.num_nodes = o.job_nodes;
   s.threads_per_node = o.job_threads;
@@ -54,6 +55,20 @@ api::SessionOptions SessionOptionsFor(const JobServiceOptions& o,
   // The provider the session constructs records its generation/repair/
   // store-load durations into the service's registry.
   s.provider.metrics = metrics;
+  // Store GC ranks budget-phase victims by the sketch's estimated reuse
+  // (coldest first) instead of raw mtime recency — a stale-but-hot
+  // graph's guidance outlives a fresh one-shot's. The tracker outlives
+  // the session (declaration order in JobService), so the captured
+  // pointer is safe for the provider's whole lifetime.
+  s.provider.store_gc.hotness = [tracker](uint64_t fingerprint) {
+    return tracker->EstimateGraph(fingerprint);
+  };
+  if (o.hot_admit_threshold > 0) {
+    const uint64_t threshold = o.hot_admit_threshold;
+    s.provider.store_admission = [tracker, threshold](uint64_t fingerprint) {
+      return tracker->EstimateGraph(fingerprint) >= threshold;
+    };
+  }
   s.arena_dir = o.arena_dir;
   return s;
 }
@@ -96,8 +111,9 @@ JobService::JobService(JobServiceOptions options)
     : options_(Normalize(std::move(options))),
       recorder_(std::max<size_t>(1, options_.trace_ring_capacity),
                 std::max<size_t>(8, options_.trace_ring_capacity / 2)),
+      tracker_(options_.hotness),
       session_(std::make_unique<api::Session>(
-          SessionOptionsFor(options_, &metrics_))),
+          SessionOptionsFor(options_, &metrics_, &tracker_))),
       queue_(options_.queue_capacity),
       started_at_(std::chrono::steady_clock::now()) {
   queue_wait_hist_ = metrics_.GetHistogram(
@@ -152,11 +168,12 @@ Result<JobTicket> JobService::Submit(const JobRequest& request) {
   auto reject = [&](Status status) -> Result<JobTicket> {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.rejected;
-    ++stats_.tenants[request.tenant].jobs_rejected;
+    ++TenantRowLocked(request.tenant).jobs_rejected;
     return status;
   };
 
   if (!accepting_.load()) {
+    RecordDemand(request.tenant, 0, request.app, request.graph);
     return reject(Status::FailedPrecondition("service is shutting down"));
   }
   api::AppRequest app_request = ToAppRequest(request);
@@ -166,13 +183,25 @@ Result<JobTicket> JobService::Submit(const JobRequest& request) {
   // runtime reasons.
   Result<std::shared_ptr<const Graph>> resolved =
       session_->ResolveGraph(app_request);
-  if (!resolved.ok()) return reject(resolved.status());
+  if (!resolved.ok()) {
+    // Rejected before a graph resolved: the request still counts toward
+    // the tenant/app request stream, under the "unresolved" fingerprint.
+    RecordDemand(request.tenant, 0, request.app, request.graph);
+    return reject(resolved.status());
+  }
 
   QueuedJob job;
   job.request = request;
   job.graph = std::move(resolved).value();
   job.ticket = std::make_shared<JobHandle>();
   PrepareQueuedJob(&job);
+
+  // Stream the request through the sketch plane before any store
+  // interaction: the admission gate and the eviction oracle both read
+  // the estimate this record contributes to. A queue-full rejection
+  // below does NOT re-record — the demand was observed once.
+  RecordDemand(request.tenant, job.graph->fingerprint(), request.app,
+               request.graph);
 
   GuidanceStore* store = provider().store();
   if (store != nullptr && request.enable_rr) {
@@ -188,7 +217,7 @@ Result<JobTicket> JobService::Submit(const JobRequest& request) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.submitted;
-    ++stats_.tenants[request.tenant].jobs_submitted;
+    ++TenantRowLocked(request.tenant).jobs_submitted;
   }
   JobTicket ticket = job.ticket;
   uint64_t fingerprint = job.graph->fingerprint();
@@ -196,7 +225,7 @@ Result<JobTicket> JobService::Submit(const JobRequest& request) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       --stats_.submitted;
-      --stats_.tenants[request.tenant].jobs_submitted;
+      --TenantRowLocked(request.tenant).jobs_submitted;
     }
     if (store != nullptr && request.enable_rr) store->UnpinGraph(fingerprint);
     return reject(Status::FailedPrecondition("job queue full"));
@@ -215,16 +244,23 @@ Result<JobTicket> JobService::SubmitMutation(const MutationRequest& request) {
   auto reject = [&](Status status) -> Result<JobTicket> {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.rejected;
-    ++stats_.tenants[request.tenant].jobs_rejected;
+    ++TenantRowLocked(request.tenant).jobs_rejected;
     return status;
   };
 
   if (!accepting_.load()) {
+    RecordDemand(request.tenant, 0, "mutate", request.graph);
     return reject(Status::FailedPrecondition("service is shutting down"));
   }
-  if (!session_->HasGraph(request.graph)) {
+  std::shared_ptr<const Graph> current = session_->GetGraph(request.graph);
+  if (current == nullptr) {
+    RecordDemand(request.tenant, 0, "mutate", request.graph);
     return reject(Status::NotFound("graph not registered: " + request.graph));
   }
+  // Mutations are demand too: a tenant rewriting a graph is the clearest
+  // signal the graph's guidance will be wanted again.
+  RecordDemand(request.tenant, current->fingerprint(), "mutate",
+               request.graph);
 
   QueuedJob job;
   job.request.tenant = request.tenant;
@@ -239,18 +275,53 @@ Result<JobTicket> JobService::SubmitMutation(const MutationRequest& request) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.submitted;
-    ++stats_.tenants[request.tenant].jobs_submitted;
+    ++TenantRowLocked(request.tenant).jobs_submitted;
   }
   JobTicket ticket = job.ticket;
   if (!queue_.TryPush(request.tenant, std::move(job))) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       --stats_.submitted;
-      --stats_.tenants[request.tenant].jobs_submitted;
+      --TenantRowLocked(request.tenant).jobs_submitted;
     }
     return reject(Status::FailedPrecondition("job queue full"));
   }
   return ticket;
+}
+
+void JobService::RecordDemand(const std::string& tenant, uint64_t fingerprint,
+                              const std::string& app,
+                              const std::string& graph_name) {
+  HotnessTracker::RecordResult recorded =
+      tracker_.Record(tenant, fingerprint, app);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (fingerprint != 0 && !graph_name.empty()) {
+    // First name wins: a symmetrized closure or mutated version keeps
+    // displaying under the name the tenant submitted against.
+    fingerprint_names_.emplace(fingerprint, graph_name);
+  }
+  if (recorded.first_tenant && options_.max_tracked_tenants > 0 &&
+      stats_.tenants.size() >= options_.max_tracked_tenants &&
+      stats_.tenants.find(tenant) == stats_.tenants.end()) {
+    // A genuinely new tenant arriving after the exact rows filled up:
+    // it will only ever be accounted in the sketched tail.
+    ++stats_.tenants_sketched;
+  }
+}
+
+TenantStats& JobService::TenantRowLocked(const std::string& tenant) {
+  auto it = stats_.tenants.find(tenant);
+  if (it != stats_.tenants.end()) return it->second;
+  if (options_.max_tracked_tenants == 0 ||
+      stats_.tenants.size() < options_.max_tracked_tenants) {
+    return stats_.tenants[tenant];
+  }
+  // Cap reached: exact accounting folds into the shared tail row (rows
+  // plus tail still sum to the service totals); the per-tenant request
+  // rate stays readable through the sketch (EstimateTenant) at O(1)
+  // memory. A tenant tracked once is tracked forever — rows are never
+  // evicted — so a row can never alternate between exact and tail.
+  return stats_.sketched_tail;
 }
 
 void JobService::PrepareQueuedJob(QueuedJob* job) {
@@ -316,7 +387,7 @@ void JobService::WorkerLoop() {
 
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      TenantStats& tenant = stats_.tenants[job.request.tenant];
+      TenantStats& tenant = TenantRowLocked(job.request.tenant);
       if (result.status.ok()) {
         ++stats_.completed;
         ++tenant.jobs_completed;
@@ -476,7 +547,39 @@ JobServiceStats JobService::Stats() const {
   snapshot.uptime_seconds = SecondsSince(started_at_);
   snapshot.pid = static_cast<int>(::getpid());
   snapshot.version = BuildVersionString();
+  snapshot.sketch_observations = tracker_.Observations();
+  snapshot.sketch_decays = tracker_.Decays();
+  snapshot.tenants_tracked = snapshot.tenants.size();
   return snapshot;
+}
+
+std::string JobService::RenderHot(size_t k) const {
+  if (k == 0) k = 10;
+  std::vector<HotGraph> top = tracker_.TopGraphs(k);
+  std::string out;
+  {
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "hot: k=%zu observations=%llu decays=%llu\n", k,
+                  static_cast<unsigned long long>(tracker_.Observations()),
+                  static_cast<unsigned long long>(tracker_.Decays()));
+    out += head;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  size_t rank = 0;
+  for (const HotGraph& hit : top) {
+    ++rank;
+    auto named = fingerprint_names_.find(hit.fingerprint);
+    const char* name =
+        named != fingerprint_names_.end() ? named->second.c_str() : "?";
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "hot %zu graph=%s fp=%016llx est=%llu\n", rank, name,
+                  static_cast<unsigned long long>(hit.fingerprint),
+                  static_cast<unsigned long long>(hit.estimate));
+    out += line;
+  }
+  return out;
 }
 
 void JobService::CollectMetrics() {
@@ -519,10 +622,44 @@ void JobService::CollectMetrics() {
   set("slfe_trace_recorded_total",
       "Completed job traces pushed into the flight recorder",
       recorder_.recorded());
+  set("slfe_sketch_observations_total",
+      "Requests streamed through the demand sketch", s.sketch_observations);
+  set("slfe_sketch_decays_total",
+      "Exponential-decay halvings applied to the demand sketch",
+      s.sketch_decays);
+  set("slfe_guidance_admission_skips_total",
+      "Guidance store writes skipped for cold graphs", s.cache.admission_skips);
+  set("slfe_guidance_admission_promotions_total",
+      "Cold guidance entries persisted after turning hot",
+      s.cache.admission_promotions);
   metrics_.GetGauge("slfe_uptime_seconds", "Seconds since service start")
       ->Set(s.uptime_seconds);
   metrics_.GetGauge("slfe_queue_depth", "Jobs currently queued")
       ->Set(static_cast<double>(queue_.size()));
+  metrics_.GetGauge("slfe_tenants_tracked",
+                    "Tenants with exact per-tenant stat rows")
+      ->Set(static_cast<double>(s.tenants_tracked));
+  metrics_.GetGauge("slfe_tenants_sketched",
+                    "Tenants accounted only through the sketch tail")
+      ->Set(static_cast<double>(s.tenants_sketched));
+  std::vector<HotGraph> top = tracker_.TopGraphs(8);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const HotGraph& hit : top) {
+      auto named = fingerprint_names_.find(hit.fingerprint);
+      char fp_hex[24];
+      std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                    static_cast<unsigned long long>(hit.fingerprint));
+      const std::string label =
+          named != fingerprint_names_.end() ? named->second
+                                            : std::string(fp_hex);
+      metrics_
+          .GetGauge("slfe_hot_graph_estimate",
+                    "Estimated request count for a heavy-hitter graph",
+                    {{"graph", label}})
+          ->Set(static_cast<double>(hit.estimate));
+    }
+  }
 }
 
 std::string JobService::RenderMetricsText() {

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "slfe/api/session.h"
@@ -23,6 +24,7 @@
 #include "slfe/obs/metrics.h"
 #include "slfe/obs/trace.h"
 #include "slfe/service/job_queue.h"
+#include "slfe/sketch/hotness.h"
 
 namespace slfe::service {
 
@@ -219,6 +221,21 @@ struct JobServiceStats {
   std::map<std::string, TenantStats> tenants;
   GuidanceProviderStats provider;
   GuidanceCacheStats cache;
+  /// Sketch plane: requests streamed through the HotnessTracker and
+  /// exponential-decay halvings applied to it so far.
+  uint64_t sketch_observations = 0;
+  uint64_t sketch_decays = 0;
+  /// Exact per-tenant rows kept (== tenants.size()) vs. distinct tenants
+  /// spilled past the max_tracked_tenants cap into sketch-only
+  /// accounting. The spill count leans on count-min's never-underestimate
+  /// property for first-seen detection, so it is exact until decay or a
+  /// collision makes a new tenant look already-seen.
+  uint64_t tenants_tracked = 0;
+  uint64_t tenants_sketched = 0;
+  /// Aggregate accounting for the spilled tail — tracked rows plus this
+  /// row still sum to the service totals, the per-tenant split within the
+  /// tail lives only in the sketch (EstimateTenant).
+  TenantStats sketched_tail;
 };
 
 struct JobServiceOptions {
@@ -266,6 +283,21 @@ struct JobServiceOptions {
   /// exposition here every interval (atomic temp + rename), so external
   /// collectors can scrape a file instead of holding a connection.
   std::string metrics_dump_path;
+  /// Sketch plane sizing (src/slfe/sketch/): every submission — query,
+  /// mutation, or rejected request — is streamed through a HotnessTracker
+  /// keyed by (tenant, graph fingerprint, app). The tracker also feeds
+  /// the store GC's coldest-first eviction order.
+  HotnessOptions hotness;
+  /// > 0 enables hotness-gated store admission: generated guidance is
+  /// written to the .rrg store only once its graph's estimated request
+  /// count reaches this threshold. Colder graphs keep their guidance in
+  /// memory (and are promoted to disk by the first hit after the graph
+  /// turns hot). 0 = admit everything, the historic behavior.
+  uint64_t hot_admit_threshold = 0;
+  /// Exact per-tenant stat rows kept in Stats(). Tenants beyond the cap
+  /// are accounted in one aggregate row (sketched_tail) plus the sketch,
+  /// bounding the map at production tenant cardinality. 0 = unlimited.
+  size_t max_tracked_tenants = 256;
 };
 
 /// The long-lived multi-tenant daemon core: accepts job requests into a
@@ -371,6 +403,16 @@ class JobService {
   /// object if the ring has evicted it). Always a single line.
   std::string RenderTraceJson(const std::string& selector) const;
 
+  /// The `hot [k]` command payload: a `hot:` header (k, sketch
+  /// observations, decays) followed by one `hot <rank> graph=<name>
+  /// fp=<hex> est=<n>` line per tracked heavy-hitter graph, hottest
+  /// first. Graphs whose fingerprint has no registered name (e.g. a
+  /// pre-restart mutation lineage) render as graph=?.
+  std::string RenderHot(size_t k) const;
+
+  /// The request-stream sketch (tests cross-check estimates through it).
+  const HotnessTracker& hotness() const { return tracker_; }
+
   /// Graceful shutdown: reject new submissions, drain every already
   /// accepted job, stop the maintenance loop, run the final sweep.
   /// Idempotent; blocks until the workers have exited.
@@ -413,12 +455,24 @@ class JobService {
   /// Mirrors Stats() counters into the registry before rendering.
   void CollectMetrics();
   void WriteMetricsDump();
+  /// Streams one request through the sketch plane and (under stats_mu_)
+  /// maintains the fingerprint->name map for `hot` rendering plus the
+  /// distinct-spilled-tenant count. fingerprint == 0 = unresolved.
+  void RecordDemand(const std::string& tenant, uint64_t fingerprint,
+                    const std::string& app, const std::string& graph_name);
+  /// The tenant's exact stats row, or the sketched_tail aggregate once
+  /// the max_tracked_tenants cap is reached. Caller holds stats_mu_.
+  TenantStats& TenantRowLocked(const std::string& tenant);
 
   JobServiceOptions options_;
   /// Declared before session_: the session's provider keeps histogram
   /// pointers into this registry for its whole lifetime.
   obs::MetricsRegistry metrics_;
   obs::FlightRecorder recorder_;
+  /// Declared before session_: the session's provider holds admission /
+  /// eviction-oracle lambdas that read the tracker, so the tracker must
+  /// outlive the session.
+  HotnessTracker tracker_;
   std::unique_ptr<api::Session> session_;
   JobQueue<QueuedJob> queue_;
 
@@ -432,6 +486,9 @@ class JobService {
 
   mutable std::mutex stats_mu_;
   JobServiceStats stats_;
+  /// Graph fingerprint -> registered name for `hot` rendering (guarded by
+  /// stats_mu_; bounded by the registered-graph count, first name wins).
+  std::unordered_map<uint64_t, std::string> fingerprint_names_;
 
   std::atomic<bool> accepting_{true};
   std::atomic<bool> stopping_{false};

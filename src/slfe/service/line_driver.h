@@ -25,6 +25,7 @@ struct LineDriverOptions {
 ///   wait          # block until all submitted jobs finish, print results
 ///   sweep         # run a maintenance sweep now, print what it did
 ///   stats         # print the service + per-tenant counters
+///   hot [k]       # print the top-k heavy-hitter graphs (default 10)
 ///   quit          # wait, then exit the loop (`shutdown` is equivalent)
 ///   # comment     # ignored, as are blank lines
 ///

@@ -203,6 +203,21 @@ ParsedCommand ParseCommandLine(const std::string& line) {
     if (tokens.size() == 2) cmd.trace_arg = tokens[1];
     return cmd;
   }
+  if (command == "hot" && (tokens.size() == 1 || tokens.size() == 2)) {
+    if (tokens.size() == 2) {
+      if (!IsDigits(tokens[1])) {
+        return Error("bad hot count '" + tokens[1] + "'");
+      }
+      errno = 0;
+      unsigned long long k = std::strtoull(tokens[1].c_str(), nullptr, 10);
+      if (errno == ERANGE || k == 0 || k > 1024) {
+        return Error("hot count '" + tokens[1] + "' out of range");
+      }
+      cmd.hot_k = static_cast<size_t>(k);
+    }
+    cmd.kind = ParsedCommand::Kind::kHot;
+    return cmd;
+  }
   if (command == "auth" && (tokens.size() == 2 || tokens.size() == 3)) {
     cmd.kind = ParsedCommand::Kind::kAuth;
     cmd.auth_tenant = tokens[1];
@@ -281,19 +296,50 @@ std::string FormatStats(const JobServiceStats& stats) {
           static_cast<unsigned long long>(stats.net.results_streamed));
   Appendf(&out,
           "guidance: generations=%llu coalesced=%llu repairs=%llu "
-          "repair_fallbacks=%llu cache_hits=%llu store_hits=%llu\n",
+          "repair_fallbacks=%llu cache_hits=%llu store_hits=%llu "
+          "admission_skips=%llu admission_promotions=%llu\n",
           static_cast<unsigned long long>(stats.provider.generations),
           static_cast<unsigned long long>(stats.provider.coalesced),
           static_cast<unsigned long long>(stats.provider.repairs),
           static_cast<unsigned long long>(stats.provider.repair_fallbacks),
           static_cast<unsigned long long>(stats.cache.hits),
-          static_cast<unsigned long long>(stats.cache.store_hits));
+          static_cast<unsigned long long>(stats.cache.store_hits),
+          static_cast<unsigned long long>(stats.cache.admission_skips),
+          static_cast<unsigned long long>(stats.cache.admission_promotions));
+  Appendf(&out,
+          "sketch: observations=%llu decays=%llu tenants_tracked=%llu "
+          "tenants_sketched=%llu\n",
+          static_cast<unsigned long long>(stats.sketch_observations),
+          static_cast<unsigned long long>(stats.sketch_decays),
+          static_cast<unsigned long long>(stats.tenants_tracked),
+          static_cast<unsigned long long>(stats.tenants_sketched));
   for (const auto& [tenant, t] : stats.tenants) {
     Appendf(&out,
             "tenant %s: jobs=%llu/%llu failed=%llu rejected=%llu "
             "mutations=%llu guidance hits=%llu misses=%llu "
             "repaired=%llu bytes=%llu acquire=%.4fs\n",
             tenant.c_str(),
+            static_cast<unsigned long long>(t.jobs_completed),
+            static_cast<unsigned long long>(t.jobs_submitted),
+            static_cast<unsigned long long>(t.jobs_failed),
+            static_cast<unsigned long long>(t.jobs_rejected),
+            static_cast<unsigned long long>(t.mutations),
+            static_cast<unsigned long long>(t.guidance_hits),
+            static_cast<unsigned long long>(t.guidance_misses),
+            static_cast<unsigned long long>(t.guidance_repaired),
+            static_cast<unsigned long long>(t.guidance_bytes),
+            t.guidance_seconds);
+  }
+  if (stats.tenants_sketched > 0) {
+    // Aggregate row for tenants past the exact-tracking cap; per-tenant
+    // rates for these live in the sketch (`hot`, EstimateTenant), while
+    // this row keeps the tenant table summing to the service totals.
+    const TenantStats& t = stats.sketched_tail;
+    Appendf(&out,
+            "tenant (sketched %llu): jobs=%llu/%llu failed=%llu "
+            "rejected=%llu mutations=%llu guidance hits=%llu misses=%llu "
+            "repaired=%llu bytes=%llu acquire=%.4fs\n",
+            static_cast<unsigned long long>(stats.tenants_sketched),
             static_cast<unsigned long long>(t.jobs_completed),
             static_cast<unsigned long long>(t.jobs_submitted),
             static_cast<unsigned long long>(t.jobs_failed),

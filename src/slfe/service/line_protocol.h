@@ -26,6 +26,7 @@ struct ParsedCommand {
     kShutdown,  ///< stop the whole daemon (gated by an option at dispatch)
     kMetrics,   ///< metrics exposition; `metrics_json` selects the format
     kTrace,     ///< flight-recorder dump; selector in `trace_arg`
+    kHot,       ///< top-k heavy-hitter graphs; k in `hot_k`
     kError,     ///< malformed; `error` holds the full reject line
   };
   Kind kind = Kind::kEmpty;
@@ -38,6 +39,8 @@ struct ParsedCommand {
   bool metrics_json = false;
   /// For kTrace: "" (= recent), "recent", "slow", or a job id.
   std::string trace_arg;
+  /// For kHot: requested list length; bare `hot` leaves the default.
+  size_t hot_k = 10;
   /// For kError: a complete, '\n'-terminated "reject: ..." line. Always
   /// terminated even when the offending input line was not — an
   /// unterminated reject would glue onto the next output line.
@@ -59,6 +62,7 @@ Result<VertexId> ParseVertexId(const std::string& token);
 ///   auth <tenant> [token]
 ///   metrics [json]
 ///   trace [recent|slow|<job-id>]
+///   hot [k]
 ///   wait | sweep | stats | quit | shutdown | # comment
 ParsedCommand ParseCommandLine(const std::string& line);
 

@@ -1,0 +1,65 @@
+#pragma once
+
+// Exponentially-decayed windowing wrapper over a count-min sketch.
+//
+// A raw sketch accumulates forever, so a graph that was hot last week
+// stays "hot" long after traffic moved on. DecayingCountMin halves all
+// counters every `decay_interval` updates, which makes each counter an
+// exponentially-weighted window over the stream: weight of an update
+// that happened w windows ago is 2^-w. The epsilon*N error contract
+// survives because the sketch's internal total is halved in lockstep.
+//
+// An optional on_decay callback fires (outside the sketch's cell loops,
+// under this wrapper's decay mutex) so companion structures — a
+// count-sketch, a top-k tracker — can halve in sync and keep their
+// estimates comparable with the decayed count-min.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "slfe/sketch/sketch.h"
+
+namespace slfe {
+
+class DecayingCountMin {
+ public:
+  // decay_interval == 0 disables decay (pure pass-through wrapper).
+  explicit DecayingCountMin(const SketchOptions& options = SketchOptions(),
+                            uint64_t decay_interval = 0,
+                            std::function<void()> on_decay = nullptr)
+      : sketch_(options),
+        decay_interval_(decay_interval),
+        on_decay_(std::move(on_decay)) {}
+
+  uint64_t Update(uint64_t key, uint64_t count = 1) {
+    uint64_t est = sketch_.Update(key, count);
+    if (decay_interval_ != 0) {
+      uint64_t seen = updates_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (seen % decay_interval_ == 0) {
+        // One decay per crossing; the mutex keeps a slow Halve() from
+        // overlapping the next interval's trigger.
+        std::lock_guard<std::mutex> lock(decay_mu_);
+        sketch_.Halve();
+        decays_.fetch_add(1, std::memory_order_relaxed);
+        if (on_decay_) on_decay_();
+      }
+    }
+    return est;
+  }
+
+  uint64_t Estimate(uint64_t key) const { return sketch_.Estimate(key); }
+  uint64_t TotalWeight() const { return sketch_.TotalWeight(); }
+  uint64_t Decays() const { return decays_.load(std::memory_order_relaxed); }
+  const CountMinSketch& sketch() const { return sketch_; }
+
+ private:
+  CountMinSketch sketch_;
+  const uint64_t decay_interval_;
+  std::function<void()> on_decay_;
+  std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> decays_{0};
+  std::mutex decay_mu_;
+};
+
+}  // namespace slfe

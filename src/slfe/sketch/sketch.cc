@@ -1,0 +1,131 @@
+#include "slfe/sketch/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slfe {
+namespace {
+
+// Deterministic seed stream so differential tests are reproducible;
+// rows still hash independently because splitmix64 decorrelates
+// consecutive seeds.
+uint64_t RowSeed(uint64_t salt, size_t row) {
+  return SketchMix64(salt + 0x5851f42d4c957f2dull * (row + 1));
+}
+
+}  // namespace
+
+size_t SketchOptions::ResolveWidth() const {
+  if (width > 0) return width;
+  const double e = 2.718281828459045;
+  double w = std::ceil(e / (epsilon > 0 ? epsilon : 1.0 / 1024.0));
+  return static_cast<size_t>(std::max(8.0, w));
+}
+
+size_t SketchOptions::ResolveDepth() const {
+  if (depth > 0) return depth;
+  double d = std::ceil(std::log(1.0 / (delta > 0 ? delta : 0.01)));
+  return static_cast<size_t>(std::min(16.0, std::max(2.0, d)));
+}
+
+CountMinSketch::CountMinSketch(const SketchOptions& options)
+    : width_(options.ResolveWidth()),
+      depth_(std::min<size_t>(16, options.ResolveDepth())),
+      seeds_(depth_),
+      cells_(width_ * depth_) {
+  for (size_t row = 0; row < depth_; ++row) {
+    seeds_[row] = RowSeed(0x436f756e744d696eull, row);  // "CountMin"
+  }
+}
+
+uint64_t CountMinSketch::Update(uint64_t key, uint64_t count) {
+  if (count == 0) return Estimate(key);
+  // Serialize same-key updates so the conservative read-modify-write is
+  // atomic per key; other keys proceed on other stripes and can only
+  // raise our cells (which the CAS-max below tolerates).
+  std::lock_guard<std::mutex> lock(stripes_[SketchMix64(key) % kStripes]);
+  uint64_t est = UINT64_MAX;
+  size_t idx[/*depth upper bound*/ 16];
+  for (size_t row = 0; row < depth_; ++row) {
+    idx[row] = CellIndex(row, key);
+    est = std::min(est, cells_[idx[row]].load(std::memory_order_relaxed));
+  }
+  const uint64_t target = est + count;
+  for (size_t row = 0; row < depth_; ++row) {
+    std::atomic<uint64_t>& cell = cells_[idx[row]];
+    uint64_t cur = cell.load(std::memory_order_relaxed);
+    // CAS-max: only raise cells below the new estimate — the
+    // conservative update — and never lower a concurrently-raised one.
+    while (cur < target &&
+           !cell.compare_exchange_weak(cur, target,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  total_.fetch_add(count, std::memory_order_relaxed);
+  return target;
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint64_t est = UINT64_MAX;
+  for (size_t row = 0; row < depth_; ++row) {
+    est = std::min(est,
+                   cells_[CellIndex(row, key)].load(std::memory_order_relaxed));
+  }
+  return est;
+}
+
+void CountMinSketch::Halve() {
+  for (auto& cell : cells_) {
+    uint64_t cur = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(cur, cur / 2,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t cur = total_.load(std::memory_order_relaxed);
+  while (!total_.compare_exchange_weak(cur, cur / 2,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+CountSketch::CountSketch(const SketchOptions& options)
+    : width_(options.ResolveWidth()),
+      depth_(std::min<size_t>(16, options.ResolveDepth())),
+      seeds_(depth_),
+      sign_seeds_(depth_),
+      cells_(width_ * depth_) {
+  for (size_t row = 0; row < depth_; ++row) {
+    seeds_[row] = RowSeed(0x436f756e74536b65ull, row);       // "CountSke"
+    sign_seeds_[row] = RowSeed(0x5369676e48617368ull, row);  // "SignHash"
+  }
+}
+
+void CountSketch::Update(uint64_t key, int64_t count) {
+  for (size_t row = 0; row < depth_; ++row) {
+    cells_[CellIndex(row, key)].fetch_add(Sign(row, key) * count,
+                                          std::memory_order_relaxed);
+  }
+}
+
+int64_t CountSketch::Estimate(uint64_t key) const {
+  int64_t vals[16] = {};
+  for (size_t row = 0; row < depth_; ++row) {
+    vals[row] = Sign(row, key) *
+                cells_[CellIndex(row, key)].load(std::memory_order_relaxed);
+  }
+  std::nth_element(vals, vals + depth_ / 2, vals + depth_);
+  int64_t hi = vals[depth_ / 2];
+  if (depth_ % 2 == 1) return hi;
+  std::nth_element(vals, vals + depth_ / 2 - 1, vals + depth_ / 2);
+  return (vals[depth_ / 2 - 1] + hi) / 2;
+}
+
+void CountSketch::Halve() {
+  for (auto& cell : cells_) {
+    int64_t cur = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(cur, cur / 2,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+}
+
+}  // namespace slfe

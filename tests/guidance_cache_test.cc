@@ -425,6 +425,78 @@ TEST(GuidanceProviderTest, RepeatedSsspJobHitsCacheWithIdenticalResults) {
   EXPECT_EQ(provider.cache_stats().hits, 1u);
 }
 
+// -------------------------------------------------- Hotness admission
+
+TEST(GuidanceAdmissionTest, ColdGraphSkipsTheStoreWrite) {
+  Graph g = Graph::FromEdges(GenerateChain(20));
+  GuidanceProviderOptions opt = StoreOptions("slfe_admission_cold");
+  opt.store_admission = [](uint64_t) { return false; };  // everything cold
+  GuidanceProvider provider(opt);
+  ASSERT_TRUE(provider.store()->RemoveAll().ok());
+
+  GuidanceAcquisition acq = provider.AcquireForRoots(g, {0});
+  ASSERT_TRUE(acq);  // in-memory guidance is unaffected by the gate
+  GuidanceKey key = GuidanceCache::MakeKey(g.fingerprint(), {0});
+  EXPECT_FALSE(provider.store()->Contains(key));
+  EXPECT_EQ(provider.cache_stats().admission_skips, 1u);
+  EXPECT_EQ(provider.cache_stats().admission_promotions, 0u);
+
+  // The price of staying cold: nothing durable, so a cache wipe means a
+  // full regeneration instead of a store reload.
+  provider.cache().Clear();
+  GuidanceAcquisition again = provider.AcquireForRoots(g, {0});
+  ASSERT_TRUE(again);
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_EQ(provider.cache_stats().store_hits, 0u);
+  EXPECT_EQ(provider.stats().generations, 2u);
+}
+
+TEST(GuidanceAdmissionTest, MemoryHitPromotesOnceTheGraphTurnsHot) {
+  Graph g = Graph::FromEdges(GenerateChain(24));
+  std::atomic<uint64_t> demand{0};  // stands in for the demand sketch
+  GuidanceProviderOptions opt = StoreOptions("slfe_admission_promote");
+  opt.store_admission = [&demand](uint64_t) { return demand.load() >= 2; };
+  GuidanceProvider provider(opt);
+  ASSERT_TRUE(provider.store()->RemoveAll().ok());
+
+  demand = 1;
+  provider.AcquireForRoots(g, {0});  // cold at insert: write skipped
+  GuidanceKey key = GuidanceCache::MakeKey(g.fingerprint(), {0});
+  EXPECT_FALSE(provider.store()->Contains(key));
+  EXPECT_EQ(provider.cache_stats().admission_skips, 1u);
+
+  // The graph turns hot while its guidance still lives in memory. The
+  // insert path never runs again (every later acquire is a cache hit),
+  // so the hit path itself must notice and persist — otherwise a hot
+  // graph that was born cold would never reach the store.
+  demand = 5;
+  GuidanceAcquisition hot = provider.AcquireForRoots(g, {0});
+  EXPECT_TRUE(hot.cache_hit);
+  EXPECT_TRUE(provider.store()->Contains(key));
+  EXPECT_EQ(provider.cache_stats().admission_promotions, 1u);
+
+  // Promotion is once-per-entry, not once-per-hit.
+  provider.AcquireForRoots(g, {0});
+  EXPECT_EQ(provider.cache_stats().admission_promotions, 1u);
+
+  // And the promoted bytes are real: wipe memory, reload from disk.
+  provider.cache().Clear();
+  GuidanceAcquisition reloaded = provider.AcquireForRoots(g, {0});
+  EXPECT_TRUE(reloaded.cache_hit);
+  EXPECT_EQ(provider.cache_stats().store_hits, 1u);
+  EXPECT_EQ(provider.stats().generations, 1u);
+}
+
+TEST(GuidanceAdmissionTest, NullGateAdmitsEverything) {
+  Graph g = Graph::FromEdges(GenerateChain(16));
+  GuidanceProvider provider(StoreOptions("slfe_admission_null"));
+  ASSERT_TRUE(provider.store()->RemoveAll().ok());
+  provider.AcquireForRoots(g, {0});
+  EXPECT_TRUE(
+      provider.store()->Contains(GuidanceCache::MakeKey(g.fingerprint(), {0})));
+  EXPECT_EQ(provider.cache_stats().admission_skips, 0u);
+}
+
 TEST(GuidanceProviderTest, BaselineRunsAcquireNothing) {
   Graph g = Graph::FromEdges(GenerateChain(16));
   GuidanceProvider provider;

@@ -8,11 +8,13 @@
 #include <gtest/gtest.h>
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <ctime>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "slfe/core/guidance_cache.h"
@@ -427,6 +429,136 @@ TEST(GuidanceStoreGcTest, PinnedGraphSurvivesEveryPhase) {
   sweep = store.Sweep();
   EXPECT_EQ(sweep.ttl_removed, 3u);
   EXPECT_EQ(sweep.remaining_entries, 0u);
+}
+
+// ---------------------------------------------------- Hotness eviction
+
+TEST(GuidanceStoreGcTest, StaleButHotSurvivesBudgetSweep) {
+  // With a hotness oracle the budget phase evicts coldest-first: the
+  // stalest entry survives because it is the hottest, while fresher but
+  // colder entries go — the opposite of the historic mtime-LRU verdict.
+  GuidanceStoreGcOptions gc;
+  gc.sweep_on_construction = false;
+  gc.max_entries = 1;
+  Graph a = Graph::FromEdges(GenerateChain(20));
+  Graph b = Graph::FromEdges(GenerateChain(21));
+  Graph c = Graph::FromEdges(GenerateChain(22));
+  std::unordered_map<uint64_t, uint64_t> demand = {
+      {a.fingerprint(), 100}, {b.fingerprint(), 2}, {c.fingerprint(), 1}};
+  gc.hotness = [&demand](uint64_t fp) {
+    auto it = demand.find(fp);
+    return it == demand.end() ? uint64_t{0} : it->second;
+  };
+  GuidanceStore store(StoreDir("slfe_gc_hotness"), gc);
+  ASSERT_TRUE(store.RemoveAll().ok());
+
+  auto save = [&](const Graph& g, double age) -> GuidanceKey {
+    std::vector<VertexId> roots = {0};
+    GuidanceKey key = GuidanceCache::MakeKey(g.fingerprint(), roots);
+    EXPECT_TRUE(store.Save(key, RRGuidance::GenerateSerial(g, roots)).ok());
+    SetAge(store.EntryPath(key), age);
+    return key;
+  };
+  GuidanceKey ka = save(a, 500);  // stalest, hottest
+  GuidanceKey kb = save(b, 300);
+  GuidanceKey kc = save(c, 100);  // freshest, coldest
+
+  GuidanceStoreSweepStats sweep = store.Sweep();
+  EXPECT_EQ(sweep.budget_removed, 2u);
+  EXPECT_TRUE(store.Contains(ka));
+  EXPECT_FALSE(store.Contains(kb));
+  EXPECT_FALSE(store.Contains(kc));
+}
+
+TEST(GuidanceStoreGcTest, EqualHotnessFallsBackToMtimeLru) {
+  // A constant oracle must reproduce the historic LRU verdict exactly —
+  // hotness refines the order, it never scrambles the tie-break.
+  GuidanceStoreGcOptions gc;
+  gc.sweep_on_construction = false;
+  gc.max_entries = 1;
+  gc.hotness = [](uint64_t) { return uint64_t{5}; };
+  Graph a = Graph::FromEdges(GenerateChain(20));
+  Graph b = Graph::FromEdges(GenerateChain(21));
+  GuidanceStore store(StoreDir("slfe_gc_hot_tie"), gc);
+  ASSERT_TRUE(store.RemoveAll().ok());
+
+  GuidanceKey ka = GuidanceCache::MakeKey(a.fingerprint(), {0});
+  ASSERT_TRUE(store.Save(ka, RRGuidance::GenerateSerial(a, {0})).ok());
+  SetAge(store.EntryPath(ka), 500);
+  GuidanceKey kb = GuidanceCache::MakeKey(b.fingerprint(), {0});
+  ASSERT_TRUE(store.Save(kb, RRGuidance::GenerateSerial(b, {0})).ok());
+  SetAge(store.EntryPath(kb), 100);
+
+  store.Sweep();
+  EXPECT_FALSE(store.Contains(ka));  // stalest loses, as without an oracle
+  EXPECT_TRUE(store.Contains(kb));
+}
+
+TEST(GuidanceStoreGcTest, PinBeatsColdnessAndTtlIgnoresHotness) {
+  // Pinning still wins over the coldest-first verdict, and the TTL phase
+  // stays purely age-based: an expired entry dies however hot it is.
+  GuidanceStoreGcOptions gc;
+  gc.sweep_on_construction = false;
+  gc.ttl_seconds = 200;
+  gc.max_entries = 1;
+  Graph a = Graph::FromEdges(GenerateChain(20));
+  Graph b = Graph::FromEdges(GenerateChain(21));
+  Graph c = Graph::FromEdges(GenerateChain(22));
+  gc.hotness = [&](uint64_t fp) {
+    return fp == a.fingerprint() ? uint64_t{1000} : uint64_t{1};
+  };
+  GuidanceStore store(StoreDir("slfe_gc_hot_pin"), gc);
+  ASSERT_TRUE(store.RemoveAll().ok());
+
+  auto save = [&](const Graph& g, double age) -> GuidanceKey {
+    GuidanceKey key = GuidanceCache::MakeKey(g.fingerprint(), {0});
+    EXPECT_TRUE(store.Save(key, RRGuidance::GenerateSerial(g, {0})).ok());
+    SetAge(store.EntryPath(key), age);
+    return key;
+  };
+  GuidanceKey ka = save(a, 500);  // hottest, but TTL-expired
+  GuidanceKey kb = save(b, 100);  // cold: budget victim unless pinned
+  GuidanceKey kc = save(c, 50);   // cold
+
+  store.PinGraph(b.fingerprint());
+  GuidanceStoreSweepStats sweep = store.Sweep();
+  store.UnpinGraph(b.fingerprint());
+  EXPECT_EQ(sweep.ttl_removed, 1u);
+  EXPECT_FALSE(store.Contains(ka));  // hotness does not veto TTL
+  EXPECT_TRUE(store.Contains(kb));   // pinned: spared from the budget phase
+  EXPECT_FALSE(store.Contains(kc));  // the one eviction the budget needed
+  EXPECT_GE(sweep.pinned_spared, 1u);
+}
+
+TEST(GuidanceStoreGcTest, EqualMtimeEvictionIsDeterministicByName) {
+  // Same-second saves are common on coarse-mtime filesystems; the LRU
+  // comparator breaks the tie by entry name so repeated sweeps over
+  // identical directories always pick the same victims.
+  GuidanceStoreGcOptions gc;
+  gc.sweep_on_construction = false;
+  gc.max_entries = 1;
+  Graph graph = Graph::FromEdges(GenerateChain(20));
+  GuidanceStore store(StoreDir("slfe_gc_mtime_tie"), gc);
+  ASSERT_TRUE(store.RemoveAll().ok());
+
+  std::vector<GuidanceKey> keys;
+  std::vector<std::string> names;
+  for (VertexId r = 0; r < 3; ++r) {
+    GuidanceKey key = GuidanceCache::MakeKey(graph.fingerprint(), {r});
+    ASSERT_TRUE(store.Save(key, RRGuidance::GenerateSerial(graph, {r})).ok());
+    SetAge(store.EntryPath(key), 100);  // identical mtime for all three
+    keys.push_back(key);
+    names.push_back(store.EntryPath(key));
+  }
+  GuidanceStoreSweepStats sweep = store.Sweep();
+  EXPECT_EQ(sweep.budget_removed, 2u);
+  // (mtime, name) ascending: the lexicographically-largest name is the
+  // "youngest" of the tie and must be the survivor, every time.
+  size_t survivor =
+      std::max_element(names.begin(), names.end()) - names.begin();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(store.Contains(keys[i]), i == survivor) << names[i];
+  }
 }
 
 TEST(GuidanceStoreGcConcurrencyTest, HammerTwoGraphsWhileSweeping) {

@@ -1018,5 +1018,151 @@ TEST(JobServiceObservabilityTest, TracingDisabledStillFeedsHistograms) {
             std::string::npos);
 }
 
+// --------------------------------------------------------- Demand sketch
+
+TEST(JobServiceSketchTest, StreamsEveryRequestAndRanksHotGraphs) {
+  JobService service;
+  ASSERT_TRUE(service.RegisterGraph("hotg", Rmat(200, 1500, 31)).ok());
+  ASSERT_TRUE(service.RegisterGraph("coldg", Rmat(150, 900, 32)).ok());
+
+  auto run = [&](const std::string& tenant, const std::string& graph) {
+    JobRequest request;
+    request.tenant = tenant;
+    request.app = "sssp";
+    request.graph = graph;
+    request.root = 0;
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_TRUE(ticket.value()->Wait().status.ok());
+  };
+  for (int i = 0; i < 5; ++i) run("acme", "hotg");
+  for (int i = 0; i < 2; ++i) run("globex", "coldg");
+
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.sketch_observations, 7u);
+  EXPECT_EQ(stats.sketch_decays, 0u);
+  EXPECT_EQ(stats.tenants_tracked, 2u);
+  EXPECT_EQ(stats.tenants_sketched, 0u);
+  EXPECT_GE(service.hotness().EstimateTenant("acme"), 5u);
+  EXPECT_GE(service.hotness().EstimateApp("sssp"), 7u);
+
+  // The `hot` surface: ranked, named, counted.
+  std::string hot = service.RenderHot(3);
+  EXPECT_EQ(hot.find("hot: k=3 observations=7"), 0u) << hot;
+  size_t first = hot.find("hot 1 graph=hotg");
+  size_t second = hot.find("hot 2 graph=coldg");
+  ASSERT_NE(first, std::string::npos) << hot;
+  ASSERT_NE(second, std::string::npos) << hot;
+  EXPECT_LT(first, second);
+  EXPECT_NE(hot.find("est=5"), std::string::npos) << hot;
+
+  // A rejected submit still feeds the tenant marginal (fingerprint 0:
+  // no graph marginal, so the ranking above is untouched).
+  JobRequest bad;
+  bad.tenant = "initech";
+  bad.graph = "nope";
+  EXPECT_FALSE(service.Submit(bad).ok());
+  EXPECT_EQ(service.Stats().sketch_observations, 8u);
+  EXPECT_GE(service.hotness().EstimateTenant("initech"), 1u);
+
+  // And the registry mirrors it all as metrics.
+  std::string metrics = service.RenderMetricsText();
+  EXPECT_NE(metrics.find("slfe_sketch_observations_total 8"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("slfe_hot_graph_estimate{graph=\"hotg\"}"),
+            std::string::npos)
+      << metrics;
+}
+
+TEST(JobServiceSketchTest, TenantCapSplitsExactRowsFromSketchedTail) {
+  JobServiceOptions options;
+  options.max_tracked_tenants = 2;
+  JobService service(options);
+  ASSERT_TRUE(service.RegisterGraph("g", Rmat(200, 1500, 33)).ok());
+
+  const char* kTenants[] = {"t1", "t2", "t3", "t4"};
+  for (const char* tenant : kTenants) {
+    JobRequest request;
+    request.tenant = tenant;
+    request.app = "sssp";
+    request.graph = "g";
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_TRUE(ticket.value()->Wait().status.ok());
+  }
+
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 4u);
+  // First two tenants got exact rows; t3/t4 folded into the tail.
+  EXPECT_EQ(stats.tenants_tracked, 2u);
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants_sketched, 2u);
+  EXPECT_EQ(stats.sketched_tail.jobs_submitted, 2u);
+  EXPECT_EQ(stats.sketched_tail.jobs_completed, 2u);
+  uint64_t row_sum = stats.sketched_tail.jobs_completed;
+  for (const auto& [name, t] : stats.tenants) {
+    EXPECT_NE(std::string(name), "t3");
+    EXPECT_NE(std::string(name), "t4");
+    row_sum += t.jobs_completed;
+  }
+  EXPECT_EQ(row_sum, stats.completed);  // rows + tail still sum to totals
+  // The spilled tenants stay readable through the sketch.
+  EXPECT_GE(service.hotness().EstimateTenant("t3"), 1u);
+  EXPECT_GE(service.hotness().EstimateTenant("t4"), 1u);
+
+  // A tenant that spilled once never flips back to an exact row.
+  JobRequest again;
+  again.tenant = "t3";
+  again.app = "sssp";
+  again.graph = "g";
+  auto ticket = service.Submit(again);
+  ASSERT_TRUE(ticket.ok());
+  ticket.value()->Wait();
+  stats = service.Stats();
+  EXPECT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants_sketched, 2u);  // t3 was already counted
+  EXPECT_EQ(stats.sketched_tail.jobs_submitted, 3u);
+}
+
+TEST(JobServiceSketchTest, HotAdmitThresholdGatesAndPromotesStoreWrites) {
+  JobServiceOptions options;
+  options.provider.store_dir = StoreDir("slfe_sketch_admit");
+  options.hot_admit_threshold = 2;
+  JobService service(options);
+  ASSERT_TRUE(service.RegisterGraph("hotg", Rmat(200, 1500, 34)).ok());
+  ASSERT_TRUE(service.RegisterGraph("oneshot", Rmat(150, 900, 35)).ok());
+
+  auto run = [&](const std::string& graph) {
+    JobRequest request;
+    request.app = "sssp";
+    request.graph = graph;
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_TRUE(ticket.value()->Wait().status.ok());
+  };
+
+  // First sight of each graph: estimated demand 1 < threshold 2, so the
+  // freshly generated guidance stays memory-only.
+  run("hotg");
+  run("oneshot");
+  JobServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache.admission_skips, 2u);
+  EXPECT_EQ(stats.cache.admission_promotions, 0u);
+
+  // hotg comes back: demand hits the threshold, and although the job is
+  // a pure memory hit (no insert runs), the hit path persists it.
+  run("hotg");
+  stats = service.Stats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.admission_promotions, 1u);
+  EXPECT_EQ(stats.cache.admission_skips, 2u);  // oneshot stays cold
+
+  // Promotion happens once; further hits don't re-save.
+  run("hotg");
+  stats = service.Stats();
+  EXPECT_EQ(stats.cache.admission_promotions, 1u);
+  EXPECT_EQ(stats.provider.generations, 2u);  // gate never forced a resweep
+}
+
 }  // namespace
 }  // namespace slfe::service

@@ -160,6 +160,24 @@ TEST(ParseCommandLineTest, AuthAndShutdownParse) {
   EXPECT_EQ(ParseCommandLine("shutdown now\n").kind, Kind::kError);
 }
 
+TEST(ParseCommandLineTest, HotParsesOptionalCount) {
+  ParsedCommand cmd = ParseCommandLine("hot\n");
+  ASSERT_EQ(cmd.kind, Kind::kHot);
+  EXPECT_EQ(cmd.hot_k, 10u);  // the documented default
+
+  cmd = ParseCommandLine("hot 3\n");
+  ASSERT_EQ(cmd.kind, Kind::kHot);
+  EXPECT_EQ(cmd.hot_k, 3u);
+
+  // Strictness matches the rest of the grammar: non-numeric, zero,
+  // absurd, and extra-token forms all reject rather than guess.
+  EXPECT_EQ(ParseCommandLine("hot three\n").kind, Kind::kError);
+  EXPECT_EQ(ParseCommandLine("hot -1\n").kind, Kind::kError);
+  EXPECT_EQ(ParseCommandLine("hot 0\n").kind, Kind::kError);
+  EXPECT_EQ(ParseCommandLine("hot 99999\n").kind, Kind::kError);
+  EXPECT_EQ(ParseCommandLine("hot 3 4\n").kind, Kind::kError);
+}
+
 // ------------------------------------------------------------ FormatResult
 
 JobResult BaseResult() {
@@ -217,6 +235,28 @@ TEST(FormatResultTest, FailedStatusIsReported) {
   EXPECT_NE(line.find("status="), std::string::npos);
   EXPECT_NE(line.find("nope"), std::string::npos);
   EXPECT_EQ(line.find("status=ok"), std::string::npos);
+}
+
+TEST(FormatStatsTest, SketchLineAndTailRowRenderOnlyWhenPresent) {
+  JobServiceStats stats;
+  stats.sketch_observations = 17;
+  stats.tenants_tracked = 2;
+  std::string block = FormatStats(stats);
+  EXPECT_NE(block.find("sketch: observations=17 decays=0 tenants_tracked=2 "
+                       "tenants_sketched=0\n"),
+            std::string::npos)
+      << block;
+  EXPECT_NE(block.find("admission_skips=0 admission_promotions=0"),
+            std::string::npos);
+  // No spilled tenants: no tail row cluttering the table.
+  EXPECT_EQ(block.find("(sketched"), std::string::npos);
+
+  stats.tenants_sketched = 3;
+  stats.sketched_tail.jobs_submitted = 9;
+  stats.sketched_tail.jobs_completed = 8;
+  block = FormatStats(stats);
+  EXPECT_NE(block.find("tenant (sketched 3): jobs=8/9"), std::string::npos)
+      << block;
 }
 
 }  // namespace
